@@ -1,0 +1,107 @@
+//! Computed table: memoisation of BDD operations.
+
+use std::collections::HashMap;
+
+use crate::edge::Edge;
+
+/// Operation tags used as part of computed-table keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum Op {
+    Ite,
+    Exists,
+    Forall,
+    Constrain,
+    Restrict,
+    Compose(u32),
+}
+
+/// A simple computed table mapping `(op, a, b, c)` to a result edge.
+///
+/// This plays the role of the caches in [1]; the paper's experimental
+/// methodology ("we invoke the BDD garbage collector before each heuristic is
+/// called to flush the caches") maps to [`ComputedTable::clear`].
+#[derive(Debug, Default)]
+pub(crate) struct ComputedTable {
+    map: HashMap<(Op, Edge, Edge, Edge), Edge>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ComputedTable {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn get(&mut self, op: Op, a: Edge, b: Edge, c: Edge) -> Option<Edge> {
+        match self.map.get(&(op, a, b, c)) {
+            Some(&r) => {
+                self.hits += 1;
+                Some(r)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn insert(&mut self, op: Op, a: Edge, b: Edge, c: Edge, result: Edge) {
+        self.map.insert((op, a, b, c), result);
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_clear() {
+        let mut t = ComputedTable::new();
+        assert_eq!(t.get(Op::Ite, Edge::ONE, Edge::ZERO, Edge::ONE), None);
+        t.insert(Op::Ite, Edge::ONE, Edge::ZERO, Edge::ONE, Edge::ZERO);
+        assert_eq!(
+            t.get(Op::Ite, Edge::ONE, Edge::ZERO, Edge::ONE),
+            Some(Edge::ZERO)
+        );
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+        t.clear();
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.get(Op::Ite, Edge::ONE, Edge::ZERO, Edge::ONE), None);
+    }
+
+    #[test]
+    fn ops_are_distinguished() {
+        let mut t = ComputedTable::new();
+        t.insert(Op::Ite, Edge::ONE, Edge::ONE, Edge::ONE, Edge::ZERO);
+        assert_eq!(t.get(Op::Exists, Edge::ONE, Edge::ONE, Edge::ONE), None);
+        assert_eq!(
+            t.get(Op::Compose(1), Edge::ONE, Edge::ONE, Edge::ONE),
+            None
+        );
+        t.insert(Op::Compose(1), Edge::ONE, Edge::ONE, Edge::ONE, Edge::ONE);
+        assert_eq!(
+            t.get(Op::Compose(2), Edge::ONE, Edge::ONE, Edge::ONE),
+            None
+        );
+    }
+}

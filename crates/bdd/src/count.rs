@@ -1,0 +1,263 @@
+//! Size and satisfaction counting.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::edge::{Edge, NodeId, Var};
+use crate::manager::Bdd;
+
+impl Bdd {
+    /// The size `|f|`: number of nodes in the BDD of `f`, **including the
+    /// constant node**, matching the paper's metric (`|ONE| = |ZERO| = 1`,
+    /// `|x| = 2`).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bddmin_bdd::{Bdd, Edge, Var};
+    /// let mut bdd = Bdd::new(2);
+    /// assert_eq!(bdd.size(Edge::ONE), 1);
+    /// let a = bdd.var(Var(0));
+    /// let b = bdd.var(Var(1));
+    /// assert_eq!(bdd.size(a), 2);
+    /// let f = bdd.xor(a, b);
+    /// // With complement edges, xor over 2 variables needs 2 decision
+    /// // nodes plus the constant node.
+    /// assert_eq!(bdd.size(f), 3);
+    /// ```
+    pub fn size(&self, f: Edge) -> usize {
+        self.size_many(&[f])
+    }
+
+    /// Number of distinct nodes in the shared BDD of several functions,
+    /// including the constant node (counted once).
+    pub fn size_many(&self, fs: &[Edge]) -> usize {
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut stack: Vec<Edge> = fs.iter().map(|e| e.regular()).collect();
+        while let Some(e) = stack.pop() {
+            if !seen.insert(e.node()) {
+                continue;
+            }
+            if e.is_constant() {
+                continue;
+            }
+            let n = self.node(e);
+            stack.push(n.hi.regular());
+            stack.push(n.lo.regular());
+        }
+        // The terminal is always reachable from any edge (possibly via
+        // complement), so make sure it is counted exactly once.
+        seen.insert(NodeId::TERMINAL);
+        seen.len()
+    }
+
+    /// The fraction of the full variable space `B^n` on which `f` is true,
+    /// in `[0, 1]`.
+    ///
+    /// Because the fraction is taken over *all* declared variables, it is
+    /// invariant under adding variables outside the support; the paper's
+    /// `c_onset_size` percentage (onset over the space of the support union)
+    /// equals `sat_fraction(c) * 100`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bddmin_bdd::{Bdd, Var};
+    /// let mut bdd = Bdd::new(2);
+    /// let a = bdd.var(Var(0));
+    /// let b = bdd.var(Var(1));
+    /// let f = bdd.and(a, b);
+    /// assert_eq!(bdd.sat_fraction(f), 0.25);
+    /// ```
+    pub fn sat_fraction(&self, f: Edge) -> f64 {
+        let mut memo: HashMap<NodeId, f64> = HashMap::new();
+        let p = self.frac_rec(f.regular(), &mut memo);
+        if f.is_complemented() {
+            1.0 - p
+        } else {
+            p
+        }
+    }
+
+    fn frac_rec(&self, e: Edge, memo: &mut HashMap<NodeId, f64>) -> f64 {
+        debug_assert!(!e.is_complemented());
+        if e.is_constant() {
+            return 1.0;
+        }
+        if let Some(&p) = memo.get(&e.node()) {
+            return p;
+        }
+        let n = self.node(e);
+        let ph = self.frac_rec(n.hi.regular(), memo);
+        let ph = if n.hi.is_complemented() { 1.0 - ph } else { ph };
+        let pl = self.frac_rec(n.lo.regular(), memo);
+        let pl = if n.lo.is_complemented() { 1.0 - pl } else { pl };
+        let p = 0.5 * ph + 0.5 * pl;
+        memo.insert(e.node(), p);
+        p
+    }
+
+    /// Number of satisfying assignments over all `n` declared variables,
+    /// as `f64` (exact for small spaces, approximate beyond ~2^53).
+    pub fn sat_count(&self, f: Edge) -> f64 {
+        self.sat_fraction(f) * 2f64.powi(self.num_vars() as i32)
+    }
+
+    /// The paper's `c_onset_size`: percentage of onset points of `f` in the
+    /// space spanned by the union of the supports of the given functions
+    /// (which equals the fraction over the full space, as points outside the
+    /// support contribute proportionally).
+    pub fn onset_percentage(&self, f: Edge) -> f64 {
+        self.sat_fraction(f) * 100.0
+    }
+
+    /// Counts the nodes of `f` rooted at each level: `result[i]` is the
+    /// number of nodes labelled `Var(i)`; the constant node is not included.
+    pub fn level_profile(&self, f: Edge) -> Vec<usize> {
+        let mut profile = vec![0usize; self.num_vars()];
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut stack = vec![f.regular()];
+        while let Some(e) = stack.pop() {
+            if e.is_constant() || !seen.insert(e.node()) {
+                continue;
+            }
+            let n = self.node(e);
+            profile[n.var.index()] += 1;
+            stack.push(n.hi.regular());
+            stack.push(n.lo.regular());
+        }
+        profile
+    }
+
+    /// Number of nodes of `f` strictly **below** level `level`
+    /// (the paper's `N_i(g)`), excluding the constant node.
+    pub fn nodes_below_level(&self, f: Edge, level: Var) -> usize {
+        let mut count = 0;
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut stack = vec![f.regular()];
+        while let Some(e) = stack.pop() {
+            if e.is_constant() || !seen.insert(e.node()) {
+                continue;
+            }
+            let n = self.node(e);
+            if n.var > level {
+                count += 1;
+            }
+            stack.push(n.hi.regular());
+            stack.push(n.lo.regular());
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_paper_convention() {
+        let mut bdd = Bdd::new(3);
+        assert_eq!(bdd.size(Edge::ONE), 1);
+        assert_eq!(bdd.size(Edge::ZERO), 1);
+        let a = bdd.var(Var(0));
+        assert_eq!(bdd.size(a), 2);
+        assert_eq!(bdd.size(bdd.not(a)), 2);
+        let b = bdd.var(Var(1));
+        let c = bdd.var(Var(2));
+        let x = bdd.xor(a, b);
+        let f = bdd.xor(x, c);
+        // Parity over 3 vars with complement edges: 1 node per level + const.
+        assert_eq!(bdd.size(f), 4);
+    }
+
+    #[test]
+    fn size_many_shares() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(Var(0));
+        let b = bdd.var(Var(1));
+        let f = bdd.and(a, b);
+        let g = bdd.or(a, b);
+        let each = bdd.size(f) + bdd.size(g);
+        let shared = bdd.size_many(&[f, g]);
+        assert!(shared < each);
+        assert_eq!(bdd.size_many(&[f, f]), bdd.size(f));
+        assert_eq!(bdd.size_many(&[]), 1);
+    }
+
+    #[test]
+    fn sat_fraction_basics() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(Var(0));
+        let b = bdd.var(Var(1));
+        assert_eq!(bdd.sat_fraction(Edge::ONE), 1.0);
+        assert_eq!(bdd.sat_fraction(Edge::ZERO), 0.0);
+        assert_eq!(bdd.sat_fraction(a), 0.5);
+        let ab = bdd.and(a, b);
+        assert_eq!(bdd.sat_fraction(ab), 0.25);
+        let aob = bdd.or(a, b);
+        assert_eq!(bdd.sat_fraction(aob), 0.75);
+        assert_eq!(bdd.sat_count(ab), 2.0); // 2 of 8 assignments
+    }
+
+    #[test]
+    fn sat_fraction_complement() {
+        let mut bdd = Bdd::new(4);
+        let a = bdd.var(Var(0));
+        let b = bdd.var(Var(1));
+        let f = bdd.and(a, b);
+        let nf = bdd.not(f);
+        assert!((bdd.sat_fraction(f) + bdd.sat_fraction(nf) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn onset_percentage_support_invariance() {
+        // Adding unused variables must not change the percentage.
+        let mut small = Bdd::new(2);
+        let a = small.var(Var(0));
+        let b = small.var(Var(1));
+        let f_small = small.and(a, b);
+        let mut big = Bdd::new(10);
+        let a = big.var(Var(0));
+        let b = big.var(Var(1));
+        let f_big = big.and(a, b);
+        assert_eq!(
+            small.onset_percentage(f_small),
+            big.onset_percentage(f_big)
+        );
+    }
+
+    #[test]
+    fn level_profile_counts() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(Var(0));
+        let b = bdd.var(Var(1));
+        let c = bdd.var(Var(2));
+        let bc = bdd.xor(b, c);
+        let f = bdd.ite(a, bc, b);
+        let profile = bdd.level_profile(f);
+        assert_eq!(profile.len(), 3);
+        assert_eq!(profile[0], 1);
+        assert!(profile[1] >= 1);
+        assert_eq!(profile.iter().sum::<usize>() + 1, bdd.size(f));
+    }
+
+    #[test]
+    fn nodes_below_level_matches_profile() {
+        let mut bdd = Bdd::new(4);
+        let vars: Vec<Edge> = (0..4).map(|i| bdd.var(Var(i))).collect();
+        let f = {
+            let x01 = bdd.xor(vars[0], vars[1]);
+            let x23 = bdd.and(vars[2], vars[3]);
+            bdd.or(x01, x23)
+        };
+        let profile = bdd.level_profile(f);
+        for lvl in 0..4u32 {
+            let below: usize = profile[(lvl as usize + 1)..].iter().sum();
+            assert_eq!(bdd.nodes_below_level(f, Var(lvl)), below);
+        }
+        assert_eq!(
+            bdd.nodes_below_level(f, Var(3)),
+            0,
+            "nothing below the bottom level"
+        );
+    }
+}

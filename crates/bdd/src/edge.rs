@@ -1,0 +1,231 @@
+//! Edge, node-id and variable newtypes.
+
+use std::fmt;
+
+/// A BDD variable, identified by its position in the (fixed) variable order.
+///
+/// `Var(0)` is the topmost variable (the paper's `x1`); larger indices sit
+/// deeper in the diagram. The constant node carries the sentinel
+/// [`Var::TERMINAL`], which compares greater than every real variable so that
+/// `min` over levels works uniformly.
+///
+/// # Example
+///
+/// ```
+/// use bddmin_bdd::Var;
+/// assert!(Var(0) < Var(3));
+/// assert!(Var(3) < Var::TERMINAL);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Sentinel level of the constant (terminal) node; below every variable.
+    pub const TERMINAL: Var = Var(u32::MAX);
+
+    /// Returns the raw order index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True for the terminal sentinel.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self == Var::TERMINAL
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_terminal() {
+            write!(f, "<const>")
+        } else {
+            write!(f, "x{}", self.0 + 1)
+        }
+    }
+}
+
+/// Index of a node slot inside a [`Bdd`](crate::Bdd) manager.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The slot of the unique constant node.
+    pub const TERMINAL: NodeId = NodeId(0);
+
+    /// Returns the raw slot index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A (possibly complemented) pointer to a BDD node.
+///
+/// The low bit stores the complement attribute, so complementation is a
+/// single XOR and equal functions compare equal as `u32`s. Edges are only
+/// meaningful relative to the [`Bdd`](crate::Bdd) manager that produced them.
+///
+/// # Example
+///
+/// ```
+/// use bddmin_bdd::Bdd;
+/// let mut bdd = Bdd::new(2);
+/// let a = bdd.var(bddmin_bdd::Var(0));
+/// assert_eq!(a.complement().complement(), a);
+/// assert!(a.complement().is_complemented());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge(u32);
+
+impl Edge {
+    /// The constant-true function.
+    pub const ONE: Edge = Edge(0);
+    /// The constant-false function (the complemented edge to the terminal).
+    pub const ZERO: Edge = Edge(1);
+
+    /// Builds an edge from a node slot and a complement attribute.
+    #[inline]
+    pub fn new(node: NodeId, complemented: bool) -> Edge {
+        Edge(node.0 << 1 | complemented as u32)
+    }
+
+    /// The node slot this edge points to.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        NodeId(self.0 >> 1)
+    }
+
+    /// True if the edge carries the complement attribute.
+    #[inline]
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complemented function, in O(1).
+    #[inline]
+    #[must_use]
+    pub fn complement(self) -> Edge {
+        Edge(self.0 ^ 1)
+    }
+
+    /// Complements the edge iff `cond` is true.
+    #[inline]
+    #[must_use]
+    pub fn complement_if(self, cond: bool) -> Edge {
+        Edge(self.0 ^ cond as u32)
+    }
+
+    /// The edge with the complement attribute cleared.
+    #[inline]
+    #[must_use]
+    pub fn regular(self) -> Edge {
+        Edge(self.0 & !1)
+    }
+
+    /// True if this is one of the two constant functions.
+    #[inline]
+    pub fn is_constant(self) -> bool {
+        self.node() == NodeId::TERMINAL
+    }
+
+    /// True if this is the constant-true function.
+    #[inline]
+    pub fn is_one(self) -> bool {
+        self == Edge::ONE
+    }
+
+    /// True if this is the constant-false function.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self == Edge::ZERO
+    }
+
+    /// Raw packed representation (stable within one manager lifetime).
+    #[inline]
+    pub fn to_bits(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds an edge from [`Edge::to_bits`].
+    #[inline]
+    pub fn from_bits(bits: u32) -> Edge {
+        Edge(bits)
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_one() {
+            write!(f, "Edge(1)")
+        } else if self.is_zero() {
+            write!(f, "Edge(0)")
+        } else if self.is_complemented() {
+            write!(f, "Edge(!n{})", self.node().0)
+        } else {
+            write!(f, "Edge(n{})", self.node().0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_complements() {
+        assert_eq!(Edge::ONE.complement(), Edge::ZERO);
+        assert_eq!(Edge::ZERO.complement(), Edge::ONE);
+        assert!(Edge::ONE.is_constant());
+        assert!(Edge::ZERO.is_constant());
+        assert!(Edge::ONE.is_one() && !Edge::ONE.is_zero());
+        assert!(Edge::ZERO.is_zero() && !Edge::ZERO.is_one());
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        let e = Edge::new(NodeId(42), false);
+        assert_eq!(e.complement().complement(), e);
+        assert_eq!(e.complement().node(), e.node());
+        assert!(e.complement().is_complemented());
+        assert_eq!(e.complement().regular(), e);
+    }
+
+    #[test]
+    fn complement_if_behaviour() {
+        let e = Edge::new(NodeId(7), false);
+        assert_eq!(e.complement_if(false), e);
+        assert_eq!(e.complement_if(true), e.complement());
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let e = Edge::new(NodeId(123), true);
+        assert_eq!(Edge::from_bits(e.to_bits()), e);
+    }
+
+    #[test]
+    fn terminal_var_ordering() {
+        assert!(Var(0) < Var::TERMINAL);
+        assert!(Var(u32::MAX - 1) < Var::TERMINAL);
+        assert!(Var::TERMINAL.is_terminal());
+        assert!(!Var(5).is_terminal());
+    }
+
+    #[test]
+    fn var_display() {
+        assert_eq!(Var(0).to_string(), "x1");
+        assert_eq!(Var(9).to_string(), "x10");
+        assert_eq!(Var::TERMINAL.to_string(), "<const>");
+    }
+
+    #[test]
+    fn edge_debug_formatting() {
+        assert_eq!(format!("{:?}", Edge::ONE), "Edge(1)");
+        assert_eq!(format!("{:?}", Edge::ZERO), "Edge(0)");
+        let e = Edge::new(NodeId(3), false);
+        assert_eq!(format!("{e:?}"), "Edge(n3)");
+        assert_eq!(format!("{:?}", e.complement()), "Edge(!n3)");
+    }
+}

@@ -1,0 +1,383 @@
+//! The BDD manager: node store, unique table, variable order.
+
+use std::collections::HashMap;
+
+use crate::cache::ComputedTable;
+use crate::edge::{Edge, NodeId, Var};
+use crate::node::Node;
+
+/// Counters describing the state of a [`Bdd`] manager.
+///
+/// # Example
+///
+/// ```
+/// use bddmin_bdd::Bdd;
+/// let mut bdd = Bdd::new(4);
+/// let a = bdd.var(bddmin_bdd::Var(0));
+/// let b = bdd.var(bddmin_bdd::Var(1));
+/// let _ = bdd.and(a, b);
+/// let stats = bdd.stats();
+/// assert!(stats.live_nodes >= 3);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BddStats {
+    /// Nodes currently allocated (live), including the constant node.
+    pub live_nodes: usize,
+    /// Total node slots ever allocated (live + free-listed).
+    pub allocated_nodes: usize,
+    /// Entries in the computed table.
+    pub cache_entries: usize,
+    /// Computed-table hits since creation.
+    pub cache_hits: u64,
+    /// Computed-table misses since creation.
+    pub cache_misses: u64,
+    /// Garbage collections performed.
+    pub gc_runs: u64,
+    /// Nodes reclaimed by garbage collection.
+    pub gc_reclaimed: u64,
+}
+
+/// A BDD manager: owns the node store and the fixed variable order.
+///
+/// All functions ([`Edge`]s) returned by one manager are canonical with
+/// respect to it: two edges are equal **iff** they denote the same Boolean
+/// function. Edges from different managers must never be mixed.
+///
+/// # Example
+///
+/// ```
+/// use bddmin_bdd::{Bdd, Var};
+///
+/// let mut bdd = Bdd::new(3);
+/// let x1 = bdd.var(Var(0));
+/// let x2 = bdd.var(Var(1));
+/// let f = bdd.or(x1, x2);
+/// let g = bdd.not(bdd.constant(false));
+/// assert!(bdd.implies_holds(f, g));
+/// ```
+#[derive(Debug)]
+pub struct Bdd {
+    pub(crate) nodes: Vec<Node>,
+    /// Slots of dead nodes available for reuse.
+    pub(crate) free: Vec<u32>,
+    /// Liveness flags parallel to `nodes` (false = slot is on the free list).
+    pub(crate) live: Vec<bool>,
+    pub(crate) unique: HashMap<(Var, Edge, Edge), NodeId>,
+    pub(crate) cache: ComputedTable,
+    var_names: Vec<String>,
+    name_index: HashMap<String, Var>,
+    pub(crate) gc_runs: u64,
+    pub(crate) gc_reclaimed: u64,
+}
+
+impl Bdd {
+    /// Creates a manager with `num_vars` variables named `x1 … xn`
+    /// (`x1` topmost, matching the paper's order).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bddmin_bdd::Bdd;
+    /// let bdd = Bdd::new(5);
+    /// assert_eq!(bdd.num_vars(), 5);
+    /// ```
+    pub fn new(num_vars: usize) -> Bdd {
+        let names: Vec<String> = (1..=num_vars).map(|i| format!("x{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        Bdd::with_names(&name_refs)
+    }
+
+    /// Creates a manager whose variables carry the given names, topmost first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two names collide.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bddmin_bdd::{Bdd, Var};
+    /// let bdd = Bdd::with_names(&["req", "ack"]);
+    /// assert_eq!(bdd.var_name(Var(1)), "ack");
+    /// ```
+    pub fn with_names(names: &[&str]) -> Bdd {
+        let mut bdd = Bdd {
+            nodes: vec![Node::TERMINAL],
+            free: Vec::new(),
+            live: vec![true],
+            unique: HashMap::new(),
+            cache: ComputedTable::new(),
+            var_names: Vec::new(),
+            name_index: HashMap::new(),
+            gc_runs: 0,
+            gc_reclaimed: 0,
+        };
+        for name in names {
+            bdd.add_var(name);
+        }
+        bdd
+    }
+
+    /// Appends a fresh variable at the **bottom** of the order and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn add_var(&mut self, name: &str) -> Var {
+        assert!(
+            !self.name_index.contains_key(name),
+            "duplicate variable name {name:?}"
+        );
+        let var = Var(self.var_names.len() as u32);
+        self.var_names.push(name.to_owned());
+        self.name_index.insert(name.to_owned(), var);
+        var
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// The name of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn var_name(&self, var: Var) -> &str {
+        &self.var_names[var.index()]
+    }
+
+    /// Looks a variable up by name.
+    pub fn var_by_name(&self, name: &str) -> Option<Var> {
+        self.name_index.get(name).copied()
+    }
+
+    /// The single-variable function `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not declared.
+    pub fn var(&mut self, var: Var) -> Edge {
+        assert!(
+            var.index() < self.var_names.len(),
+            "variable {var} not declared (have {})",
+            self.var_names.len()
+        );
+        self.mk(var, Edge::ONE, Edge::ZERO)
+    }
+
+    /// The literal `var` (positive) or `!var` (negative).
+    pub fn literal(&mut self, var: Var, positive: bool) -> Edge {
+        let v = self.var(var);
+        v.complement_if(!positive)
+    }
+
+    /// The constant function `true` or `false`.
+    pub fn constant(&self, value: bool) -> Edge {
+        if value {
+            Edge::ONE
+        } else {
+            Edge::ZERO
+        }
+    }
+
+    /// Canonicalizing node constructor ("find-or-add").
+    ///
+    /// Applies the deletion rule (`hi == lo`), the merging rule (unique
+    /// table) and complement-edge normalisation (the stored high edge is
+    /// always regular).
+    pub(crate) fn mk(&mut self, var: Var, hi: Edge, lo: Edge) -> Edge {
+        debug_assert!(!var.is_terminal());
+        debug_assert!(var < self.level(hi) && var < self.level(lo), "order violation");
+        if hi == lo {
+            return hi;
+        }
+        if hi.is_complemented() {
+            return self.mk_raw(var, hi.complement(), lo.complement()).complement();
+        }
+        self.mk_raw(var, hi, lo)
+    }
+
+    fn mk_raw(&mut self, var: Var, hi: Edge, lo: Edge) -> Edge {
+        debug_assert!(!hi.is_complemented());
+        if let Some(&id) = self.unique.get(&(var, hi, lo)) {
+            return Edge::new(id, false);
+        }
+        let id = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = Node { var, hi, lo };
+                self.live[slot as usize] = true;
+                NodeId(slot)
+            }
+            None => {
+                let id = NodeId(self.nodes.len() as u32);
+                assert!(id.0 < u32::MAX >> 1, "node table overflow");
+                self.nodes.push(Node { var, hi, lo });
+                self.live.push(true);
+                id
+            }
+        };
+        self.unique.insert((var, hi, lo), id);
+        Edge::new(id, false)
+    }
+
+    /// The node an edge points to.
+    #[inline]
+    pub fn node(&self, edge: Edge) -> Node {
+        self.nodes[edge.node().index()]
+    }
+
+    /// The level (decision variable) of the function's top node;
+    /// [`Var::TERMINAL`] for constants.
+    #[inline]
+    pub fn level(&self, edge: Edge) -> Var {
+        self.nodes[edge.node().index()].var
+    }
+
+    /// Both cofactors of `f` with respect to its **own** top variable,
+    /// `(f_then, f_else)`, with complement attributes resolved.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `f` is constant.
+    #[inline]
+    pub fn branches(&self, f: Edge) -> (Edge, Edge) {
+        debug_assert!(!f.is_constant());
+        let n = self.node(f);
+        let c = f.is_complemented();
+        (n.hi.complement_if(c), n.lo.complement_if(c))
+    }
+
+    /// The paper's `bdd_get_branches`: cofactors of `f` with respect to
+    /// `top`. If `f` does not depend on `top` (its top level is below `top`),
+    /// both branches are `f` itself.
+    #[inline]
+    pub fn branches_at(&self, f: Edge, top: Var) -> (Edge, Edge) {
+        if self.level(f) == top {
+            self.branches(f)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Negation, in O(1) thanks to complement edges.
+    #[inline]
+    pub fn not(&self, f: Edge) -> Edge {
+        f.complement()
+    }
+
+    /// Clears the computed table (the paper's cache flush between
+    /// heuristics).
+    pub fn clear_caches(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Current manager statistics.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            live_nodes: self.nodes.len() - self.free.len(),
+            allocated_nodes: self.nodes.len(),
+            cache_entries: self.cache.len(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            gc_runs: self.gc_runs,
+            gc_reclaimed: self.gc_reclaimed,
+        }
+    }
+}
+
+impl Default for Bdd {
+    /// An empty manager with no variables (add them with [`Bdd::add_var`]).
+    fn default() -> Self {
+        Bdd::with_names(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_variable() {
+        let mut bdd = Bdd::new(2);
+        let a1 = bdd.var(Var(0));
+        let a2 = bdd.var(Var(0));
+        assert_eq!(a1, a2);
+        assert_eq!(bdd.stats().live_nodes, 2); // terminal + one decision node
+    }
+
+    #[test]
+    fn deletion_rule() {
+        let mut bdd = Bdd::new(2);
+        let e = bdd.mk(Var(0), Edge::ONE, Edge::ONE);
+        assert_eq!(e, Edge::ONE);
+    }
+
+    #[test]
+    fn complement_normalisation() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(Var(0));
+        let na = bdd.not(a);
+        // !a is stored as a complemented edge to the same node.
+        assert_eq!(na.node(), a.node());
+        assert!(na.is_complemented());
+        // Stored hi edge is regular.
+        assert!(!bdd.node(a).hi.is_complemented());
+    }
+
+    #[test]
+    fn branches_resolve_complement() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(Var(0));
+        let (t, e) = bdd.branches(a);
+        assert_eq!((t, e), (Edge::ONE, Edge::ZERO));
+        let (t, e) = bdd.branches(bdd.not(a));
+        assert_eq!((t, e), (Edge::ZERO, Edge::ONE));
+    }
+
+    #[test]
+    fn branches_at_below_top() {
+        let mut bdd = Bdd::new(3);
+        let b = bdd.var(Var(1));
+        let (t, e) = bdd.branches_at(b, Var(0));
+        assert_eq!((t, e), (b, b));
+        let (t, e) = bdd.branches_at(b, Var(1));
+        assert_eq!((t, e), (Edge::ONE, Edge::ZERO));
+    }
+
+    #[test]
+    fn named_vars() {
+        let mut bdd = Bdd::with_names(&["p", "q"]);
+        assert_eq!(bdd.var_by_name("q"), Some(Var(1)));
+        assert_eq!(bdd.var_by_name("r"), None);
+        assert_eq!(bdd.var_name(Var(0)), "p");
+        let r = bdd.add_var("r");
+        assert_eq!(r, Var(2));
+        assert_eq!(bdd.num_vars(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate variable name")]
+    fn duplicate_name_panics() {
+        let mut bdd = Bdd::with_names(&["p"]);
+        bdd.add_var("p");
+    }
+
+    #[test]
+    fn literal_polarity() {
+        let mut bdd = Bdd::new(1);
+        let pos = bdd.literal(Var(0), true);
+        let neg = bdd.literal(Var(0), false);
+        assert_eq!(neg, bdd.not(pos));
+    }
+
+    #[test]
+    fn constant_levels() {
+        let bdd = Bdd::new(1);
+        assert!(bdd.level(Edge::ONE).is_terminal());
+        assert!(bdd.level(Edge::ZERO).is_terminal());
+        assert_eq!(bdd.constant(true), Edge::ONE);
+        assert_eq!(bdd.constant(false), Edge::ZERO);
+    }
+}

@@ -1,0 +1,655 @@
+//! Boolean operations: ITE and everything derived from it.
+
+use crate::cache::Op;
+use crate::edge::{Edge, Var};
+use crate::manager::Bdd;
+
+impl Bdd {
+    /// If-then-else: `ite(f, g, h) = f·g + ¬f·h`.
+    ///
+    /// All binary operations are derived from this; results are memoised in
+    /// the computed table.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bddmin_bdd::{Bdd, Var};
+    /// let mut bdd = Bdd::new(3);
+    /// let (a, b, c) = (bdd.var(Var(0)), bdd.var(Var(1)), bdd.var(Var(2)));
+    /// let mux = bdd.ite(a, b, c);
+    /// let manual = {
+    ///     let t = bdd.and(a, b);
+    ///     let na = bdd.not(a);
+    ///     let e = bdd.and(na, c);
+    ///     bdd.or(t, e)
+    /// };
+    /// assert_eq!(mux, manual);
+    /// ```
+    pub fn ite(&mut self, f: Edge, g: Edge, h: Edge) -> Edge {
+        // Terminal cases.
+        if f.is_one() {
+            return g;
+        }
+        if f.is_zero() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_one() && h.is_zero() {
+            return f;
+        }
+        if g.is_zero() && h.is_one() {
+            return f.complement();
+        }
+        // Reduce using f where g/h coincide with f or !f.
+        let (mut f, mut g, mut h) = (f, g, h);
+        if g == f {
+            g = Edge::ONE;
+        } else if g == f.complement() {
+            g = Edge::ZERO;
+        }
+        if h == f {
+            h = Edge::ZERO;
+        } else if h == f.complement() {
+            h = Edge::ONE;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_one() && h.is_zero() {
+            return f;
+        }
+        if g.is_zero() && h.is_one() {
+            return f.complement();
+        }
+        // Canonical triple: standard symmetry rewrites so equivalent calls
+        // share cache entries (ite(f,1,h) = ite(h,1,f), etc.).
+        if g.is_one() && self.order_before(h, f) {
+            std::mem::swap(&mut f, &mut h);
+        } else if h.is_zero() && self.order_before(g, f) {
+            std::mem::swap(&mut f, &mut g);
+        } else if g.is_zero() && self.order_before(h, f) {
+            let (nf, nh) = (h.complement(), f.complement());
+            f = nf;
+            h = nh;
+        } else if h.is_one() && self.order_before(g, f) {
+            let (nf, ng) = (g.complement(), f.complement());
+            f = nf;
+            g = ng;
+        } else if g == h.complement() && self.order_before(g, f) {
+            // ite(f, g, !g) = ite(g, f, !f)
+            std::mem::swap(&mut f, &mut g);
+            h = g.complement();
+        }
+        // Complement normalisation: f regular, g regular.
+        if f.is_complemented() {
+            std::mem::swap(&mut g, &mut h);
+            f = f.complement();
+        }
+        let negate = g.is_complemented();
+        if negate {
+            g = g.complement();
+            h = h.complement();
+        }
+        if let Some(r) = self.cache.get(Op::Ite, f, g, h) {
+            return r.complement_if(negate);
+        }
+        let top = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f1, f0) = self.branches_at(f, top);
+        let (g1, g0) = self.branches_at(g, top);
+        let (h1, h0) = self.branches_at(h, top);
+        let t = self.ite(f1, g1, h1);
+        let e = self.ite(f0, g0, h0);
+        let r = self.mk(top, t, e);
+        self.cache.insert(Op::Ite, f, g, h, r);
+        r.complement_if(negate)
+    }
+
+    /// True if `a` should precede `b` in canonical-triple ordering
+    /// (top level first, then raw node index as a tiebreak).
+    fn order_before(&self, a: Edge, b: Edge) -> bool {
+        let (la, lb) = (self.level(a), self.level(b));
+        la < lb || (la == lb && a.node() < b.node())
+    }
+
+    /// Conjunction `f · g`.
+    pub fn and(&mut self, f: Edge, g: Edge) -> Edge {
+        self.ite(f, g, Edge::ZERO)
+    }
+
+    /// Disjunction `f + g`.
+    pub fn or(&mut self, f: Edge, g: Edge) -> Edge {
+        self.ite(f, Edge::ONE, g)
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: Edge, g: Edge) -> Edge {
+        self.ite(f, g.complement(), g)
+    }
+
+    /// Equivalence `f ≡ g` (xnor).
+    pub fn xnor(&mut self, f: Edge, g: Edge) -> Edge {
+        self.ite(f, g, g.complement())
+    }
+
+    /// Implication `f ⇒ g` as a function.
+    pub fn implies(&mut self, f: Edge, g: Edge) -> Edge {
+        self.ite(f, g, Edge::ONE)
+    }
+
+    /// Difference `f · ¬g`.
+    pub fn diff(&mut self, f: Edge, g: Edge) -> Edge {
+        self.ite(f, g.complement(), Edge::ZERO)
+    }
+
+    /// Nand `¬(f·g)`.
+    pub fn nand(&mut self, f: Edge, g: Edge) -> Edge {
+        self.and(f, g).complement()
+    }
+
+    /// Nor `¬(f+g)`.
+    pub fn nor(&mut self, f: Edge, g: Edge) -> Edge {
+        self.or(f, g).complement()
+    }
+
+    /// Conjunction of many functions (`ONE` for an empty iterator).
+    pub fn and_many<I: IntoIterator<Item = Edge>>(&mut self, edges: I) -> Edge {
+        edges
+            .into_iter()
+            .fold(Edge::ONE, |acc, e| self.and(acc, e))
+    }
+
+    /// Disjunction of many functions (`ZERO` for an empty iterator).
+    pub fn or_many<I: IntoIterator<Item = Edge>>(&mut self, edges: I) -> Edge {
+        edges
+            .into_iter()
+            .fold(Edge::ZERO, |acc, e| self.or(acc, e))
+    }
+
+    /// Decision check: does `f ≤ g` (i.e. `f ⇒ g`) hold for all inputs?
+    ///
+    /// O(|f|·|g|) containment test; does not build the implication BDD.
+    pub fn implies_holds(&mut self, f: Edge, g: Edge) -> bool {
+        // f ≤ g  ⟺  f·¬g = 0.
+        self.and(f, g.complement()).is_zero()
+    }
+
+    /// The Shannon cofactor of `f` by the literal `(var = value)`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bddmin_bdd::{Bdd, Var};
+    /// let mut bdd = Bdd::new(2);
+    /// let (a, b) = (bdd.var(Var(0)), bdd.var(Var(1)));
+    /// let f = bdd.and(a, b);
+    /// assert_eq!(bdd.cofactor(f, Var(0), true), b);
+    /// assert!(bdd.cofactor(f, Var(0), false).is_zero());
+    /// ```
+    pub fn cofactor(&mut self, f: Edge, var: Var, value: bool) -> Edge {
+        self.cofactor_rec(f, var, if value { Edge::ONE } else { Edge::ZERO })
+    }
+
+    fn cofactor_rec(&mut self, f: Edge, var: Var, value: Edge) -> Edge {
+        let top = self.level(f);
+        if top > var {
+            // f does not depend on var (ordered BDD).
+            return f;
+        }
+        if let Some(r) = self.cache.get(Op::Compose(var.0), f, value, Edge::ONE) {
+            return r;
+        }
+        let (f1, f0) = self.branches(f);
+        let r = if top == var {
+            if value.is_one() {
+                f1
+            } else {
+                f0
+            }
+        } else {
+            let t = self.cofactor_rec(f1, var, value);
+            let e = self.cofactor_rec(f0, var, value);
+            self.mk(top, t, e)
+        };
+        self.cache.insert(Op::Compose(var.0), f, value, Edge::ONE, r);
+        r
+    }
+
+    /// Restricts `f` by a positive/negative literal cube: the generalized
+    /// Shannon cofactor `f_p` for a cube `p` given as literal list.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bddmin_bdd::{Bdd, Var};
+    /// let mut bdd = Bdd::new(3);
+    /// let (a, b) = (bdd.var(Var(0)), bdd.var(Var(1)));
+    /// let f = bdd.xor(a, b);
+    /// let fa = bdd.cofactor_cube(f, &[(Var(0), true)]);
+    /// assert_eq!(fa, bdd.not(b));
+    /// ```
+    pub fn cofactor_cube(&mut self, f: Edge, literals: &[(Var, bool)]) -> Edge {
+        let mut r = f;
+        for &(v, val) in literals {
+            r = self.cofactor(r, v, val);
+        }
+        r
+    }
+
+    /// Existential quantification `∃ vars . f`, where `vars` is a **positive
+    /// cube** (as built by [`Bdd::cube_of_vars`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is not a positive cube.
+    pub fn exists(&mut self, f: Edge, vars: Edge) -> Edge {
+        self.assert_positive_cube(vars);
+        self.exists_rec(f, vars)
+    }
+
+    fn exists_rec(&mut self, f: Edge, mut cube: Edge) -> Edge {
+        // Skip quantified variables above f's level.
+        while !cube.is_constant() && self.level(cube) < self.level(f) {
+            cube = self.node(cube).hi.complement_if(cube.is_complemented());
+        }
+        if cube.is_constant() || f.is_constant() {
+            return f;
+        }
+        if let Some(r) = self.cache.get(Op::Exists, f, cube, Edge::ONE) {
+            return r;
+        }
+        let top = self.level(f);
+        let (f1, f0) = self.branches(f);
+        let r = if self.level(cube) == top {
+            let next = self.node(cube).hi.complement_if(cube.is_complemented());
+            let t = self.exists_rec(f1, next);
+            let e = self.exists_rec(f0, next);
+            self.or(t, e)
+        } else {
+            let t = self.exists_rec(f1, cube);
+            let e = self.exists_rec(f0, cube);
+            self.mk(top, t, e)
+        };
+        self.cache.insert(Op::Exists, f, cube, Edge::ONE, r);
+        r
+    }
+
+    /// Universal quantification `∀ vars . f` over a positive cube of
+    /// variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is not a positive cube.
+    pub fn forall(&mut self, f: Edge, vars: Edge) -> Edge {
+        self.assert_positive_cube(vars);
+        if let Some(r) = self.cache.get(Op::Forall, f, vars, Edge::ONE) {
+            return r;
+        }
+        let r = self.exists_rec(f.complement(), vars).complement();
+        self.cache.insert(Op::Forall, f, vars, Edge::ONE, r);
+        r
+    }
+
+    /// Relational product `∃ vars . (f · g)` (the workhorse of image
+    /// computation). Computed as `exists(and(f, g), vars)`; a fused
+    /// implementation is unnecessary at the scales exercised here.
+    pub fn and_exists(&mut self, f: Edge, g: Edge, vars: Edge) -> Edge {
+        let fg = self.and(f, g);
+        self.exists(fg, vars)
+    }
+
+    /// Builds the positive cube `v1 · v2 · …` of a set of variables.
+    pub fn cube_of_vars(&mut self, vars: &[Var]) -> Edge {
+        let mut sorted: Vec<Var> = vars.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        let mut cube = Edge::ONE;
+        for &v in sorted.iter().rev() {
+            cube = self.mk(v, cube, Edge::ZERO);
+        }
+        cube
+    }
+
+    fn assert_positive_cube(&self, mut cube: Edge) {
+        while !cube.is_constant() {
+            let n = self.node(cube);
+            let (hi, lo) = (
+                n.hi.complement_if(cube.is_complemented()),
+                n.lo.complement_if(cube.is_complemented()),
+            );
+            assert!(lo.is_zero(), "quantifier argument must be a positive cube");
+            cube = hi;
+        }
+        assert!(cube.is_one(), "quantifier argument must be a positive cube");
+    }
+
+    /// Substitutes the function `g` for variable `var` in `f` (functional
+    /// composition `f[var ← g]`).
+    pub fn compose(&mut self, f: Edge, var: Var, g: Edge) -> Edge {
+        if self.level(f) > var {
+            return f;
+        }
+        if let Some(r) = self.cache.get(Op::Compose(var.0), f, g, Edge::ZERO) {
+            return r;
+        }
+        let top = self.level(f);
+        let (f1, f0) = self.branches(f);
+        let r = if top == var {
+            self.ite(g, f1, f0)
+        } else {
+            let t = self.compose(f1, var, g);
+            let e = self.compose(f0, var, g);
+            // Cannot use mk: g may have pushed structure above `top`.
+            let tv = self.var(top);
+            self.ite(tv, t, e)
+        };
+        self.cache.insert(Op::Compose(var.0), f, g, Edge::ZERO, r);
+        r
+    }
+
+    /// Renames variables: substitutes `to[i]` for `from[i]` simultaneously.
+    ///
+    /// The mapping must be order-compatible in the sense that pairwise swaps
+    /// do not reorder (`from` and `to` sorted consistently); this is the case
+    /// for the present/next-state variable interleavings used by the FSM
+    /// layer. Implemented by sequential composition from the bottom up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn rename(&mut self, f: Edge, from: &[Var], to: &[Var]) -> Edge {
+        assert_eq!(from.len(), to.len(), "rename arity mismatch");
+        let mut pairs: Vec<(Var, Var)> =
+            from.iter().copied().zip(to.iter().copied()).collect();
+        // Compose deepest source first so earlier substitutions cannot be
+        // re-captured by later ones.
+        pairs.sort_by_key(|p| std::cmp::Reverse(p.0));
+        let mut r = f;
+        for (src, dst) in pairs {
+            let g = self.var(dst);
+            r = self.compose(r, src, g);
+        }
+        r
+    }
+
+    /// The support of `f`: the sorted set of variables `f` depends on.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bddmin_bdd::{Bdd, Var};
+    /// let mut bdd = Bdd::new(3);
+    /// let (a, c) = (bdd.var(Var(0)), bdd.var(Var(2)));
+    /// let f = bdd.or(a, c);
+    /// assert_eq!(bdd.support(f), vec![Var(0), Var(2)]);
+    /// ```
+    pub fn support(&self, f: Edge) -> Vec<Var> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f.regular()];
+        while let Some(e) = stack.pop() {
+            if e.is_constant() || !seen.insert(e.node()) {
+                continue;
+            }
+            let n = self.node(e);
+            vars.insert(n.var);
+            stack.push(n.hi.regular());
+            stack.push(n.lo.regular());
+        }
+        vars.into_iter().collect()
+    }
+
+    /// The union of the supports of several functions.
+    pub fn support_many(&self, fs: &[Edge]) -> Vec<Var> {
+        let mut all = std::collections::BTreeSet::new();
+        for &f in fs {
+            all.extend(self.support(f));
+        }
+        all.into_iter().collect()
+    }
+
+    /// True if `f` depends on `var`.
+    pub fn depends_on(&self, f: Edge, var: Var) -> bool {
+        self.support(f).contains(&var)
+    }
+
+    /// Evaluates `f` under a total assignment (`assignment[i]` is the value
+    /// of `Var(i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is shorter than some variable `f` depends on.
+    pub fn eval(&self, f: Edge, assignment: &[bool]) -> bool {
+        let mut e = f;
+        while !e.is_constant() {
+            let n = self.node(e);
+            let branch = if assignment[n.var.index()] { n.hi } else { n.lo };
+            e = branch.complement_if(e.is_complemented());
+        }
+        e.is_one()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Bdd, Edge, Edge, Edge) {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(Var(0));
+        let b = bdd.var(Var(1));
+        let c = bdd.var(Var(2));
+        (bdd, a, b, c)
+    }
+
+    #[test]
+    fn basic_algebra() {
+        let (mut bdd, a, b, _) = setup();
+        let ab = bdd.and(a, b);
+        let ba = bdd.and(b, a);
+        assert_eq!(ab, ba);
+        assert_eq!(bdd.or(a, a), a);
+        assert_eq!(bdd.and(a, a), a);
+        assert!(bdd.and(a, bdd.not(a)).is_zero());
+        assert!(bdd.or(a, bdd.not(a)).is_one());
+    }
+
+    #[test]
+    fn de_morgan() {
+        let (mut bdd, a, b, _) = setup();
+        let lhs = bdd.nand(a, b);
+        let na = bdd.not(a);
+        let nb = bdd.not(b);
+        let rhs = bdd.or(na, nb);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn xor_xnor() {
+        let (mut bdd, a, b, _) = setup();
+        let x = bdd.xor(a, b);
+        let xn = bdd.xnor(a, b);
+        assert_eq!(xn, bdd.not(x));
+        assert!(bdd.xor(a, a).is_zero());
+        assert!(bdd.xnor(a, a).is_one());
+    }
+
+    #[test]
+    fn ite_is_mux() {
+        let (mut bdd, a, b, c) = setup();
+        let m = bdd.ite(a, b, c);
+        for bits in 0..8u32 {
+            let assign = [(bits & 4) != 0, (bits & 2) != 0, (bits & 1) != 0];
+            let expect = if assign[0] { assign[1] } else { assign[2] };
+            assert_eq!(bdd.eval(m, &assign), expect, "assignment {assign:?}");
+        }
+    }
+
+    #[test]
+    fn implies_holds_checks() {
+        let (mut bdd, a, b, _) = setup();
+        let ab = bdd.and(a, b);
+        let aob = bdd.or(a, b);
+        assert!(bdd.implies_holds(ab, a));
+        assert!(bdd.implies_holds(a, aob));
+        assert!(!bdd.implies_holds(aob, ab));
+        assert!(bdd.implies_holds(Edge::ZERO, ab));
+        assert!(bdd.implies_holds(ab, Edge::ONE));
+    }
+
+    #[test]
+    fn cofactor_both_polarities() {
+        let (mut bdd, a, b, c) = setup();
+        let f = bdd.ite(a, b, c);
+        assert_eq!(bdd.cofactor(f, Var(0), true), b);
+        assert_eq!(bdd.cofactor(f, Var(0), false), c);
+        // Cofactor by a variable not in the support is the identity.
+        let g = bdd.and(a, b);
+        assert_eq!(bdd.cofactor(g, Var(2), true), g);
+    }
+
+    #[test]
+    fn shannon_expansion() {
+        let (mut bdd, a, b, c) = setup();
+        let ab = bdd.and(a, b);
+        let f = bdd.xor(ab, c);
+        let f1 = bdd.cofactor(f, Var(1), true);
+        let f0 = bdd.cofactor(f, Var(1), false);
+        let bvar = bdd.var(Var(1));
+        let rebuilt = bdd.ite(bvar, f1, f0);
+        assert_eq!(rebuilt, f);
+    }
+
+    #[test]
+    fn exists_forall() {
+        let (mut bdd, a, b, c) = setup();
+        let f = bdd.and(a, b);
+        let cube_b = bdd.cube_of_vars(&[Var(1)]);
+        assert_eq!(bdd.exists(f, cube_b), a);
+        assert!(bdd.forall(f, cube_b).is_zero());
+        let g = bdd.or(f, c);
+        let cube_ab = bdd.cube_of_vars(&[Var(0), Var(1)]);
+        assert!(bdd.exists(g, cube_ab).is_one());
+        assert_eq!(bdd.forall(g, cube_ab), c);
+    }
+
+    #[test]
+    fn exists_skips_high_vars() {
+        let (mut bdd, _, b, c) = setup();
+        let f = bdd.and(b, c);
+        let cube = bdd.cube_of_vars(&[Var(0), Var(2)]);
+        assert_eq!(bdd.exists(f, cube), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive cube")]
+    fn exists_rejects_non_cube() {
+        let (mut bdd, a, b, _) = setup();
+        let non_cube = bdd.or(a, b);
+        let f = bdd.and(a, b);
+        bdd.exists(f, non_cube);
+    }
+
+    #[test]
+    fn and_exists_is_image_shape() {
+        let (mut bdd, a, b, c) = setup();
+        let f = bdd.xnor(a, b);
+        let g = bdd.ite(b, c, bdd.not(c));
+        let cube = bdd.cube_of_vars(&[Var(1)]);
+        let fused = bdd.and_exists(f, g, cube);
+        let anded = bdd.and(f, g);
+        let separate = bdd.exists(anded, cube);
+        assert_eq!(fused, separate);
+    }
+
+    #[test]
+    fn compose_substitutes() {
+        let (mut bdd, a, b, c) = setup();
+        let f = bdd.xor(a, b);
+        let g = bdd.and(b, c);
+        let comp = bdd.compose(f, Var(0), g);
+        let expect = bdd.xor(g, b);
+        assert_eq!(comp, expect);
+    }
+
+    #[test]
+    fn compose_above_support_is_identity() {
+        let (mut bdd, _, b, c) = setup();
+        let f = bdd.and(b, c);
+        let g = bdd.or(b, c);
+        assert_eq!(bdd.compose(f, Var(0), g), f);
+    }
+
+    #[test]
+    fn rename_swaps_disjoint_sets() {
+        let mut bdd = Bdd::new(4);
+        let a = bdd.var(Var(0));
+        let b = bdd.var(Var(1));
+        let f = bdd.and(a, b);
+        let r = bdd.rename(f, &[Var(0), Var(1)], &[Var(2), Var(3)]);
+        let c = bdd.var(Var(2));
+        let d = bdd.var(Var(3));
+        assert_eq!(r, bdd.and(c, d));
+    }
+
+    #[test]
+    fn support_and_depends() {
+        let (mut bdd, a, _, c) = setup();
+        let f = bdd.ite(a, c, bdd.not(c));
+        assert_eq!(bdd.support(f), vec![Var(0), Var(2)]);
+        assert!(bdd.depends_on(f, Var(0)));
+        assert!(!bdd.depends_on(f, Var(1)));
+        assert!(bdd.support(Edge::ONE).is_empty());
+    }
+
+    #[test]
+    fn support_many_unions() {
+        let (mut bdd, a, b, c) = setup();
+        let f = bdd.and(a, b);
+        let g = bdd.and(b, c);
+        assert_eq!(bdd.support_many(&[f, g]), vec![Var(0), Var(1), Var(2)]);
+    }
+
+    #[test]
+    fn many_variadic() {
+        let (mut bdd, a, b, c) = setup();
+        let conj = bdd.and_many([a, b, c]);
+        let two = bdd.and(a, b);
+        let expect = bdd.and(two, c);
+        assert_eq!(conj, expect);
+        assert!(bdd.and_many([]).is_one());
+        assert!(bdd.or_many([]).is_zero());
+    }
+
+    #[test]
+    fn cube_of_vars_dedups_and_sorts() {
+        let mut bdd = Bdd::new(3);
+        let c1 = bdd.cube_of_vars(&[Var(2), Var(0), Var(2)]);
+        let c2 = bdd.cube_of_vars(&[Var(0), Var(2)]);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn eval_matches_truth_table() {
+        let (mut bdd, a, b, c) = setup();
+        let f = {
+            let t = bdd.or(b, c);
+            bdd.and(a, t)
+        };
+        for bits in 0..8u32 {
+            let assign = [(bits & 4) != 0, (bits & 2) != 0, (bits & 1) != 0];
+            let expect = assign[0] && (assign[1] || assign[2]);
+            assert_eq!(bdd.eval(f, &assign), expect);
+        }
+    }
+
+    #[test]
+    fn cofactor_cube_multi() {
+        let (mut bdd, a, b, c) = setup();
+        let ab = bdd.and(a, b);
+        let f = bdd.xor(ab, c);
+        let r = bdd.cofactor_cube(f, &[(Var(0), true), (Var(1), true)]);
+        assert_eq!(r, bdd.not(c));
+    }
+}

@@ -1,0 +1,282 @@
+//! Property-based tests for the BDD substrate.
+//!
+//! Strategy: generate random Boolean functions over a small variable set as
+//! truth tables, build them through the public API, and check algebraic laws
+//! and canonicity against direct truth-table evaluation.
+
+use proptest::prelude::*;
+
+use crate::edge::{Edge, Var};
+use crate::manager::Bdd;
+
+const NVARS: usize = 4;
+const TABLE: usize = 1 << NVARS;
+
+/// Builds the function with the given truth table (bit `i` = value on the
+/// assignment whose bits are `i`, MSB = Var(0)).
+fn from_table(bdd: &mut Bdd, table: u16) -> Edge {
+    let mut f = Edge::ZERO;
+    for row in 0..TABLE {
+        if table >> row & 1 == 1 {
+            let lits: Vec<(Var, bool)> = (0..NVARS)
+                .map(|v| (Var(v as u32), row >> (NVARS - 1 - v) & 1 == 1))
+                .collect();
+            let cube = crate::cubes::Cube::new(lits).to_edge(bdd);
+            f = bdd.or(f, cube);
+        }
+    }
+    f
+}
+
+fn to_table(bdd: &Bdd, f: Edge) -> u16 {
+    let mut t = 0u16;
+    for row in 0..TABLE {
+        let assign: Vec<bool> = (0..NVARS)
+            .map(|v| row >> (NVARS - 1 - v) & 1 == 1)
+            .collect();
+        if bdd.eval(f, &assign) {
+            t |= 1 << row;
+        }
+    }
+    t
+}
+
+proptest! {
+    #[test]
+    fn truth_table_round_trip(table: u16) {
+        let mut bdd = Bdd::new(NVARS);
+        let f = from_table(&mut bdd, table);
+        prop_assert_eq!(to_table(&bdd, f), table);
+    }
+
+    #[test]
+    fn canonicity_equal_tables_equal_edges(table: u16) {
+        let mut bdd = Bdd::new(NVARS);
+        let f = from_table(&mut bdd, table);
+        // Rebuild through a different construction path: minterms high-to-low.
+        let mut g = Edge::ZERO;
+        for row in (0..TABLE).rev() {
+            if table >> row & 1 == 1 {
+                let lits: Vec<(Var, bool)> = (0..NVARS)
+                    .map(|v| (Var(v as u32), row >> (NVARS - 1 - v) & 1 == 1))
+                    .collect();
+                let cube = crate::cubes::Cube::new(lits).to_edge(&mut bdd);
+                g = bdd.or(g, cube);
+            }
+        }
+        prop_assert_eq!(f, g);
+    }
+
+    #[test]
+    fn boolean_algebra_laws(ta: u16, tb: u16, tc: u16) {
+        let mut bdd = Bdd::new(NVARS);
+        let a = from_table(&mut bdd, ta);
+        let b = from_table(&mut bdd, tb);
+        let c = from_table(&mut bdd, tc);
+        // Distributivity.
+        let bc = bdd.or(b, c);
+        let lhs = bdd.and(a, bc);
+        let ab = bdd.and(a, b);
+        let ac = bdd.and(a, c);
+        let rhs = bdd.or(ab, ac);
+        prop_assert_eq!(lhs, rhs);
+        // De Morgan.
+        let n_ab = bdd.and(a, b).complement();
+        let na_or_nb = bdd.or(a.complement(), b.complement());
+        prop_assert_eq!(n_ab, na_or_nb);
+        // Double complement.
+        prop_assert_eq!(a.complement().complement(), a);
+        // XOR associativity.
+        let x1 = bdd.xor(a, b);
+        let x1c = bdd.xor(x1, c);
+        let x2 = bdd.xor(b, c);
+        let ax2 = bdd.xor(a, x2);
+        prop_assert_eq!(x1c, ax2);
+    }
+
+    #[test]
+    fn ite_matches_semantics(tf: u16, tg: u16, th: u16) {
+        let mut bdd = Bdd::new(NVARS);
+        let f = from_table(&mut bdd, tf);
+        let g = from_table(&mut bdd, tg);
+        let h = from_table(&mut bdd, th);
+        let r = bdd.ite(f, g, h);
+        let expect = (tf & tg) | (!tf & th);
+        prop_assert_eq!(to_table(&bdd, r), expect);
+    }
+
+    #[test]
+    fn shannon_decomposition(table: u16, var in 0u32..NVARS as u32) {
+        let mut bdd = Bdd::new(NVARS);
+        let f = from_table(&mut bdd, table);
+        let f1 = bdd.cofactor(f, Var(var), true);
+        let f0 = bdd.cofactor(f, Var(var), false);
+        let v = bdd.var(Var(var));
+        let rebuilt = bdd.ite(v, f1, f0);
+        prop_assert_eq!(rebuilt, f);
+        // Cofactors do not depend on the variable.
+        prop_assert!(!bdd.depends_on(f1, Var(var)));
+        prop_assert!(!bdd.depends_on(f0, Var(var)));
+    }
+
+    #[test]
+    fn quantifier_duality(table: u16, var in 0u32..NVARS as u32) {
+        let mut bdd = Bdd::new(NVARS);
+        let f = from_table(&mut bdd, table);
+        let cube = bdd.cube_of_vars(&[Var(var)]);
+        let ex = bdd.exists(f, cube);
+        let fa = bdd.forall(f, cube);
+        // ∃x.f = f1 + f0 ; ∀x.f = f1·f0.
+        let f1 = bdd.cofactor(f, Var(var), true);
+        let f0 = bdd.cofactor(f, Var(var), false);
+        prop_assert_eq!(ex, bdd.or(f1, f0));
+        prop_assert_eq!(fa, bdd.and(f1, f0));
+        // Duality: ¬∃x.f = ∀x.¬f.
+        let nf = bdd.not(f);
+        let fanf = bdd.forall(nf, cube);
+        prop_assert_eq!(ex.complement(), fanf);
+        // Containment: ∀x.f ≤ f ≤ ∃x.f.
+        prop_assert!(bdd.implies_holds(fa, f));
+        prop_assert!(bdd.implies_holds(f, ex));
+    }
+
+    #[test]
+    fn constrain_restrict_are_covers(tf: u16, tc in 1u16..) {
+        let mut bdd = Bdd::new(NVARS);
+        let f = from_table(&mut bdd, tf);
+        let c = from_table(&mut bdd, tc);
+        prop_assume!(!c.is_zero());
+        let onset = bdd.and(f, c);
+        let nc = bdd.not(c);
+        let upper = bdd.or(f, nc);
+        for g in [bdd.constrain(f, c), bdd.restrict(f, c)] {
+            prop_assert!(bdd.implies_holds(onset, g));
+            prop_assert!(bdd.implies_holds(g, upper));
+        }
+    }
+
+    #[test]
+    fn constrain_image_property(tf: u16, tc in 1u16..) {
+        // constrain agrees with f on the care set.
+        let mut bdd = Bdd::new(NVARS);
+        let f = from_table(&mut bdd, tf);
+        let c = from_table(&mut bdd, tc);
+        prop_assume!(!c.is_zero());
+        let g = bdd.constrain(f, c);
+        let gf = bdd.xor(g, f);
+        let disagreement = bdd.and(gf, c);
+        prop_assert!(disagreement.is_zero());
+    }
+
+    #[test]
+    fn sat_fraction_additivity(ta: u16, tb: u16) {
+        let mut bdd = Bdd::new(NVARS);
+        let a = from_table(&mut bdd, ta);
+        let b = from_table(&mut bdd, tb);
+        let aub = bdd.or(a, b);
+        let aib = bdd.and(a, b);
+        let lhs = bdd.sat_fraction(aub) + bdd.sat_fraction(aib);
+        let rhs = bdd.sat_fraction(a) + bdd.sat_fraction(b);
+        prop_assert!((lhs - rhs).abs() < 1e-12);
+        // Exact count against popcount.
+        prop_assert_eq!(bdd.sat_count(a), ta.count_ones() as f64);
+    }
+
+    #[test]
+    fn cubes_partition_onset(table: u16) {
+        let mut bdd = Bdd::new(NVARS);
+        let f = from_table(&mut bdd, table);
+        let cubes: Vec<crate::cubes::Cube> = bdd.cubes(f).collect();
+        // Union equals onset.
+        let mut union = Edge::ZERO;
+        let mut total = 0.0;
+        for q in &cubes {
+            let e = q.to_edge(&mut bdd);
+            total += bdd.sat_fraction(e);
+            union = bdd.or(union, e);
+        }
+        prop_assert_eq!(union, f);
+        // BDD 1-paths are disjoint, so fractions add up exactly.
+        prop_assert!((total - bdd.sat_fraction(f)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gc_preserves_roots(ta: u16, tb: u16) {
+        let mut bdd = Bdd::new(NVARS);
+        let a = from_table(&mut bdd, ta);
+        let b = from_table(&mut bdd, tb);
+        let keep = bdd.xor(a, b);
+        let table_before = to_table(&bdd, keep);
+        let size_before = bdd.size(keep);
+        bdd.collect_garbage(&[keep]);
+        prop_assert_eq!(to_table(&bdd, keep), table_before);
+        prop_assert_eq!(bdd.size(keep), size_before);
+        // Rebuild after GC stays canonical.
+        let a2 = from_table(&mut bdd, ta);
+        let b2 = from_table(&mut bdd, tb);
+        let keep2 = bdd.xor(a2, b2);
+        prop_assert_eq!(keep2, keep);
+    }
+
+    #[test]
+    fn support_is_exact(table: u16) {
+        let mut bdd = Bdd::new(NVARS);
+        let f = from_table(&mut bdd, table);
+        let support = bdd.support(f);
+        for v in 0..NVARS as u32 {
+            let f1 = bdd.cofactor(f, Var(v), true);
+            let f0 = bdd.cofactor(f, Var(v), false);
+            let depends = f1 != f0;
+            prop_assert_eq!(support.contains(&Var(v)), depends);
+        }
+    }
+
+    #[test]
+    fn size_is_minimal_under_reduction(table: u16) {
+        // A canonical ROBDD never exceeds the unreduced decision-tree size.
+        let mut bdd = Bdd::new(NVARS);
+        let f = from_table(&mut bdd, table);
+        prop_assert!(bdd.size(f) <= (1 << (NVARS + 1)) - 1 + 1);
+        // And constants have size exactly 1.
+        if table == 0 {
+            prop_assert_eq!(bdd.size(f), 1);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn isop_interval_soundness(t_onset: u16, t_extra: u16) {
+        let mut bdd = Bdd::new(NVARS);
+        let lower = from_table(&mut bdd, t_onset);
+        let extra = from_table(&mut bdd, t_extra);
+        let upper = bdd.or(lower, extra);
+        let isop = bdd.isop(lower, upper);
+        prop_assert!(bdd.implies_holds(lower, isop.function));
+        prop_assert!(bdd.implies_holds(isop.function, upper));
+        // Cube list and function agree.
+        let parts: Vec<Edge> = isop.cubes.iter().map(|c| c.to_edge(&mut bdd)).collect();
+        let union = bdd.or_many(parts);
+        prop_assert_eq!(union, isop.function);
+        // Irredundancy: dropping any one cube uncovers part of lower.
+        for skip in 0..isop.cubes.len() {
+            let parts: Vec<Edge> = isop
+                .cubes
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, c)| c.to_edge(&mut bdd))
+                .collect();
+            let partial = bdd.or_many(parts);
+            prop_assert!(!bdd.implies_holds(lower, partial), "redundant cube");
+        }
+    }
+
+    #[test]
+    fn isop_exact_when_no_freedom(table: u16) {
+        let mut bdd = Bdd::new(NVARS);
+        let f = from_table(&mut bdd, table);
+        let isop = bdd.isop(f, f);
+        prop_assert_eq!(isop.function, f);
+    }
+}

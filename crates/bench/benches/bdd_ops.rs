@@ -1,0 +1,131 @@
+//! Substrate benchmarks: the BDD package operations the minimization
+//! heuristics are built from. Not a paper table, but the baseline that
+//! makes the heuristic runtimes in Table 3 interpretable.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bddmin_bdd::{Bdd, Edge, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A pseudo-random function over `n` vars built from `terms` random cubes.
+fn random_function(bdd: &mut Bdd, rng: &mut StdRng, n: usize, terms: usize) -> Edge {
+    let mut f = Edge::ZERO;
+    for _ in 0..terms {
+        let mut cube = Edge::ONE;
+        for v in 0..n {
+            match rng.gen_range(0..3) {
+                0 => {
+                    let lit = bdd.literal(Var(v as u32), true);
+                    cube = bdd.and(cube, lit);
+                }
+                1 => {
+                    let lit = bdd.literal(Var(v as u32), false);
+                    cube = bdd.and(cube, lit);
+                }
+                _ => {}
+            }
+        }
+        f = bdd.or(f, cube);
+    }
+    f
+}
+
+fn bench_ite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd/ite");
+    for n in [8usize, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut bdd = Bdd::new(n);
+            let mut rng = StdRng::seed_from_u64(7);
+            let f = random_function(&mut bdd, &mut rng, n, 12);
+            let g = random_function(&mut bdd, &mut rng, n, 12);
+            let h = random_function(&mut bdd, &mut rng, n, 12);
+            b.iter(|| {
+                bdd.clear_caches();
+                black_box(bdd.ite(black_box(f), black_box(g), black_box(h)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_constrain_restrict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd/classic_operators");
+    for n in [10usize, 14] {
+        let mut bdd = Bdd::new(n);
+        let mut rng = StdRng::seed_from_u64(11);
+        let f = random_function(&mut bdd, &mut rng, n, 16);
+        let care = random_function(&mut bdd, &mut rng, n, 16);
+        if care.is_zero() {
+            continue;
+        }
+        group.bench_function(BenchmarkId::new("constrain", n), |b| {
+            b.iter(|| {
+                bdd.clear_caches();
+                black_box(bdd.constrain(black_box(f), black_box(care)))
+            });
+        });
+        group.bench_function(BenchmarkId::new("restrict", n), |b| {
+            b.iter(|| {
+                bdd.clear_caches();
+                black_box(bdd.restrict(black_box(f), black_box(care)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd/exists");
+    for n in [10usize, 14] {
+        let mut bdd = Bdd::new(n);
+        let mut rng = StdRng::seed_from_u64(13);
+        let f = random_function(&mut bdd, &mut rng, n, 20);
+        let vars: Vec<Var> = (0..n as u32 / 2).map(Var).collect();
+        let cube = bdd.cube_of_vars(&vars);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                bdd.clear_caches();
+                black_box(bdd.exists(black_box(f), black_box(cube)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let mut bdd = Bdd::new(16);
+    let mut rng = StdRng::seed_from_u64(17);
+    let f = random_function(&mut bdd, &mut rng, 16, 24);
+    let mut group = c.benchmark_group("bdd/analysis");
+    group.bench_function("size", |b| b.iter(|| black_box(bdd.size(black_box(f)))));
+    group.bench_function("sat_fraction", |b| {
+        b.iter(|| black_box(bdd.sat_fraction(black_box(f))))
+    });
+    group.bench_function("support", |b| {
+        b.iter(|| black_box(bdd.support(black_box(f))))
+    });
+    group.finish();
+}
+
+fn bench_gc(c: &mut Criterion) {
+    c.bench_function("bdd/gc_build_and_collect", |b| {
+        b.iter(|| {
+            let mut bdd = Bdd::new(12);
+            let mut rng = StdRng::seed_from_u64(19);
+            let keep = random_function(&mut bdd, &mut rng, 12, 10);
+            let _scratch = random_function(&mut bdd, &mut rng, 12, 10);
+            black_box(bdd.collect_garbage(&[keep]))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ite,
+    bench_constrain_restrict,
+    bench_quantify,
+    bench_counting,
+    bench_gc
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Per-heuristic runtime benchmarks — the runtime column of the paper's
+//! Table 3. The expected *shape* (paper §4.2): sibling matchers are cheap
+//! and ordered osdm < osm < tsm by matching-test complexity, and `opt_lv`
+//! is "easily the most costly".
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bddmin_bdd::{Bdd, Edge, Var};
+use bddmin_core::{Heuristic, Isf, Schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_function(bdd: &mut Bdd, rng: &mut StdRng, n: usize, terms: usize) -> Edge {
+    let mut f = Edge::ZERO;
+    for _ in 0..terms {
+        let mut cube = Edge::ONE;
+        for v in 0..n {
+            match rng.gen_range(0..3) {
+                0 => {
+                    let lit = bdd.literal(Var(v as u32), true);
+                    cube = bdd.and(cube, lit);
+                }
+                1 => {
+                    let lit = bdd.literal(Var(v as u32), false);
+                    cube = bdd.and(cube, lit);
+                }
+                _ => {}
+            }
+        }
+        f = bdd.or(f, cube);
+    }
+    f
+}
+
+/// A reusable instance: moderately large `f`, care set with a ~25% onset.
+fn standard_instance(n: usize, seed: u64) -> (Bdd, Isf) {
+    let mut bdd = Bdd::new(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let f = random_function(&mut bdd, &mut rng, n, 18);
+    let c1 = random_function(&mut bdd, &mut rng, n, 10);
+    let c2 = random_function(&mut bdd, &mut rng, n, 10);
+    let care = bdd.and(c1, c2);
+    let care = if care.is_zero() { c1 } else { care };
+    let care = if care.is_zero() { Edge::ONE } else { care };
+    (bdd, Isf::new(f, care))
+}
+
+fn bench_all_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristics/minimize");
+    group.sample_size(20);
+    for n in [10usize, 14] {
+        let (mut bdd, isf) = standard_instance(n, 23);
+        for h in Heuristic::ALL {
+            group.bench_function(BenchmarkId::new(h.name(), n), |b| {
+                b.iter(|| {
+                    bdd.clear_caches();
+                    black_box(h.minimize(&mut bdd, black_box(isf)))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristics/schedule");
+    group.sample_size(15);
+    let (mut bdd, isf) = standard_instance(12, 29);
+    for (label, schedule) in [
+        ("w2_full", Schedule::new(2, 1)),
+        ("w4_full", Schedule::new(4, 2)),
+        ("w4_siblings_only", Schedule::new(4, 2).level_passes(false)),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                bdd.clear_caches();
+                black_box(schedule.apply(&mut bdd, black_box(isf)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristics/lower_bound");
+    group.sample_size(15);
+    let (mut bdd, isf) = standard_instance(12, 31);
+    for cubes in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(cubes), &cubes, |b, &cubes| {
+            b.iter(|| {
+                bdd.clear_caches();
+                black_box(bddmin_core::lower_bound(&mut bdd, black_box(isf), cubes))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_heuristics, bench_schedule, bench_lower_bound);
+criterion_main!(benches);

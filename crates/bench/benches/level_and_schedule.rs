@@ -1,0 +1,151 @@
+//! Benchmarks for the level-matching machinery (§3.3) and its ablations:
+//! gathering cost, FMM solving (DMG sinks vs. UMG clique cover), the two
+//! clique optimizations, and `opt_lv` scaling — the paper's observation
+//! that `opt_lv` "is easily the most costly" and that its cost is
+//! dominated by re-traversals per level.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bddmin_bdd::{Bdd, Edge, Var};
+use bddmin_core::{
+    gather_below_level, minimize_at_level, opt_lv, solve_fmm_osm, solve_fmm_tsm, CliqueOptions,
+    Isf, MatchCriterion,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_function(bdd: &mut Bdd, rng: &mut StdRng, n: usize, terms: usize) -> Edge {
+    let mut f = Edge::ZERO;
+    for _ in 0..terms {
+        let mut cube = Edge::ONE;
+        for v in 0..n {
+            match rng.gen_range(0..3) {
+                0 => {
+                    let lit = bdd.literal(Var(v as u32), true);
+                    cube = bdd.and(cube, lit);
+                }
+                1 => {
+                    let lit = bdd.literal(Var(v as u32), false);
+                    cube = bdd.and(cube, lit);
+                }
+                _ => {}
+            }
+        }
+        f = bdd.or(f, cube);
+    }
+    f
+}
+
+fn instance(n: usize, seed: u64) -> (Bdd, Isf) {
+    let mut bdd = Bdd::new(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let f = random_function(&mut bdd, &mut rng, n, 16);
+    let c = random_function(&mut bdd, &mut rng, n, 12);
+    let c = if c.is_zero() { Edge::ONE } else { c };
+    (bdd, Isf::new(f, c))
+}
+
+fn bench_gather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("level/gather");
+    for n in [10usize, 14] {
+        let (bdd, isf) = instance(n, 41);
+        let mid = Var(n as u32 / 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(gather_below_level(&bdd, isf, mid, None)).len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_fmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("level/fmm");
+    group.sample_size(20);
+    let (mut bdd, isf) = instance(12, 43);
+    let mid = Var(6);
+    let gathered = gather_below_level(&bdd, isf, mid, None);
+    let isfs: Vec<Isf> = gathered.iter().map(|g| g.isf).collect();
+    group.bench_function("osm_dmg_sinks", |b| {
+        b.iter(|| black_box(solve_fmm_osm(&mut bdd, &isfs)).len());
+    });
+    for (label, opts) in [
+        (
+            "tsm_clique_both_opts",
+            CliqueOptions {
+                order_by_degree: true,
+                prefer_nearby: true,
+            },
+        ),
+        (
+            "tsm_clique_no_opts",
+            CliqueOptions {
+                order_by_degree: false,
+                prefer_nearby: false,
+            },
+        ),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(solve_fmm_tsm(&mut bdd, &gathered, opts)).len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_minimize_at_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("level/minimize_at_level");
+    group.sample_size(20);
+    let (mut bdd, isf) = instance(12, 47);
+    for lvl in [2u32, 6, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(lvl), &lvl, |b, &lvl| {
+            b.iter(|| {
+                bdd.clear_caches();
+                black_box(minimize_at_level(
+                    &mut bdd,
+                    isf,
+                    Var(lvl),
+                    MatchCriterion::Tsm,
+                    CliqueOptions::default(),
+                    None,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_opt_lv_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("level/opt_lv_scaling");
+    group.sample_size(10);
+    for n in [8usize, 10, 12] {
+        let (mut bdd, isf) = instance(n, 53);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                bdd.clear_caches();
+                black_box(opt_lv(&mut bdd, isf, CliqueOptions::default()))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_set_limit(c: &mut Criterion) {
+    // The paper's first set-limiting method: cap the gathered set size.
+    let mut group = c.benchmark_group("level/gather_limit");
+    let (bdd, isf) = instance(14, 59);
+    let mid = Var(7);
+    for limit in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(limit), &limit, |b, &limit| {
+            b.iter(|| black_box(gather_below_level(&bdd, isf, mid, Some(limit))).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gather,
+    bench_fmm,
+    bench_minimize_at_level,
+    bench_opt_lv_scaling,
+    bench_set_limit
+);
+criterion_main!(benches);

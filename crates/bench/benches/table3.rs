@@ -1,0 +1,77 @@
+//! Benchmark harness for the paper's **Table 3 / Table 4 / Figure 3**
+//! pipeline: times the end-to-end experiment (product-machine traversal +
+//! per-call measurement of every heuristic) on single benchmarks, and — as
+//! a side effect of the first run — prints the quick-mode Table 3 so
+//! `cargo bench` regenerates the table's shape.
+
+use std::sync::Once;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bddmin_core::Heuristic;
+use bddmin_eval::report::{render_summary, render_table3};
+use bddmin_eval::runner::{run_experiment, ExperimentConfig, OnsetBucket};
+use bddmin_eval::tables::{summary, table3};
+
+static PRINT_TABLE: Once = Once::new();
+
+fn print_quick_table() {
+    PRINT_TABLE.call_once(|| {
+        let config = ExperimentConfig {
+            lower_bound_cubes: 50,
+            max_iterations: Some(5),
+            ..Default::default()
+        };
+        let results = run_experiment(&config);
+        eprintln!();
+        eprintln!("================ quick-mode Table 3 (from cargo bench) ================");
+        for bucket in [None, Some(OnsetBucket::Small), Some(OnsetBucket::Large)] {
+            let t = table3(&results, bucket);
+            if t.num_calls > 0 {
+                eprintln!("{}", render_table3(&t));
+            }
+        }
+        eprintln!("{}", render_summary("all calls", &summary(&results, None)));
+        eprintln!("=======================================================================");
+    });
+}
+
+fn bench_single_benchmark_experiment(c: &mut Criterion) {
+    print_quick_table();
+    let mut group = c.benchmark_group("table3/per_benchmark");
+    group.sample_size(10);
+    for name in ["tlc", "s386", "minmax5"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
+            let config = ExperimentConfig {
+                heuristics: Heuristic::ALL.to_vec(),
+                lower_bound_cubes: 20,
+                max_iterations: Some(4),
+                only_benchmarks: vec![name.to_owned()],
+            };
+            b.iter(|| black_box(run_experiment(&config)).calls.len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_measurement_only(c: &mut Criterion) {
+    // The per-call measurement loop in isolation (no traversal): one
+    // instance, all heuristics.
+    let mut group = c.benchmark_group("table3/measure_instance");
+    group.sample_size(20);
+    group.bench_function("leafspec_4var", |b| {
+        let mut bdd = bddmin_bdd::Bdd::new(4);
+        let (f, cc) = bdd.from_leaf_spec("0d d1 10 01 11 d0 d1 00").unwrap();
+        let isf = bddmin_core::Isf::new(f, cc);
+        let hs = Heuristic::ALL.to_vec();
+        b.iter(|| {
+            black_box(bddmin_eval::runner::measure_instance(
+                &mut bdd, isf, &hs, 20,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_benchmark_experiment, bench_measurement_only);
+criterion_main!(benches);

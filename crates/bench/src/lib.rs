@@ -1,0 +1,16 @@
+//! # bddmin-bench
+//!
+//! Criterion benchmark harnesses for the bddmin workspace; see the
+//! `benches/` directory:
+//!
+//! * `bdd_ops` — substrate operations (ite, constrain/restrict, exists,
+//!   counting, GC),
+//! * `heuristics` — every minimization heuristic plus the schedule and the
+//!   lower bound (the runtime column of paper Table 3),
+//! * `table3` — the end-to-end experiment pipeline; its first run prints a
+//!   quick-mode Table 3,
+//! * `level_and_schedule` — level matching internals and ablations
+//!   (gathering, DMG/UMG FMM solving, clique optimizations, `opt_lv`
+//!   scaling).
+//!
+//! Run with `cargo bench --workspace`.

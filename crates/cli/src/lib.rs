@@ -1,0 +1,565 @@
+//! # bddmin-cli
+//!
+//! Library backing the `bddmin` command-line tool. The heavy lifting is a
+//! pure function [`run`] from parsed arguments to a report string, so the
+//! whole tool is unit-testable without spawning processes.
+//!
+//! ```text
+//! bddmin spec "d1 01 1d 01" [--heuristic NAME|all] [--exact] [--isop] [--dot]
+//! bddmin expr --vars a,b,c --function "(a&b)|c" --care "a|b" [--heuristic ...]
+//! bddmin verify left.blif right.blif [--heuristic NAME]
+//! bddmin simplify circuit.blif [--heuristic NAME]
+//! bddmin bench
+//! ```
+
+use std::fmt::Write as _;
+
+use bddmin_bdd::Bdd;
+use bddmin_core::{
+    exact_minimum, lower_bound, minimize_all, ExactConfig, Heuristic, Isf,
+};
+use bddmin_fsm::{generators, parse_blif, simplify_report, verify_fsm_equivalence, SymbolicFsm};
+
+/// A parsed command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Minimize a leaf-spec instance.
+    Spec {
+        /// The `01d` leaf specification.
+        spec: String,
+        /// Specific heuristic, or `None` for all.
+        heuristic: Option<Heuristic>,
+        /// Also run the exact solver.
+        exact: bool,
+        /// Also compute the ISOP cover.
+        isop: bool,
+        /// Emit Graphviz for the best cover.
+        dot: bool,
+    },
+    /// Minimize an expression-defined instance.
+    Expr {
+        /// Comma-separated variable names, topmost first.
+        vars: Vec<String>,
+        /// The function expression.
+        function: String,
+        /// The care expression.
+        care: String,
+        /// Specific heuristic, or `None` for all.
+        heuristic: Option<Heuristic>,
+    },
+    /// Check equivalence of two BLIF machines.
+    Verify {
+        /// Left BLIF source text.
+        left: String,
+        /// Right BLIF source text.
+        right: String,
+        /// Frontier-minimization heuristic (default constrain).
+        heuristic: Option<Heuristic>,
+    },
+    /// ODC-simplify a BLIF network.
+    Simplify {
+        /// BLIF source text.
+        blif: String,
+        /// Minimization heuristic (default osm_bt).
+        heuristic: Option<Heuristic>,
+    },
+    /// List the benchmark suite.
+    Bench,
+}
+
+/// Errors from argument parsing or execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+bddmin — heuristic minimization of BDDs using don't cares (Shiple et al., DAC'94)
+
+USAGE:
+  bddmin spec <LEAFSPEC> [--heuristic NAME] [--exact] [--isop] [--dot]
+  bddmin expr --vars a,b,c --function EXPR --care EXPR [--heuristic NAME]
+  bddmin verify <LEFT.blif> <RIGHT.blif> [--heuristic NAME]
+  bddmin simplify <CIRCUIT.blif> [--heuristic NAME]
+  bddmin bench
+
+HEURISTICS: f_orig f_and_c f_or_nc const restr osm_td osm_nv osm_cp osm_bt
+            tsm_td tsm_cp opt_lv sched (default: run all and report each)
+";
+
+/// Parses command-line arguments (without the program name). File
+/// arguments are returned as paths; [`run`] is given loaded contents via
+/// [`Command`], so tests can inject sources directly.
+pub fn parse_args(args: &[String], read_file: impl Fn(&str) -> Result<String, CliError>) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let sub = it.next().ok_or_else(|| CliError(USAGE.to_owned()))?;
+    let rest: Vec<String> = it.cloned().collect();
+    // Positional arguments: everything that is neither a flag nor the
+    // value of a value-taking flag.
+    let positionals: Vec<String> = {
+        let mut out = Vec::new();
+        let mut skip = false;
+        for a in &rest {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if a == "--heuristic" || a == "-H" || a == "--vars" || a == "--function" || a == "--care" {
+                skip = true;
+                continue;
+            }
+            if a.starts_with('-') {
+                continue;
+            }
+            out.push(a.clone());
+        }
+        out
+    };
+    let heuristic = |rest: &[String]| -> Result<Option<Heuristic>, CliError> {
+        match rest.iter().position(|a| a == "--heuristic" || a == "-H") {
+            None => Ok(None),
+            Some(i) => {
+                let name = rest
+                    .get(i + 1)
+                    .ok_or_else(|| CliError("--heuristic needs a name".into()))?;
+                name.parse::<Heuristic>()
+                    .map(Some)
+                    .map_err(|e| CliError(e.to_string()))
+            }
+        }
+    };
+    match sub.as_str() {
+        "spec" => {
+            let spec = positionals
+                .first()
+                .ok_or_else(|| CliError("spec: missing leaf specification".into()))?
+                .clone();
+            Ok(Command::Spec {
+                spec,
+                heuristic: heuristic(&rest)?,
+                exact: rest.iter().any(|a| a == "--exact"),
+                isop: rest.iter().any(|a| a == "--isop"),
+                dot: rest.iter().any(|a| a == "--dot"),
+            })
+        }
+        "expr" => {
+            let get = |flag: &str| -> Result<String, CliError> {
+                rest.iter()
+                    .position(|a| a == flag)
+                    .and_then(|i| rest.get(i + 1).cloned())
+                    .ok_or_else(|| CliError(format!("expr: missing {flag}")))
+            };
+            Ok(Command::Expr {
+                vars: get("--vars")?.split(',').map(str::to_owned).collect(),
+                function: get("--function")?,
+                care: get("--care")?,
+                heuristic: heuristic(&rest)?,
+            })
+        }
+        "verify" => {
+            if positionals.len() != 2 {
+                return Err(CliError("verify: need exactly two BLIF files".into()));
+            }
+            Ok(Command::Verify {
+                left: read_file(&positionals[0])?,
+                right: read_file(&positionals[1])?,
+                heuristic: heuristic(&rest)?,
+            })
+        }
+        "simplify" => {
+            let file = positionals
+                .first()
+                .ok_or_else(|| CliError("simplify: missing BLIF file".into()))?;
+            Ok(Command::Simplify {
+                blif: read_file(file)?,
+                heuristic: heuristic(&rest)?,
+            })
+        }
+        "bench" => Ok(Command::Bench),
+        "--help" | "-h" | "help" => Err(CliError(USAGE.to_owned())),
+        other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+/// Executes a command, returning the report to print.
+pub fn run(command: Command) -> Result<String, CliError> {
+    match command {
+        Command::Spec {
+            spec,
+            heuristic,
+            exact,
+            isop,
+            dot,
+        } => run_spec(&spec, heuristic, exact, isop, dot),
+        Command::Expr {
+            vars,
+            function,
+            care,
+            heuristic,
+        } => run_expr(&vars, &function, &care, heuristic),
+        Command::Verify {
+            left,
+            right,
+            heuristic,
+        } => run_verify(&left, &right, heuristic),
+        Command::Simplify { blif, heuristic } => run_simplify(&blif, heuristic),
+        Command::Bench => Ok(run_bench()),
+    }
+}
+
+fn report_instance(
+    bdd: &mut Bdd,
+    isf: Isf,
+    heuristic: Option<Heuristic>,
+    exact: bool,
+    isop: bool,
+    dot: bool,
+) -> Result<String, CliError> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "|f| = {}  |c| = {}  care onset = {:.1}%",
+        bdd.size(isf.f),
+        bdd.size(isf.c),
+        bdd.onset_percentage(isf.c)
+    );
+    if isf.c.is_zero() {
+        let _ = writeln!(out, "care set empty: any function is a cover; returning 0");
+        return Ok(out);
+    }
+    let best = match heuristic {
+        Some(h) => {
+            let g = h.minimize(bdd, isf);
+            let _ = writeln!(out, "{:<8} {:>4} nodes", h.name(), bdd.size(g));
+            g
+        }
+        None => {
+            let (results, best) = minimize_all(bdd, isf);
+            for (h, g) in results {
+                let _ = writeln!(out, "{:<8} {:>4} nodes", h.name(), bdd.size(g));
+            }
+            let _ = writeln!(out, "{:<8} {:>4} nodes", "min", bdd.size(best));
+            best
+        }
+    };
+    let lb = lower_bound(bdd, isf, 1000);
+    let _ = writeln!(out, "lower bound: {} ({} cubes)", lb.bound, lb.cubes_examined);
+    if exact {
+        match exact_minimum(bdd, isf, ExactConfig::default()) {
+            Ok(r) => {
+                let _ = writeln!(out, "exact optimum: {} nodes ({} candidates)", r.size, r.candidates);
+            }
+            Err(limit) => {
+                let _ = writeln!(out, "exact solver declined: {limit:?}");
+            }
+        }
+    }
+    if isop {
+        let onset = isf.onset(bdd);
+        let upper = isf.upper(bdd);
+        let cover = bdd.isop(onset, upper);
+        let _ = writeln!(
+            out,
+            "ISOP: {} cubes: {}",
+            cover.len(),
+            cover.to_sop_string(bdd)
+        );
+    }
+    if dot {
+        let _ = writeln!(out, "\n{}", bdd.to_dot(&[("cover", best)]));
+    }
+    Ok(out)
+}
+
+fn run_spec(
+    spec: &str,
+    heuristic: Option<Heuristic>,
+    exact: bool,
+    isop: bool,
+    dot: bool,
+) -> Result<String, CliError> {
+    let parsed = bddmin_bdd::LeafSpec::parse(spec).map_err(|e| CliError(e.to_string()))?;
+    let mut bdd = Bdd::new(parsed.num_vars());
+    let (f, c) = parsed.build(&mut bdd);
+    report_instance(&mut bdd, Isf::new(f, c), heuristic, exact, isop, dot)
+}
+
+fn run_expr(
+    vars: &[String],
+    function: &str,
+    care: &str,
+    heuristic: Option<Heuristic>,
+) -> Result<String, CliError> {
+    let names: Vec<&str> = vars.iter().map(String::as_str).collect();
+    let mut bdd = Bdd::with_names(&names);
+    let f = bdd.from_expr(function).map_err(|e| CliError(e.to_string()))?;
+    let c = bdd.from_expr(care).map_err(|e| CliError(e.to_string()))?;
+    report_instance(&mut bdd, Isf::new(f, c), heuristic, false, true, false)
+}
+
+fn run_verify(
+    left: &str,
+    right: &str,
+    heuristic: Option<Heuristic>,
+) -> Result<String, CliError> {
+    let a = parse_blif(left).map_err(|e| CliError(format!("left: {e}")))?;
+    let b = parse_blif(right).map_err(|e| CliError(format!("right: {e}")))?;
+    let verdict = match heuristic {
+        None => verify_fsm_equivalence(&a, &b, None),
+        Some(h) => {
+            let mut hook =
+                move |bdd: &mut Bdd, isf: Isf| h.minimize(bdd, isf);
+            verify_fsm_equivalence(&a, &b, Some(&mut hook))
+        }
+    };
+    Ok(match verdict {
+        Ok(depth) => format!(
+            "EQUIVALENT: {} == {} (fixpoint at depth {depth})\n",
+            a.name(),
+            b.name()
+        ),
+        Err(depth) => format!(
+            "NOT EQUIVALENT: {} != {} (difference at depth {depth})\n",
+            a.name(),
+            b.name()
+        ),
+    })
+}
+
+fn run_simplify(blif: &str, heuristic: Option<Heuristic>) -> Result<String, CliError> {
+    let circuit = parse_blif(blif).map_err(|e| CliError(e.to_string()))?;
+    let h = heuristic.unwrap_or(Heuristic::OsmBt);
+    let report = simplify_report(&circuit, |bdd, isf| h.minimize(bdd, isf));
+    let mut out = String::new();
+    let _ = writeln!(out, "{circuit} — ODC simplification with {}", h.name());
+    let _ = writeln!(out, "{:<16} {:>8} {:>8} {:>8}", "net", "orig", "min", "ODC%");
+    let mut before = 0;
+    let mut after = 0;
+    for entry in &report {
+        before += entry.original_size;
+        after += entry.minimized_size;
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>8} {:>7.1}%",
+            entry.name, entry.original_size, entry.minimized_size, entry.odc_pct
+        );
+    }
+    let _ = writeln!(out, "total: {before} -> {after} BDD nodes");
+    Ok(out)
+}
+
+fn run_bench() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<16} {:>7} {:>8} {:>6} {:>8}",
+        "paper", "stand-in", "inputs", "latches", "gates", "states"
+    );
+    for bench in generators::benchmark_suite() {
+        let mut fsm = SymbolicFsm::new(&bench.circuit);
+        let reached = {
+            let init = fsm.initial_states();
+            fsm.reachable_from(init)
+        };
+        let states = fsm.count_states(reached);
+        let _ = writeln!(
+            out,
+            "{:<10} {:<16} {:>7} {:>8} {:>6} {:>8}",
+            bench.paper_name,
+            bench.circuit.name(),
+            bench.circuit.num_inputs(),
+            bench.circuit.num_latches(),
+            bench.circuit.gates().len(),
+            states
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_files(_: &str) -> Result<String, CliError> {
+        Err(CliError("no filesystem in tests".into()))
+    }
+
+    fn strs(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_spec_command() {
+        let cmd = parse_args(
+            &strs(&["spec", "d1 01", "--heuristic", "osm_bt", "--exact"]),
+            no_files,
+        )
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Spec {
+                spec: "d1 01".into(),
+                heuristic: Some(Heuristic::OsmBt),
+                exact: true,
+                isop: false,
+                dot: false,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_expr_command() {
+        let cmd = parse_args(
+            &strs(&[
+                "expr", "--vars", "a,b,c", "--function", "a&b", "--care", "a|c",
+            ]),
+            no_files,
+        )
+        .unwrap();
+        match cmd {
+            Command::Expr { vars, function, care, heuristic } => {
+                assert_eq!(vars, vec!["a", "b", "c"]);
+                assert_eq!(function, "a&b");
+                assert_eq!(care, "a|c");
+                assert_eq!(heuristic, None);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flag_values_are_not_positionals() {
+        // `-H osm_bt` before the spec must not swallow it.
+        let cmd = parse_args(&strs(&["spec", "-H", "osm_bt", "d1 01"]), no_files).unwrap();
+        match cmd {
+            Command::Spec { spec, heuristic, .. } => {
+                assert_eq!(spec, "d1 01");
+                assert_eq!(heuristic, Some(Heuristic::OsmBt));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&[], no_files).is_err());
+        assert!(parse_args(&strs(&["nonsense"]), no_files).is_err());
+        assert!(parse_args(&strs(&["spec"]), no_files).is_err());
+        assert!(parse_args(&strs(&["spec", "d1 01", "-H", "bogus"]), no_files).is_err());
+        assert!(parse_args(&strs(&["verify", "one.blif"]), no_files).is_err());
+        let help = parse_args(&strs(&["--help"]), no_files).unwrap_err();
+        assert!(help.0.contains("USAGE"));
+    }
+
+    #[test]
+    fn run_spec_all_heuristics() {
+        let out = run(Command::Spec {
+            spec: "d1 01 1d 01".into(),
+            heuristic: None,
+            exact: true,
+            isop: true,
+            dot: false,
+        })
+        .unwrap();
+        assert!(out.contains("min"));
+        assert!(out.contains("lower bound"));
+        assert!(out.contains("exact optimum: 3 nodes"));
+        assert!(out.contains("ISOP:"));
+    }
+
+    #[test]
+    fn run_spec_single_heuristic_with_dot() {
+        let out = run(Command::Spec {
+            spec: "d1 01".into(),
+            heuristic: Some(Heuristic::OsmTd),
+            exact: false,
+            isop: false,
+            dot: true,
+        })
+        .unwrap();
+        assert!(out.contains("osm_td"));
+        assert!(out.contains("digraph"));
+    }
+
+    #[test]
+    fn run_expr_instance() {
+        let out = run(Command::Expr {
+            vars: vec!["a".into(), "b".into(), "c".into()],
+            function: "(a&b)|c".into(),
+            care: "a|b".into(),
+            heuristic: Some(Heuristic::Restrict),
+        })
+        .unwrap();
+        assert!(out.contains("restr"));
+        assert!(out.contains("ISOP"));
+    }
+
+    #[test]
+    fn run_verify_pair() {
+        let toggle = "\
+.model t
+.inputs en
+.outputs q
+.latch nx q 0
+.names en q nx
+10 1
+01 1
+.end
+";
+        let out = run(Command::Verify {
+            left: toggle.into(),
+            right: toggle.into(),
+            heuristic: Some(Heuristic::Restrict),
+        })
+        .unwrap();
+        assert!(out.starts_with("EQUIVALENT"));
+        // An inverted-latch variant must be caught.
+        let broken = toggle.replace("10 1\n01 1", "11 1\n00 1");
+        let out = run(Command::Verify {
+            left: toggle.into(),
+            right: broken,
+            heuristic: None,
+        })
+        .unwrap();
+        assert!(out.starts_with("NOT EQUIVALENT"));
+    }
+
+    #[test]
+    fn run_simplify_blif() {
+        let src = "\
+.model masked
+.inputs a b c
+.outputs y
+.names a b t1
+11 1
+.names a c t2
+11 1
+.names t1 t2 y
+1- 1
+-1 1
+.end
+";
+        let out = run(Command::Simplify {
+            blif: src.into(),
+            heuristic: None,
+        })
+        .unwrap();
+        assert!(out.contains("ODC simplification"));
+        assert!(out.contains("total:"));
+    }
+
+    #[test]
+    fn run_bench_lists_suite() {
+        let out = run(Command::Bench).unwrap();
+        assert!(out.contains("s344"));
+        assert!(out.contains("tlc"));
+        assert_eq!(out.lines().count(), 16); // header + 15 machines
+    }
+}

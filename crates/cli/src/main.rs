@@ -1,0 +1,16 @@
+//! The `bddmin` command-line tool; see [`bddmin_cli`] for the commands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let read_file = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| bddmin_cli::CliError(format!("cannot read {path}: {e}")))
+    };
+    match bddmin_cli::parse_args(&args, read_file).and_then(bddmin_cli::run) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

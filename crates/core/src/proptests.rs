@@ -1,0 +1,285 @@
+//! Property-based tests for the minimization framework.
+//!
+//! Random incompletely specified functions over 4 variables are generated
+//! as truth-table pairs; every heuristic must return a cover, and the
+//! structural theorems of the paper are exercised on the random stream.
+
+use proptest::prelude::*;
+
+use bddmin_bdd::{Bdd, Cube, Edge, Var};
+
+use crate::heuristics::Heuristic;
+use crate::isf::Isf;
+use crate::level::{minimize_at_level, opt_lv, CliqueOptions};
+use crate::lower_bound::lower_bound;
+use crate::matching::{matches_directed, try_match, MatchCriterion};
+use crate::schedule::Schedule;
+use crate::sibling::{generic_td, SiblingConfig};
+use crate::windowed::{windowed_sibling_pass, LevelWindow};
+
+const NVARS: usize = 4;
+const TABLE: usize = 1 << NVARS;
+
+fn from_table(bdd: &mut Bdd, table: u16) -> Edge {
+    let mut f = Edge::ZERO;
+    for row in 0..TABLE {
+        if table >> row & 1 == 1 {
+            let lits: Vec<(Var, bool)> = (0..NVARS)
+                .map(|v| (Var(v as u32), row >> (NVARS - 1 - v) & 1 == 1))
+                .collect();
+            let cube = Cube::new(lits).to_edge(bdd);
+            f = bdd.or(f, cube);
+        }
+    }
+    f
+}
+
+/// Builds a 3-variable function from a truth table (for exhaustive checks).
+fn from_table3(bdd: &mut Bdd, table: u8) -> Edge {
+    let mut f = Edge::ZERO;
+    for row in 0..8 {
+        if table >> row & 1 == 1 {
+            let lits: Vec<(Var, bool)> = (0..3)
+                .map(|v| (Var(v as u32), row >> (2 - v) & 1 == 1))
+                .collect();
+            let cube = Cube::new(lits).to_edge(bdd);
+            f = bdd.or(f, cube);
+        }
+    }
+    f
+}
+
+/// Strategy producing a random instance with non-empty care set.
+fn instance() -> impl Strategy<Value = (u16, u16)> {
+    (any::<u16>(), 1u16..)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_heuristic_returns_a_cover((tf, tc) in instance()) {
+        let mut bdd = Bdd::new(NVARS);
+        let f = from_table(&mut bdd, tf);
+        let c = from_table(&mut bdd, tc);
+        prop_assume!(!c.is_zero());
+        let isf = Isf::new(f, c);
+        for h in Heuristic::ALL.into_iter().chain([Heuristic::Scheduled]) {
+            let g = h.minimize(&mut bdd, isf);
+            prop_assert!(isf.is_cover(&mut bdd, g), "{h} returned a non-cover");
+        }
+    }
+
+    #[test]
+    fn checked_never_exceeds_f((tf, tc) in instance()) {
+        let mut bdd = Bdd::new(NVARS);
+        let f = from_table(&mut bdd, tf);
+        let c = from_table(&mut bdd, tc);
+        prop_assume!(!c.is_zero());
+        let isf = Isf::new(f, c);
+        let f_size = bdd.size(f);
+        for h in Heuristic::ALL {
+            let out = h.minimize_checked(&mut bdd, isf);
+            prop_assert!(out.size <= f_size);
+            prop_assert!(isf.is_cover(&mut bdd, out.cover));
+        }
+    }
+
+    #[test]
+    fn framework_matches_classic_operators((tf, tc) in instance()) {
+        let mut bdd = Bdd::new(NVARS);
+        let f = from_table(&mut bdd, tf);
+        let c = from_table(&mut bdd, tc);
+        prop_assume!(!c.is_zero());
+        let isf = Isf::new(f, c);
+        let con_fw = generic_td(&mut bdd, isf, SiblingConfig::new(MatchCriterion::Osdm));
+        let con_classic = bdd.constrain(f, c);
+        prop_assert_eq!(con_fw, con_classic);
+        let res_fw = generic_td(
+            &mut bdd,
+            isf,
+            SiblingConfig::new(MatchCriterion::Osdm).no_new_vars(true),
+        );
+        let res_classic = bdd.restrict(f, c);
+        prop_assert_eq!(res_fw, res_classic);
+    }
+
+    #[test]
+    fn theorem7_cube_care_is_optimal(tf: u8, lits in proptest::collection::vec((0u32..3u32, any::<bool>()), 0..3)) {
+        // 3-variable instances so the exhaustive optimum (256 candidate
+        // covers) stays cheap.
+        let mut bdd = Bdd::new(3);
+        let f = from_table3(&mut bdd, tf);
+        // Deduplicate literals to form a consistent cube.
+        let mut seen = std::collections::HashMap::new();
+        for (v, pol) in lits {
+            seen.entry(v).or_insert(pol);
+        }
+        let cube_lits: Vec<(Var, bool)> =
+            seen.into_iter().map(|(v, p)| (Var(v), p)).collect();
+        let cube = Cube::new(cube_lits).to_edge(&mut bdd);
+        let isf = Isf::new(f, cube);
+        // Exhaustive optimum.
+        let mut best = usize::MAX;
+        for table in 0u32..256 {
+            let g = from_table3(&mut bdd, table as u8);
+            if isf.is_cover(&mut bdd, g) {
+                best = best.min(bdd.size(g));
+            }
+        }
+        for h in Heuristic::SIBLING {
+            let g = h.minimize(&mut bdd, isf);
+            prop_assert_eq!(bdd.size(g), best, "{} not optimal on cube care", h);
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_sound((tf, tc) in instance()) {
+        let mut bdd = Bdd::new(NVARS);
+        let f = from_table(&mut bdd, tf);
+        let c = from_table(&mut bdd, tc);
+        prop_assume!(!c.is_zero());
+        let isf = Isf::new(f, c);
+        let lb = lower_bound(&mut bdd, isf, 1000);
+        // Exhaustive optimum over all 2^16 covers would be slow; check
+        // against every heuristic instead (each is an upper bound).
+        for h in [Heuristic::Constrain, Heuristic::Restrict, Heuristic::OsmBt,
+                  Heuristic::TsmTd, Heuristic::OptLv] {
+            let g = h.minimize(&mut bdd, isf);
+            prop_assert!(lb.bound <= bdd.size(g));
+        }
+    }
+
+    #[test]
+    fn matching_hierarchy_on_random_isfs(t1: u16, c1: u16, t2: u16, c2: u16) {
+        let mut bdd = Bdd::new(NVARS);
+        let a = Isf::new(from_table(&mut bdd, t1), from_table(&mut bdd, c1));
+        let b = Isf::new(from_table(&mut bdd, t2), from_table(&mut bdd, c2));
+        let osdm = matches_directed(&mut bdd, MatchCriterion::Osdm, a, b);
+        let osm = matches_directed(&mut bdd, MatchCriterion::Osm, a, b);
+        let tsm = matches_directed(&mut bdd, MatchCriterion::Tsm, a, b);
+        prop_assert!(!osdm || osm);
+        prop_assert!(!osm || tsm);
+        // Any produced i-cover i-covers both inputs.
+        for crit in MatchCriterion::ALL {
+            if let Some(m) = try_match(&mut bdd, crit, a, b) {
+                prop_assert!(m.i_covers(&mut bdd, a), "{} icover of a", crit);
+                prop_assert!(m.i_covers(&mut bdd, b), "{} icover of b", crit);
+            }
+        }
+    }
+
+    #[test]
+    fn level_pass_produces_icover((tf, tc) in instance(), lvl in 0u32..NVARS as u32) {
+        let mut bdd = Bdd::new(NVARS);
+        let f = from_table(&mut bdd, tf);
+        let c = from_table(&mut bdd, tc);
+        let isf = Isf::new(f, c);
+        for crit in [MatchCriterion::Osm, MatchCriterion::Tsm] {
+            let out = minimize_at_level(
+                &mut bdd, isf, Var(lvl), crit, CliqueOptions::default(), None);
+            prop_assert!(out.i_covers(&mut bdd, isf), "{} level pass", crit);
+            prop_assert!(bdd.implies_holds(isf.c, out.c), "care must not shrink");
+        }
+    }
+
+    #[test]
+    fn windowed_pass_produces_icover((tf, tc) in instance(), top in 0u32..NVARS as u32, len in 1u32..NVARS as u32) {
+        let mut bdd = Bdd::new(NVARS);
+        let f = from_table(&mut bdd, tf);
+        let c = from_table(&mut bdd, tc);
+        let isf = Isf::new(f, c);
+        let bottom = (top + len).min(NVARS as u32);
+        let window = LevelWindow::new(Var(top), Var(bottom));
+        for crit in MatchCriterion::ALL {
+            for compl in [false, true] {
+                let cfg = SiblingConfig::new(crit).match_complement(compl);
+                let out = windowed_sibling_pass(&mut bdd, isf, cfg, window);
+                prop_assert!(out.i_covers(&mut bdd, isf));
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_window_sweep_is_sound((tf, tc) in instance(), w in 1u32..5, stop in 0u32..3) {
+        let mut bdd = Bdd::new(NVARS);
+        let f = from_table(&mut bdd, tf);
+        let c = from_table(&mut bdd, tc);
+        prop_assume!(!c.is_zero());
+        let isf = Isf::new(f, c);
+        let g = Schedule::new(w, stop).apply(&mut bdd, isf);
+        prop_assert!(isf.is_cover(&mut bdd, g));
+        let g2 = Schedule::new(w, stop).level_passes(false).apply(&mut bdd, isf);
+        prop_assert!(isf.is_cover(&mut bdd, g2));
+    }
+
+    #[test]
+    fn opt_lv_sound_and_deterministic((tf, tc) in instance()) {
+        let mut bdd = Bdd::new(NVARS);
+        let f = from_table(&mut bdd, tf);
+        let c = from_table(&mut bdd, tc);
+        prop_assume!(!c.is_zero());
+        let isf = Isf::new(f, c);
+        let g1 = opt_lv(&mut bdd, isf, CliqueOptions::default());
+        let g2 = opt_lv(&mut bdd, isf, CliqueOptions::default());
+        prop_assert_eq!(g1, g2);
+        prop_assert!(isf.is_cover(&mut bdd, g1));
+    }
+
+    #[test]
+    fn trivial_care_shortcuts((tf, tc) in instance()) {
+        // 0 ≠ c ≤ f ⟹ result 1; c ≤ ¬f ⟹ result 0 (paper §3.1).
+        let mut bdd = Bdd::new(NVARS);
+        let f = from_table(&mut bdd, tf);
+        let c0 = from_table(&mut bdd, tc);
+        let c_in_f = bdd.and(c0, f);
+        prop_assume!(!c_in_f.is_zero());
+        for h in Heuristic::SIBLING {
+            let g = h.minimize(&mut bdd, Isf::new(f, c_in_f));
+            prop_assert!(g.is_one(), "{} on c ≤ f", h);
+            let nf = bdd.not(f);
+            let c_in_nf = bdd.and(c0, nf);
+            if !c_in_nf.is_zero() {
+                let g0 = h.minimize(&mut bdd, Isf::new(f, c_in_nf));
+                prop_assert!(g0.is_zero(), "{} on c ≤ ¬f", h);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn exact_is_a_true_lower_envelope(tf: u8, tc in 1u8..) {
+        // 3-variable instances with bounded DC counts so the exact
+        // enumeration stays small.
+        let mut bdd = Bdd::new(3);
+        let f = from_table3(&mut bdd, tf);
+        let c = from_table3(&mut bdd, tc);
+        prop_assume!(!c.is_zero());
+        let isf = Isf::new(f, c);
+        let exact = crate::exact::exact_minimum(
+            &mut bdd,
+            isf,
+            crate::exact::ExactConfig {
+                max_support_vars: 3,
+                max_dc_minterms: 8,
+            },
+        )
+        .expect("3-var instance fits the limits");
+        prop_assert!(isf.is_cover(&mut bdd, exact.cover));
+        let lb = lower_bound(&mut bdd, isf, 1000);
+        prop_assert!(lb.bound <= exact.size);
+        for h in Heuristic::ALL.into_iter().chain([Heuristic::Scheduled]) {
+            if matches!(h, Heuristic::FAndC | Heuristic::FOrNc) {
+                continue;
+            }
+            let g = h.minimize(&mut bdd, isf);
+            prop_assert!(
+                exact.size <= bdd.size(g),
+                "{} beat the exact optimum", h
+            );
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Scheduling transformations (paper Section 3.4).
+//!
+//! The paper's key observation is that the two heuristic classes are
+//! complementary: osm can only lose the optimum in the superstructure
+//! *above* the minimized region (Theorem 12), while tsm is more powerful
+//! but less safe. The proposed schedule therefore applies *safer
+//! transformations first*, top-down over windows of levels:
+//!
+//! 1. osm on siblings in the window,
+//! 2. tsm on siblings in the window,
+//! 3. osm on levels in the window,
+//! 4. tsm on levels in the window,
+//! 5. once fewer than `stop_top_down` levels remain, finish with
+//!    `constrain` to assign the remaining don't cares locally.
+
+use bddmin_bdd::{Bdd, Edge, Var};
+
+use crate::isf::Isf;
+use crate::level::{minimize_at_level, CliqueOptions};
+use crate::matching::MatchCriterion;
+use crate::sibling::SiblingConfig;
+use crate::windowed::{windowed_sibling_pass, LevelWindow};
+
+/// Parameters of the windowed schedule.
+///
+/// # Example
+///
+/// ```
+/// use bddmin_core::Schedule;
+/// let fast = Schedule::new(4, 2).level_passes(false);
+/// assert_eq!(fast.window_size, 4);
+/// assert!(!fast.use_level_passes);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Number of levels per window.
+    pub window_size: u32,
+    /// When fewer than this many levels remain, call constrain and stop.
+    pub stop_top_down: u32,
+    /// Run the (expensive) level-matching steps 3–4; skipping them trades
+    /// quality for runtime, as the paper suggests.
+    pub use_level_passes: bool,
+    /// Clique-cover options for the tsm level pass.
+    pub clique_options: CliqueOptions,
+}
+
+impl Schedule {
+    /// A schedule with the given window size and stop threshold, with level
+    /// passes enabled.
+    pub fn new(window_size: u32, stop_top_down: u32) -> Schedule {
+        Schedule {
+            window_size: window_size.max(1),
+            stop_top_down,
+            use_level_passes: true,
+            clique_options: CliqueOptions::default(),
+        }
+    }
+
+    /// Enables or disables the level-matching steps.
+    #[must_use]
+    pub fn level_passes(mut self, on: bool) -> Schedule {
+        self.use_level_passes = on;
+        self
+    }
+
+    /// Overrides the clique-cover options.
+    #[must_use]
+    pub fn with_clique_options(mut self, options: CliqueOptions) -> Schedule {
+        self.clique_options = options;
+        self
+    }
+
+    /// Runs the schedule and returns a cover of `[f, c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `isf.c` is the zero function.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bddmin_bdd::Bdd;
+    /// use bddmin_core::{Isf, Schedule};
+    ///
+    /// let mut bdd = Bdd::new(3);
+    /// let (f, c) = bdd.from_leaf_spec("d1 01 1d 01").unwrap();
+    /// let isf = Isf::new(f, c);
+    /// let g = Schedule::new(2, 1).apply(&mut bdd, isf);
+    /// assert!(isf.is_cover(&mut bdd, g));
+    /// ```
+    pub fn apply(&self, bdd: &mut Bdd, isf: Isf) -> Edge {
+        assert!(!isf.c.is_zero(), "schedule: care set must be non-empty");
+        let n = bdd.num_vars() as u32;
+        let mut cur = isf;
+        let mut level = 0u32;
+        while level < n {
+            if cur.c.is_one() {
+                return cur.f;
+            }
+            let remaining = n - level;
+            if remaining < self.stop_top_down {
+                // Few levels left: assign the rest of the DCs locally.
+                return bdd.constrain(cur.f, cur.c);
+            }
+            let hi = (level + self.window_size).min(n);
+            let window = LevelWindow::new(Var(level), Var(hi));
+            // Step 2: osm on siblings (with both refinements on: the safest
+            // and best-performing sibling variant per the experiments).
+            cur = windowed_sibling_pass(
+                bdd,
+                cur,
+                SiblingConfig::new(MatchCriterion::Osm)
+                    .match_complement(true)
+                    .no_new_vars(true),
+                window,
+            );
+            // Step 3: tsm on siblings.
+            cur = windowed_sibling_pass(
+                bdd,
+                cur,
+                SiblingConfig::new(MatchCriterion::Tsm),
+                window,
+            );
+            if self.use_level_passes {
+                // Steps 4–5: osm then tsm on each level of the window.
+                for lvl in level..hi {
+                    cur = minimize_at_level(
+                        bdd,
+                        cur,
+                        Var(lvl),
+                        MatchCriterion::Osm,
+                        self.clique_options,
+                        None,
+                    );
+                }
+                for lvl in level..hi {
+                    cur = minimize_at_level(
+                        bdd,
+                        cur,
+                        Var(lvl),
+                        MatchCriterion::Tsm,
+                        self.clique_options,
+                        None,
+                    );
+                }
+            }
+            level = hi;
+        }
+        if cur.c.is_one() {
+            cur.f
+        } else {
+            bdd.constrain(cur.f, cur.c)
+        }
+    }
+}
+
+impl Default for Schedule {
+    /// Window of 4 levels, stop threshold 2, level passes on.
+    fn default() -> Self {
+        Schedule::new(4, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_produces_cover() {
+        for spec in ["d1 01", "d1 01 1d 01", "1d d1 d0 0d", "0d d1 10 01 11 d0 d1 00"] {
+            let mut bdd = Bdd::new(4);
+            let (f, c) = bdd.from_leaf_spec(spec).unwrap();
+            let isf = Isf::new(f, c);
+            for schedule in [
+                Schedule::new(1, 0),
+                Schedule::new(2, 1),
+                Schedule::new(4, 2),
+                Schedule::new(8, 3).level_passes(false),
+            ] {
+                let g = schedule.apply(&mut bdd, isf);
+                assert!(
+                    isf.is_cover(&mut bdd, g),
+                    "schedule {schedule:?} broke cover on {spec}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_handles_total_functions() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(Var(0));
+        let b = bdd.var(Var(1));
+        let f = bdd.xor(a, b);
+        let g = Schedule::default().apply(&mut bdd, Isf::total(f));
+        assert_eq!(g, f);
+    }
+
+    #[test]
+    fn large_stop_threshold_degenerates_to_constrain() {
+        let mut bdd = Bdd::new(3);
+        let (f, c) = bdd.from_leaf_spec("d1 01 1d 01").unwrap();
+        let schedule = Schedule::new(2, 100);
+        let g = schedule.apply(&mut bdd, Isf::new(f, c));
+        assert_eq!(g, bdd.constrain(f, c));
+    }
+
+    #[test]
+    fn window_size_clamped_to_one() {
+        let s = Schedule::new(0, 0);
+        assert_eq!(s.window_size, 1);
+        let mut bdd = Bdd::new(2);
+        let (f, c) = bdd.from_leaf_spec("d1 01").unwrap();
+        let isf = Isf::new(f, c);
+        let g = s.apply(&mut bdd, isf);
+        assert!(isf.is_cover(&mut bdd, g));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_care_panics() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(Var(0));
+        Schedule::default().apply(&mut bdd, Isf::new(a, Edge::ZERO));
+    }
+}

@@ -1,0 +1,258 @@
+//! Windowed sibling matching: a partial-consumption variant of the generic
+//! top-down matcher used by the scheduler (paper Section 3.4).
+//!
+//! Unlike [`generic_td`](crate::generic_td), which drives the don't cares to
+//! exhaustion and returns a *cover*, a windowed pass only attempts matches
+//! at levels inside `[window.top, window.bottom)` and leaves everything
+//! below untouched, returning a **new incompletely specified function**
+//! whose care set contains the original's. Passes therefore compose: the
+//! scheduler chains osm and tsm windows before finishing with `constrain`.
+
+use std::collections::HashMap;
+
+use bddmin_bdd::{Bdd, Edge, Var};
+
+use crate::isf::Isf;
+use crate::matching::try_match;
+use crate::sibling::SiblingConfig;
+
+/// A half-open band of levels `[top, bottom)` in which matching is allowed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LevelWindow {
+    /// First level (inclusive) where matches may be made.
+    pub top: Var,
+    /// First level (exclusive) below the window.
+    pub bottom: Var,
+}
+
+impl LevelWindow {
+    /// A window spanning `[top, bottom)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `top > bottom`.
+    pub fn new(top: Var, bottom: Var) -> LevelWindow {
+        assert!(top <= bottom, "window top below bottom");
+        LevelWindow { top, bottom }
+    }
+
+    /// A window covering every level (equivalent to a full pass).
+    pub fn all(bdd: &Bdd) -> LevelWindow {
+        LevelWindow {
+            top: Var(0),
+            bottom: Var(bdd.num_vars() as u32),
+        }
+    }
+
+    /// True if matching is allowed at `level`.
+    pub fn contains(self, level: Var) -> bool {
+        self.top <= level && level < self.bottom
+    }
+}
+
+/// Runs one sibling-matching pass restricted to `window`, returning the
+/// rewritten ISF (care set grows or stays; never shrinks).
+///
+/// Levels above the window are traversed without matching; levels at or
+/// below `window.bottom` are returned untouched.
+///
+/// # Example
+///
+/// ```
+/// use bddmin_bdd::{Bdd, Var};
+/// use bddmin_core::{windowed_sibling_pass, Isf, LevelWindow, MatchCriterion, SiblingConfig};
+///
+/// let mut bdd = Bdd::new(3);
+/// let (f, c) = bdd.from_leaf_spec("d1 01 1d 01").unwrap();
+/// let isf = Isf::new(f, c);
+/// let window = LevelWindow::new(Var(0), Var(2));
+/// let out = windowed_sibling_pass(
+///     &mut bdd, isf, SiblingConfig::new(MatchCriterion::Osm), window);
+/// assert!(out.i_covers(&mut bdd, isf));
+/// ```
+pub fn windowed_sibling_pass(
+    bdd: &mut Bdd,
+    isf: Isf,
+    config: SiblingConfig,
+    window: LevelWindow,
+) -> Isf {
+    let mut memo: HashMap<(Edge, Edge), Isf> = HashMap::new();
+    pass_rec(bdd, isf, config, window, &mut memo)
+}
+
+fn pass_rec(
+    bdd: &mut Bdd,
+    isf: Isf,
+    config: SiblingConfig,
+    window: LevelWindow,
+    memo: &mut HashMap<(Edge, Edge), Isf>,
+) -> Isf {
+    let Isf { f, c } = isf;
+    // All-DC and total ISFs have nothing to match; constants likewise.
+    if c.is_zero() || c.is_one() || f.is_constant() {
+        return isf;
+    }
+    if let Some(&r) = memo.get(&(f, c)) {
+        return r;
+    }
+    let f_level = bdd.level(f);
+    let c_level = bdd.level(c);
+    let top = f_level.min(c_level);
+    if top >= window.bottom {
+        return isf;
+    }
+    let (f_t, f_e) = bdd.branches_at(f, top);
+    let (c_t, c_e) = bdd.branches_at(c, top);
+    let then_isf = Isf::new(f_t, c_t);
+    let else_isf = Isf::new(f_e, c_e);
+    let in_window = window.contains(top);
+
+    let ret = if in_window && config.no_new_vars && c_level < f_level {
+        let c_next = bdd.or(c_t, c_e);
+        pass_rec(bdd, Isf::new(f, c_next), config, window, memo)
+    } else if in_window {
+        if let Some(m) = try_match(bdd, config.criterion, then_isf, else_isf) {
+            pass_rec(bdd, m, config, window, memo)
+        } else if config.match_complement {
+            if let Some(m) = try_match(bdd, config.criterion, then_isf, else_isf.complement()) {
+                let t = pass_rec(bdd, m, config, window, memo);
+                rebuild_complement(bdd, top, t)
+            } else {
+                rebuild_split(bdd, top, then_isf, else_isf, config, window, memo)
+            }
+        } else {
+            rebuild_split(bdd, top, then_isf, else_isf, config, window, memo)
+        }
+    } else {
+        // Above the window: descend without matching.
+        rebuild_split(bdd, top, then_isf, else_isf, config, window, memo)
+    };
+    memo.insert((f, c), ret);
+    ret
+}
+
+fn rebuild_split(
+    bdd: &mut Bdd,
+    top: Var,
+    then_isf: Isf,
+    else_isf: Isf,
+    config: SiblingConfig,
+    window: LevelWindow,
+    memo: &mut HashMap<(Edge, Edge), Isf>,
+) -> Isf {
+    let t = pass_rec(bdd, then_isf, config, window, memo);
+    let e = pass_rec(bdd, else_isf, config, window, memo);
+    let v = bdd.var(top);
+    Isf {
+        f: bdd.ite(v, t.f, e.f),
+        c: bdd.ite(v, t.c, e.c),
+    }
+}
+
+fn rebuild_complement(bdd: &mut Bdd, top: Var, t: Isf) -> Isf {
+    let v = bdd.var(top);
+    Isf {
+        f: bdd.ite(v, t.f, t.f.complement()),
+        c: t.c,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::MatchCriterion;
+    use crate::sibling::generic_td;
+
+    fn osm() -> SiblingConfig {
+        SiblingConfig::new(MatchCriterion::Osm)
+    }
+
+    #[test]
+    fn full_window_matches_generic_td_semantics() {
+        // A full-window pass followed by reading off the representative is
+        // a cover; moreover for instances where the full matcher consumes
+        // all DCs the two agree on the care set.
+        for spec in ["d1 01", "d1 01 1d 01", "1d d1 d0 0d"] {
+            let mut bdd = Bdd::new(3);
+            let (f, c) = bdd.from_leaf_spec(spec).unwrap();
+            let isf = Isf::new(f, c);
+            let w = LevelWindow::all(&bdd);
+            let out = windowed_sibling_pass(&mut bdd, isf, osm(), w);
+            assert!(out.i_covers(&mut bdd, isf), "{spec}");
+            let full = generic_td(&mut bdd, isf, osm());
+            // Both are covers of the original.
+            assert!(isf.is_cover(&mut bdd, full));
+            assert!(out.is_cover(&mut bdd, full) || isf.is_cover(&mut bdd, out.f));
+        }
+    }
+
+    #[test]
+    fn care_set_only_grows() {
+        for spec in ["d1 01 1d 01", "0d d1 10 01 11 d0 d1 00"] {
+            let mut bdd = Bdd::new(4);
+            let (f, c) = bdd.from_leaf_spec(spec).unwrap();
+            let isf = Isf::new(f, c);
+            let mut cur = isf;
+            for crit in MatchCriterion::ALL {
+                let cfg = SiblingConfig::new(crit);
+                let next =
+                    { let w = LevelWindow::all(&bdd); windowed_sibling_pass(&mut bdd, cur, cfg, w) };
+                assert!(
+                    bdd.implies_holds(cur.c, next.c),
+                    "care shrank under {crit} on {spec}"
+                );
+                assert!(next.i_covers(&mut bdd, cur));
+                cur = next;
+            }
+            // Chained passes still i-cover the original instance.
+            assert!(cur.i_covers(&mut bdd, isf));
+        }
+    }
+
+    #[test]
+    fn empty_window_is_identity() {
+        let mut bdd = Bdd::new(3);
+        let (f, c) = bdd.from_leaf_spec("d1 01 1d 01").unwrap();
+        let isf = Isf::new(f, c);
+        let w = LevelWindow::new(Var(0), Var(0));
+        let out = windowed_sibling_pass(&mut bdd, isf, osm(), w);
+        assert_eq!(out, isf);
+    }
+
+    #[test]
+    fn window_below_top_leaves_upper_structure() {
+        // With the window starting at level 1, the top variable's node is
+        // never matched away.
+        let mut bdd = Bdd::new(3);
+        let (f, c) = bdd.from_leaf_spec("d1 01 1d 01").unwrap();
+        let isf = Isf::new(f, c);
+        let w = LevelWindow::new(Var(1), Var(3));
+        let out = windowed_sibling_pass(&mut bdd, isf, osm(), w);
+        assert!(out.i_covers(&mut bdd, isf));
+    }
+
+    #[test]
+    fn all_dc_passthrough() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(Var(0));
+        let isf = Isf::new(a, Edge::ZERO);
+        let w = LevelWindow::all(&bdd);
+            let out = windowed_sibling_pass(&mut bdd, isf, osm(), w);
+        assert_eq!(out, isf);
+    }
+
+    #[test]
+    fn window_containment() {
+        let w = LevelWindow::new(Var(2), Var(5));
+        assert!(!w.contains(Var(1)));
+        assert!(w.contains(Var(2)));
+        assert!(w.contains(Var(4)));
+        assert!(!w.contains(Var(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "window top below bottom")]
+    fn bad_window_panics() {
+        let _ = LevelWindow::new(Var(3), Var(1));
+    }
+}

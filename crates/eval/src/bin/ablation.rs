@@ -1,0 +1,173 @@
+//! Ablation studies for the paper's **proposed** mechanisms (§3.3.2 and
+//! §3.4), which the paper describes but does not evaluate:
+//!
+//! 1. the two clique-cover optimizations of `opt_lv` (degree ordering,
+//!    distance-weighted edge preference),
+//! 2. the scheduling parameters `window_size` and `stop_top_down`, with
+//!    and without the expensive level passes.
+//!
+//! Usage: `cargo run --release -p bddmin-eval --bin ablation [--quick]`
+
+use bddmin_core::{opt_lv, CliqueOptions, Heuristic, Isf, Schedule};
+use bddmin_eval::runner::{run_experiment, ExperimentConfig};
+use bddmin_fsm::{generators, product_circuit, SymbolicFsm};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cap = if quick { Some(4) } else { Some(12) };
+
+    // Collect a deterministic instance stream once (constrain drives the
+    // traversal; every variant below sees the same instances).
+    let config = ExperimentConfig {
+        heuristics: vec![Heuristic::Constrain],
+        lower_bound_cubes: 0,
+        max_iterations: cap,
+        only_benchmarks: vec![
+            "tlc".into(),
+            "minmax5".into(),
+            "s386".into(),
+            "s820".into(),
+            "mult16b".into(),
+        ],
+    };
+    eprintln!("collecting instance stream...");
+    let stream = run_experiment(&config);
+    eprintln!("{} instances collected", stream.calls.len());
+
+    // The ablations re-run the traversals with each variant as the hook,
+    // summing the minimized-cover sizes it produces.
+    println!("ablation 1 — clique-cover optimizations of opt_lv (total cover size; lower is better)\n");
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "variant", "total size", "time (ms)"
+    );
+    for (label, opts) in [
+        (
+            "both optimizations",
+            CliqueOptions {
+                order_by_degree: true,
+                prefer_nearby: true,
+            },
+        ),
+        (
+            "degree ordering only",
+            CliqueOptions {
+                order_by_degree: true,
+                prefer_nearby: false,
+            },
+        ),
+        (
+            "distance weights only",
+            CliqueOptions {
+                order_by_degree: false,
+                prefer_nearby: true,
+            },
+        ),
+        (
+            "neither (input order)",
+            CliqueOptions {
+                order_by_degree: false,
+                prefer_nearby: false,
+            },
+        ),
+    ] {
+        let (total, ms) = run_variant(cap, |bdd, isf| opt_lv(bdd, isf, opts));
+        println!("{label:<28} {total:>12} {ms:>12.1}");
+    }
+
+    println!("\nablation 2 — schedule parameters (total cover size; lower is better)\n");
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "variant", "total size", "time (ms)"
+    );
+    for (label, schedule) in [
+        ("window 1, stop 0", Schedule::new(1, 0)),
+        ("window 2, stop 1", Schedule::new(2, 1)),
+        ("window 4, stop 2", Schedule::new(4, 2)),
+        ("window 8, stop 2", Schedule::new(8, 2)),
+        (
+            "window 4, no level passes",
+            Schedule::new(4, 2).level_passes(false),
+        ),
+        ("window 2, stop 4", Schedule::new(2, 4)),
+    ] {
+        let (total, ms) = run_variant(cap, move |bdd, isf| schedule.apply(bdd, isf));
+        println!("{label:<28} {total:>12} {ms:>12.1}");
+    }
+
+    println!("\nbaselines for comparison:\n");
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "heuristic", "total size", "time (ms)"
+    );
+    for h in [
+        Heuristic::Constrain,
+        Heuristic::Restrict,
+        Heuristic::OsmBt,
+        Heuristic::TsmTd,
+        Heuristic::OptLv,
+    ] {
+        let (total, ms) = run_variant(cap, move |bdd, isf| h.minimize(bdd, isf));
+        println!("{:<28} {total:>12} {ms:>12.1}", h.name());
+    }
+}
+
+/// Runs the SIS-style traversal suite, applying `minimize` to **every**
+/// intercepted EBM instance (frontier choice and per-latch image
+/// constrains) and summing the resulting cover sizes. The traversal itself
+/// always continues with `constrain`, so all variants see the identical
+/// instance stream and the totals are directly comparable.
+fn run_variant(
+    cap: Option<usize>,
+    mut minimize: impl FnMut(&mut bddmin_bdd::Bdd, Isf) -> bddmin_bdd::Edge,
+) -> (usize, f64) {
+    let names = ["tlc", "minmax5", "s386", "s820", "mult16b"];
+    let start = std::time::Instant::now();
+    let mut total = 0usize;
+    for bench in generators::benchmark_suite() {
+        if !names.contains(&bench.paper_name) {
+            continue;
+        }
+        let product = product_circuit(&bench.circuit, &bench.circuit.clone());
+        let mut fsm = SymbolicFsm::new(&product);
+        let init = fsm.initial_states();
+        let mut reached = init;
+        let mut frontier = init;
+        let mut iteration = 0usize;
+        while !frontier.is_zero() {
+            if let Some(c) = cap {
+                if iteration >= c {
+                    break;
+                }
+            }
+            let care = {
+                let bdd = fsm.bdd_mut();
+                let not_reached = bdd.not(reached);
+                bdd.or(frontier, not_reached)
+            };
+            let frontier_isf = Isf::new(frontier, care);
+            let measured = minimize(fsm.bdd_mut(), frontier_isf);
+            total += fsm.bdd().size(measured);
+            let minimized = fsm.bdd_mut().constrain(frontier_isf.f, frontier_isf.c);
+            let next_fns = fsm.next_fns().to_vec();
+            let mut constrained = Vec::with_capacity(next_fns.len());
+            for &delta in &next_fns {
+                let isf = Isf::new(delta, minimized);
+                let m = minimize(fsm.bdd_mut(), isf);
+                total += fsm.bdd().size(m);
+                constrained.push(fsm.bdd_mut().constrain(delta, minimized));
+            }
+            let image = fsm.image_of_constrained(&constrained);
+            let new_reached = fsm.bdd_mut().or(reached, image);
+            frontier = {
+                let bdd = fsm.bdd_mut();
+                let not_reached = bdd.not(reached);
+                bdd.and(image, not_reached)
+            };
+            reached = new_reached;
+            iteration += 1;
+            fsm.collect_garbage(&[reached, frontier]);
+        }
+    }
+    (total, start.elapsed().as_secs_f64() * 1e3)
+}

@@ -1,0 +1,56 @@
+//! Regenerates **Figure 1** of the paper: an instance of the problem with
+//! a suboptimal and an optimal cover, rendered as Graphviz DOT.
+//!
+//! The exact leaf values of the paper's figure are not recoverable from
+//! the text (the figure is an image), so we use the §3.2 example-2
+//! instance `(d1 01 1d 01)`, which exhibits the same phenomenon: the BDDs
+//! for `f` and `c`, the annotated don't-care leaves, a suboptimal solution
+//! (found by `osm_td`) and an optimal solution (found by `constrain` and
+//! `tsm_td`).
+//!
+//! Usage: `cargo run -p bddmin-eval --bin figure1 [--dot]`
+
+use bddmin_bdd::Bdd;
+use bddmin_core::{minimize_all, Heuristic, Isf};
+
+fn main() {
+    let dot = std::env::args().any(|a| a == "--dot");
+    let mut bdd = Bdd::new(3);
+    let spec = "d1 01 1d 01";
+    let (f, c) = bdd.from_leaf_spec(spec).expect("valid spec");
+    let isf = Isf::new(f, c);
+
+    println!("Figure 1 analogue — instance ({spec}) over x1 x2 x3\n");
+    println!("  |f| = {}   |c| = {}", bdd.size(f), bdd.size(c));
+    println!(
+        "  care onset = {:.1}% of the space, {} don't-care minterms\n",
+        bdd.onset_percentage(c),
+        bdd.sat_count(bdd.not(c))
+    );
+
+    // Binary decision tree annotation, as in Fig. 1c.
+    println!("  decision-tree leaves (x1 x2 x3 from left): {spec}");
+    println!("  (d marks the leaves enclosed by squares in the paper)\n");
+
+    let sub = Heuristic::OsmTd.minimize(&mut bdd, isf);
+    let (all, min) = minimize_all(&mut bdd, isf);
+    println!("  suboptimal cover (osm_td):   {} nodes", bdd.size(sub));
+    println!("  optimal cover (min):         {} nodes", bdd.size(min));
+    println!();
+    println!("  per-heuristic sizes:");
+    for (h, g) in &all {
+        println!("    {:<8} {:>3} nodes", h.name(), bdd.size(*g));
+    }
+    assert!(isf.is_cover(&mut bdd, sub));
+    assert!(isf.is_cover(&mut bdd, min));
+
+    if dot {
+        println!("\n--- DOT (f, c, suboptimal, optimal) ---");
+        println!(
+            "{}",
+            bdd.to_dot(&[("f", f), ("c", c), ("suboptimal", sub), ("optimal", min)])
+        );
+    } else {
+        println!("\n(re-run with --dot to emit Graphviz for the four BDDs)");
+    }
+}

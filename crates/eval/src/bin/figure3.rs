@@ -1,0 +1,47 @@
+//! Regenerates **Figure 3** of the paper: robustness curves — for each of
+//! the five representative heuristics (`f_orig`, `opt_lv`, `const`,
+//! `restr`, `tsm_td`), the percentage of calls whose result is within x%
+//! of the best (`min`) result. Emits both a CSV block and an ASCII plot.
+//!
+//! Usage: `cargo run --release -p bddmin-eval --bin figure3 [--quick]`
+
+use bddmin_core::Heuristic;
+use bddmin_eval::report::render_figure3;
+use bddmin_eval::runner::{run_experiment, ExperimentConfig, OnsetBucket};
+use bddmin_eval::tables::figure3;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = ExperimentConfig {
+        lower_bound_cubes: 0,
+        max_iterations: if quick { Some(6) } else { None },
+        ..Default::default()
+    };
+    eprintln!("running FSM-equivalence experiment...");
+    let results = run_experiment(&config);
+    // The paper's five representative curves.
+    let subset = [
+        Heuristic::FOrig,
+        Heuristic::OptLv,
+        Heuristic::Constrain,
+        Heuristic::Restrict,
+        Heuristic::TsmTd,
+    ];
+    for bucket in [None, Some(OnsetBucket::Small), Some(OnsetBucket::Large)] {
+        let f = figure3(&results, &subset, 5.0, 100.0, bucket);
+        if f.num_calls == 0 {
+            continue;
+        }
+        let label = bucket.map_or("all calls".to_owned(), |b| {
+            format!("c_onset_size {}", b.label())
+        });
+        println!("=== {label} ===");
+        println!("{}", render_figure3(&f));
+        // y-intercepts: how often each heuristic finds the smallest result.
+        println!("y-intercepts (how often the heuristic IS the min):");
+        for (name, curve) in f.names.iter().zip(&f.curves) {
+            println!("  {:<8} {:>6.1}%", name, curve[0].1);
+        }
+        println!();
+    }
+}

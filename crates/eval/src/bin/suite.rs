@@ -1,0 +1,102 @@
+//! Benchmark-suite utilities:
+//!
+//! * `suite list` — machine inventory (inputs/latches/gates/reachable
+//!   states/BFS depth),
+//! * `suite export <dir>` — write every stand-in machine as a BLIF file
+//!   (the distributable replacement for the paper's netlists),
+//! * `suite ordering` — quantify the fixed-variable-order assumption:
+//!   total BDD sizes under declaration order vs. DFS fanin order.
+//!
+//! Usage: `cargo run --release -p bddmin-eval --bin suite -- <list|export DIR|ordering>`
+
+use bddmin_fsm::ordering::ordered_circuit;
+use bddmin_fsm::{generators, print_blif, Reachability, SymbolicFsm};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") | None => list(),
+        Some("export") => {
+            let dir = args.get(1).map(String::as_str).unwrap_or("benchmarks");
+            export(dir);
+        }
+        Some("ordering") => ordering(),
+        Some(other) => {
+            eprintln!("unknown subcommand {other:?}; use list | export DIR | ordering");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn list() {
+    println!(
+        "{:<10} {:<16} {:>7} {:>8} {:>6} {:>8} {:>6}",
+        "paper", "stand-in", "inputs", "latches", "gates", "states", "depth"
+    );
+    for bench in generators::benchmark_suite() {
+        let mut fsm = SymbolicFsm::new(&bench.circuit);
+        let stats = Reachability::new().run(&mut fsm);
+        let states = fsm.count_states(stats.reached);
+        println!(
+            "{:<10} {:<16} {:>7} {:>8} {:>6} {:>8} {:>6}",
+            bench.paper_name,
+            bench.circuit.name(),
+            bench.circuit.num_inputs(),
+            bench.circuit.num_latches(),
+            bench.circuit.gates().len(),
+            states,
+            stats.iterations
+        );
+    }
+}
+
+fn export(dir: &str) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {dir}: {e}");
+        std::process::exit(2);
+    }
+    for bench in generators::benchmark_suite() {
+        let path = format!("{dir}/{}.blif", bench.circuit.name());
+        let text = print_blif(&bench.circuit);
+        match std::fs::write(&path, text) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+fn ordering() {
+    println!(
+        "{:<10} {:>16} {:>16} {:>8}",
+        "paper", "decl order", "DFS fanin order", "ratio"
+    );
+    let mut total_decl = 0usize;
+    let mut total_dfs = 0usize;
+    for bench in generators::benchmark_suite() {
+        let natural = SymbolicFsm::new(&bench.circuit);
+        let reordered = SymbolicFsm::new(&ordered_circuit(&bench.circuit));
+        let size = |fsm: &SymbolicFsm| {
+            let mut roots: Vec<bddmin_bdd::Edge> = fsm.next_fns().to_vec();
+            roots.extend_from_slice(fsm.output_fns());
+            fsm.bdd().size_many(&roots)
+        };
+        let a = size(&natural);
+        let b = size(&reordered);
+        total_decl += a;
+        total_dfs += b;
+        println!(
+            "{:<10} {:>16} {:>16} {:>8.2}",
+            bench.paper_name,
+            a,
+            b,
+            a as f64 / b as f64
+        );
+    }
+    println!(
+        "{:<10} {:>16} {:>16} {:>8.2}",
+        "TOTAL",
+        total_decl,
+        total_dfs,
+        total_decl as f64 / total_dfs as f64
+    );
+}

@@ -1,0 +1,105 @@
+//! Regenerates **Table 1** of the paper: the reflexive / symmetric /
+//! transitive properties of the three matching criteria, verified
+//! empirically over a large random sample of incompletely specified
+//! functions (counterexamples are demanded for every "no").
+//!
+//! Usage: `cargo run -p bddmin-eval --bin table1`
+
+use bddmin_bdd::{Bdd, Cube, Edge, Var};
+use bddmin_core::{matches_directed, Isf, MatchCriterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NVARS: usize = 4;
+
+fn random_function(bdd: &mut Bdd, rng: &mut StdRng) -> Edge {
+    let table: u16 = rng.gen();
+    let mut f = Edge::ZERO;
+    for row in 0..(1 << NVARS) {
+        if table >> row & 1 == 1 {
+            let lits: Vec<(Var, bool)> = (0..NVARS)
+                .map(|v| (Var(v as u32), row >> (NVARS - 1 - v) & 1 == 1))
+                .collect();
+            let cube = Cube::new(lits).to_edge(bdd);
+            f = bdd.or(f, cube);
+        }
+    }
+    f
+}
+
+fn main() {
+    let mut bdd = Bdd::new(NVARS);
+    let mut rng = StdRng::seed_from_u64(1994);
+    let mut sample: Vec<Isf> = (0..56)
+        .map(|_| {
+            let f = random_function(&mut bdd, &mut rng);
+            let c = random_function(&mut bdd, &mut rng);
+            Isf::new(f, c)
+        })
+        .collect();
+    // A random sample almost surely contains no all-DC functions, which
+    // are the only functions osdm can match from — include a few so that
+    // osdm's asymmetry shows up.
+    for _ in 0..4 {
+        let f = random_function(&mut bdd, &mut rng);
+        sample.push(Isf::new(f, Edge::ZERO));
+    }
+
+    println!("Table 1 — properties of the matching criteria (checked on {} random ISFs over {} vars)\n", sample.len(), NVARS);
+    println!(
+        "{:<10} {:>10} {:>10} {:>11}",
+        "Criterion", "Reflexive", "Symmetric", "Transitive"
+    );
+    for crit in MatchCriterion::ALL {
+        let mut reflexive = true;
+        let mut symmetric = true;
+        let mut transitive = true;
+        for &x in &sample {
+            if !matches_directed(&mut bdd, crit, x, x) {
+                reflexive = false;
+            }
+        }
+        for &x in &sample {
+            for &y in &sample {
+                let xy = matches_directed(&mut bdd, crit, x, y);
+                let yx = matches_directed(&mut bdd, crit, y, x);
+                if xy != yx {
+                    symmetric = false;
+                }
+            }
+        }
+        'outer: for &x in &sample {
+            for &y in &sample {
+                if !matches_directed(&mut bdd, crit, x, y) {
+                    continue;
+                }
+                for &z in &sample {
+                    if matches_directed(&mut bdd, crit, y, z)
+                        && !matches_directed(&mut bdd, crit, x, z)
+                    {
+                        transitive = false;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let show = |b: bool| if b { "yes" } else { "no" };
+        println!(
+            "{:<10} {:>10} {:>10} {:>11}",
+            crit.name(),
+            show(reflexive),
+            show(symmetric),
+            show(transitive)
+        );
+    }
+    println!();
+    println!("paper Table 1:  osdm  no  no  yes");
+    println!("                osm   yes no  yes");
+    println!("                tsm   yes yes no");
+    println!();
+    println!(
+        "(osdm is reflexive only on the measure-zero all-DC functions, so a\n\
+         random sample reports \"no\"; the strength hierarchy osdm => osm => tsm\n\
+         is additionally enforced by unit and property tests in bddmin-core.)"
+    );
+}

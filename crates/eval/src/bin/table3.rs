@@ -1,0 +1,84 @@
+//! Regenerates **Table 3** of the paper: cumulative result sizes, % of
+//! `min`, runtimes and ranks for every heuristic — over all calls and split
+//! into the `c_onset_size < 5%` and `> 95%` buckets — plus the §4.2 prose
+//! summary (reduction factor, lower-bound ratio).
+//!
+//! Usage: `cargo run --release -p bddmin-eval --bin table3 [--quick]`
+
+use bddmin_eval::report::{render_summary, render_table3, table3_csv};
+use bddmin_eval::runner::{run_experiment, ExperimentConfig, OnsetBucket};
+use bddmin_eval::tables::{summary, table3};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Optional: --csv <dir> writes one CSV per bucket.
+    let csv_dir = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--csv")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let config = if quick {
+        ExperimentConfig {
+            lower_bound_cubes: 50,
+            max_iterations: Some(6),
+            ..Default::default()
+        }
+    } else {
+        ExperimentConfig::default()
+    };
+    eprintln!(
+        "running FSM-equivalence experiment over the benchmark suite{}...",
+        if quick { " (quick mode)" } else { "" }
+    );
+    let results = run_experiment(&config);
+    println!(
+        "intercepted {} minimization calls ({} filtered: {} cube care, {} c<=f, {} c<=!f)\n",
+        results.calls.len() + results.filtered.total(),
+        results.filtered.total(),
+        results.filtered.cube,
+        results.filtered.inside_onset,
+        results.filtered.inside_offset,
+    );
+    for bucket in [
+        None,
+        Some(OnsetBucket::Small),
+        Some(OnsetBucket::Medium),
+        Some(OnsetBucket::Large),
+    ] {
+        let t = table3(&results, bucket);
+        if t.num_calls == 0 {
+            let label = bucket.map_or("all".to_owned(), |b| b.label().to_owned());
+            println!("(no calls in bucket {label})\n");
+            continue;
+        }
+        println!("{}", render_table3(&t));
+        if let Some(dir) = &csv_dir {
+            let slug = match bucket {
+                None => "all",
+                Some(OnsetBucket::Small) => "small_onset",
+                Some(OnsetBucket::Medium) => "medium_onset",
+                Some(OnsetBucket::Large) => "large_onset",
+            };
+            let path = format!("{dir}/table3_{slug}.csv");
+            if let Err(e) = std::fs::write(&path, table3_csv(&t)) {
+                eprintln!("failed to write {path}: {e}");
+            }
+        }
+    }
+    println!("{}", render_summary("all calls", &summary(&results, None)));
+    println!(
+        "{}",
+        render_summary(
+            "c_onset_size < 5%",
+            &summary(&results, Some(OnsetBucket::Small))
+        )
+    );
+    println!(
+        "{}",
+        render_summary(
+            "c_onset_size > 95%",
+            &summary(&results, Some(OnsetBucket::Large))
+        )
+    );
+}

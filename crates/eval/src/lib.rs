@@ -1,0 +1,34 @@
+//! # bddmin-eval
+//!
+//! Experiment harness regenerating the evaluation section of *Shiple et
+//! al., "Heuristic Minimization of BDDs Using Don't Cares", DAC 1994*.
+//!
+//! The pipeline mirrors the paper's §4.1: run FSM equivalence (machine vs.
+//! itself) over the benchmark suite, intercept every frontier-minimization
+//! call as an EBM instance, apply all heuristics with cache flushes between
+//! them, filter trivial calls, bucket by `c_onset_size`, and aggregate:
+//!
+//! * [`runner`] — instance interception and measurement,
+//! * [`tables`] — Table 3 (cumulative sizes/runtimes/ranks), Table 4
+//!   (head-to-head), Figure 3 (robustness curves), prose summary,
+//! * [`report`] — plain-text and CSV rendering.
+//!
+//! Binaries `table1 table2 table3 table4 figure1 figure3 lower_bound
+//! ablation` regenerate each artifact; see `EXPERIMENTS.md` at the
+//! repository root for paper-vs-measured numbers.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use bddmin_eval::runner::{run_experiment, ExperimentConfig};
+//! use bddmin_eval::tables::table3;
+//! use bddmin_eval::report::render_table3;
+//!
+//! let results = run_experiment(&ExperimentConfig::default());
+//! let table = table3(&results, None);
+//! println!("{}", render_table3(&table));
+//! ```
+
+pub mod report;
+pub mod runner;
+pub mod tables;

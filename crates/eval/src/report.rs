@@ -1,0 +1,229 @@
+//! Text rendering of tables and figures (plain text + CSV).
+
+use std::fmt::Write as _;
+
+use crate::tables::{Figure3, Summary, Table3, Table4};
+
+/// Renders Table 3 in the paper's layout.
+pub fn render_table3(table: &Table3) -> String {
+    let mut out = String::new();
+    let bucket_label = table
+        .bucket
+        .map_or("all calls".to_owned(), |b| format!("c_onset_size {}", b.label()));
+    let _ = writeln!(
+        out,
+        "Table 3 — {} ({} calls)",
+        bucket_label, table.num_calls
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>10} {:>12} {:>6}",
+        "Heur.", "Total Size", "% of min", "Runtime(ms)", "Rank"
+    );
+    for row in &table.rows {
+        let rank = row.rank.map_or(String::new(), |r| r.to_string());
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12} {:>10.0} {:>12.2} {:>6}",
+            row.name,
+            row.total_size,
+            row.pct_of_min,
+            row.runtime.as_secs_f64() * 1e3,
+            rank
+        );
+    }
+    out
+}
+
+/// Renders Table 4 (head-to-head matrix).
+pub fn render_table4(table: &Table4) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 4 — head-to-head: % of calls where row finds a strictly smaller result than column ({} calls)",
+        table.num_calls
+    );
+    let _ = write!(out, "{:<10}", "Heur.");
+    for name in &table.names {
+        let _ = write!(out, "{name:>9}");
+    }
+    let _ = writeln!(out);
+    for (i, name) in table.names.iter().enumerate() {
+        let _ = write!(out, "{name:<10}");
+        for j in 0..table.names.len() {
+            if i == j {
+                let _ = write!(out, "{:>9}", "-");
+            } else {
+                let _ = write!(out, "{:>9.1}", table.entries[i][j]);
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders Figure 3 as an ASCII plot plus a CSV block.
+pub fn render_figure3(figure: &Figure3) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 3 — %% of calls within x%% of min ({} calls)",
+        figure.num_calls
+    );
+    // CSV header.
+    let _ = write!(out, "within_pct");
+    for name in &figure.names {
+        let _ = write!(out, ",{name}");
+    }
+    let _ = writeln!(out);
+    if let Some(first) = figure.curves.first() {
+        for (k, &(x, _)) in first.iter().enumerate() {
+            let _ = write!(out, "{x:.0}");
+            for curve in &figure.curves {
+                let _ = write!(out, ",{:.2}", curve[k].1);
+            }
+            let _ = writeln!(out);
+        }
+    }
+    // ASCII plot: y axis 0..100 in 20 rows, x = sample index.
+    let _ = writeln!(out);
+    if let Some(first) = figure.curves.first() {
+        let width = first.len();
+        for row in (0..=20).rev() {
+            let y = row as f64 * 5.0;
+            let _ = write!(out, "{y:>5.0} |");
+            for k in 0..width {
+                let mut ch = ' ';
+                for (ci, curve) in figure.curves.iter().enumerate() {
+                    if curve[k].1 >= y {
+                        ch = char::from(b'0' + (ci as u8 % 10));
+                        break;
+                    }
+                }
+                let _ = write!(out, "{ch}");
+            }
+            let _ = writeln!(out);
+        }
+        let _ = write!(out, "      +");
+        for _ in 0..width {
+            let _ = write!(out, "-");
+        }
+        let _ = writeln!(out, "> within % of min");
+        for (ci, name) in figure.names.iter().enumerate() {
+            let _ = writeln!(out, "      {} = {}", ci % 10, name);
+        }
+    }
+    out
+}
+
+/// Renders the prose summary (§4.2 numbers).
+pub fn render_summary(label: &str, s: &Summary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Summary — {label}");
+    let _ = writeln!(out, "  total |f_orig|        : {}", s.f_orig_total);
+    let _ = writeln!(out, "  total |min|           : {}", s.min_total);
+    let _ = writeln!(out, "  total lower bound     : {}", s.lower_bound_total);
+    let _ = writeln!(
+        out,
+        "  reduction factor      : {:.2}x  (paper: ~8x overall, ~16x small onset, ~2x large onset)",
+        s.reduction_factor
+    );
+    let _ = writeln!(
+        out,
+        "  min / lower bound     : {:.2}x  (paper: ~3.4x)",
+        s.min_over_bound
+    );
+    let _ = writeln!(
+        out,
+        "  bound achieved        : {:.1}% of calls",
+        s.bound_achieved_pct
+    );
+    out
+}
+
+/// Renders Table 3 as CSV.
+pub fn table3_csv(table: &Table3) -> String {
+    let mut out = String::from("heuristic,total_size,pct_of_min,runtime_ms,rank\n");
+    for row in &table.rows {
+        let _ = writeln!(
+            out,
+            "{},{},{:.1},{:.3},{}",
+            row.name,
+            row.total_size,
+            row.pct_of_min,
+            row.runtime.as_secs_f64() * 1e3,
+            row.rank.map_or(String::new(), |r| r.to_string())
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{CallRecord, ExperimentResults};
+    use crate::tables;
+    use bddmin_core::Heuristic;
+    use std::time::Duration;
+
+    fn results() -> ExperimentResults {
+        ExperimentResults {
+            heuristics: vec![Heuristic::FOrig, Heuristic::Constrain],
+            calls: vec![CallRecord {
+                benchmark: "t".into(),
+                iteration: 0,
+                c_onset_pct: 1.0,
+                f_size: 10,
+                c_size: 4,
+                sizes: vec![10, 5],
+                times: vec![Duration::from_micros(5), Duration::from_micros(7)],
+                min_size: 5,
+                lower_bound: 3,
+            }],
+            filtered: Default::default(),
+        }
+    }
+
+    #[test]
+    fn table3_renders() {
+        let r = results();
+        let t = tables::table3(&r, None);
+        let text = render_table3(&t);
+        assert!(text.contains("Table 3"));
+        assert!(text.contains("min"));
+        assert!(text.contains("const"));
+        assert!(text.contains("low_bd"));
+        let csv = table3_csv(&t);
+        assert!(csv.starts_with("heuristic,"));
+        assert!(csv.lines().count() >= 4);
+    }
+
+    #[test]
+    fn table4_renders() {
+        let r = results();
+        let t = tables::table4(&r, &[Heuristic::FOrig, Heuristic::Constrain], true, None);
+        let text = render_table4(&t);
+        assert!(text.contains("Table 4"));
+        assert!(text.contains("f_orig"));
+        assert!(text.contains("-"));
+    }
+
+    #[test]
+    fn figure3_renders() {
+        let r = results();
+        let f = tables::figure3(&r, &[Heuristic::Constrain], 20.0, 100.0, None);
+        let text = render_figure3(&f);
+        assert!(text.contains("Figure 3"));
+        assert!(text.contains("within_pct,const"));
+        assert!(text.contains("> within % of min"));
+    }
+
+    #[test]
+    fn summary_renders() {
+        let r = results();
+        let s = tables::summary(&r, None);
+        let text = render_summary("all", &s);
+        assert!(text.contains("reduction factor"));
+        assert!(text.contains("2.00x"));
+    }
+}

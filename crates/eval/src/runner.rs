@@ -1,0 +1,433 @@
+//! The experiment runner: regenerates the paper's instance stream.
+//!
+//! Mirrors Section 4.1 of the paper: for every benchmark machine, run the
+//! FSM-equivalence application (product-machine reachability of the machine
+//! against itself), intercept each frontier-minimization call as an EBM
+//! instance `[f, c]`, apply **all** heuristics to it (flushing the BDD
+//! caches before each so timings are honest), and record sizes and
+//! runtimes. The traversal itself continues with the `constrain` result,
+//! exactly as SIS did.
+
+use std::time::{Duration, Instant};
+
+use bddmin_bdd::Bdd;
+use bddmin_core::{lower_bound, Heuristic, Isf};
+use bddmin_fsm::{generators, product_circuit, SymbolicFsm};
+
+/// Why a call was excluded from the statistics (paper §4.1.2 filters).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FilterReason {
+    /// The care function is a cube (all sibling heuristics are optimal).
+    CareIsCube,
+    /// `c ≤ f`: every heuristic returns the constant 1.
+    CareInsideOnset,
+    /// `c ≤ ¬f`: every heuristic returns the constant 0.
+    CareInsideOffset,
+}
+
+/// The paper's onset-size buckets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OnsetBucket {
+    /// `c_onset_size < 5%`.
+    Small,
+    /// `5% ≤ c_onset_size ≤ 95%`.
+    Medium,
+    /// `c_onset_size > 95%`.
+    Large,
+}
+
+impl OnsetBucket {
+    /// Buckets a percentage.
+    pub fn of(pct: f64) -> OnsetBucket {
+        if pct < 5.0 {
+            OnsetBucket::Small
+        } else if pct > 95.0 {
+            OnsetBucket::Large
+        } else {
+            OnsetBucket::Medium
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OnsetBucket::Small => "< 5%",
+            OnsetBucket::Medium => "5%-95%",
+            OnsetBucket::Large => "> 95%",
+        }
+    }
+}
+
+/// One intercepted minimization call with all heuristics applied.
+#[derive(Clone, Debug)]
+pub struct CallRecord {
+    /// Paper benchmark name the call came from.
+    pub benchmark: String,
+    /// BFS iteration the call occurred at.
+    pub iteration: usize,
+    /// `c_onset_size` percentage.
+    pub c_onset_pct: f64,
+    /// `|f|` of the instance.
+    pub f_size: usize,
+    /// `|c|` of the instance.
+    pub c_size: usize,
+    /// Per-heuristic result sizes, parallel to the config's heuristic list.
+    pub sizes: Vec<usize>,
+    /// Per-heuristic runtimes.
+    pub times: Vec<Duration>,
+    /// The `min` pseudo-heuristic: smallest size over all heuristics.
+    pub min_size: usize,
+    /// Cube lower bound (0 if not computed).
+    pub lower_bound: usize,
+}
+
+impl CallRecord {
+    /// The bucket this call falls into.
+    pub fn bucket(&self) -> OnsetBucket {
+        OnsetBucket::of(self.c_onset_pct)
+    }
+}
+
+/// Configuration for the experiment sweep.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Heuristics to apply to every call, in report order.
+    pub heuristics: Vec<Heuristic>,
+    /// Compute the cube lower bound per call (paper: limit 1000 cubes).
+    pub lower_bound_cubes: usize,
+    /// Cap on BFS iterations per benchmark (None = run to fixpoint).
+    pub max_iterations: Option<usize>,
+    /// Restrict to these paper benchmark names (empty = all).
+    pub only_benchmarks: Vec<String>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            heuristics: Heuristic::ALL.to_vec(),
+            lower_bound_cubes: 1000,
+            max_iterations: None,
+            only_benchmarks: Vec::new(),
+        }
+    }
+}
+
+/// Statistics about the filtered-out calls.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Calls filtered because the care set is a cube.
+    pub cube: usize,
+    /// Calls filtered because `c ≤ f`.
+    pub inside_onset: usize,
+    /// Calls filtered because `c ≤ ¬f`.
+    pub inside_offset: usize,
+}
+
+impl FilterStats {
+    /// Total calls filtered.
+    pub fn total(&self) -> usize {
+        self.cube + self.inside_onset + self.inside_offset
+    }
+}
+
+/// The complete experiment output.
+#[derive(Clone, Debug, Default)]
+pub struct ExperimentResults {
+    /// Heuristics in report order.
+    pub heuristics: Vec<Heuristic>,
+    /// Unfiltered calls with measurements.
+    pub calls: Vec<CallRecord>,
+    /// Counts of filtered calls.
+    pub filtered: FilterStats,
+}
+
+impl ExperimentResults {
+    /// Calls in a given bucket.
+    pub fn calls_in(&self, bucket: Option<OnsetBucket>) -> Vec<&CallRecord> {
+        self.calls
+            .iter()
+            .filter(|c| bucket.is_none_or(|b| c.bucket() == b))
+            .collect()
+    }
+
+    /// The index of a heuristic in the report order.
+    pub fn index_of(&self, h: Heuristic) -> Option<usize> {
+        self.heuristics.iter().position(|&x| x == h)
+    }
+}
+
+/// Classifies a call against the paper's filters.
+pub fn filter_reason(bdd: &mut Bdd, isf: Isf) -> Option<FilterReason> {
+    if bdd.is_cube(isf.c) {
+        return Some(FilterReason::CareIsCube);
+    }
+    if bdd.implies_holds(isf.c, isf.f) {
+        return Some(FilterReason::CareInsideOnset);
+    }
+    let nf = bdd.not(isf.f);
+    if bdd.implies_holds(isf.c, nf) {
+        return Some(FilterReason::CareInsideOffset);
+    }
+    None
+}
+
+/// Measures all heuristics on one instance, flushing caches before each.
+pub fn measure_instance(
+    bdd: &mut Bdd,
+    isf: Isf,
+    heuristics: &[Heuristic],
+    lower_bound_cubes: usize,
+) -> (Vec<usize>, Vec<Duration>, usize, usize) {
+    let mut sizes = Vec::with_capacity(heuristics.len());
+    let mut times = Vec::with_capacity(heuristics.len());
+    let mut min_size = usize::MAX;
+    for &h in heuristics {
+        // The paper invokes the garbage collector before each heuristic "to
+        // flush the caches of computations from earlier heuristics".
+        bdd.clear_caches();
+        let start = Instant::now();
+        let g = h.minimize(bdd, isf);
+        let elapsed = start.elapsed();
+        let size = bdd.size(g);
+        sizes.push(size);
+        times.push(elapsed);
+        min_size = min_size.min(size);
+    }
+    let lb = if lower_bound_cubes > 0 {
+        bdd.clear_caches();
+        lower_bound(bdd, isf, lower_bound_cubes).bound
+    } else {
+        0
+    };
+    (sizes, times, min_size, lb)
+}
+
+/// Runs the full experiment over the benchmark suite (machine vs. itself,
+/// as in the paper).
+pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResults {
+    let mut results = ExperimentResults {
+        heuristics: config.heuristics.clone(),
+        ..Default::default()
+    };
+    for bench in generators::benchmark_suite() {
+        if !config.only_benchmarks.is_empty()
+            && !config
+                .only_benchmarks
+                .iter()
+                .any(|n| n == bench.paper_name)
+        {
+            continue;
+        }
+        run_benchmark(&bench.circuit, bench.paper_name, config, &mut results);
+    }
+    results
+}
+
+/// Runs one benchmark (product of `circuit` against a copy of itself) and
+/// appends its calls to `results`.
+///
+/// The traversal reproduces SIS `verify_fsm -m product`'s use of
+/// minimization: each BFS iteration makes **two kinds** of `constrain`
+/// calls, both intercepted as EBM instances —
+///
+/// 1. the frontier-set choice `[U, U + ¬R]` (large care onsets: the
+///    don't-care set is only the already-reached non-frontier states), and
+/// 2. one call `[δᵢ, S]` per next-state function for the image computation
+///    by range (tiny care onsets: `S` is a small state set inside a large
+///    input × state space) — these dominate the paper's `< 5%` bucket.
+///
+/// The traversal itself always continues with the `constrain` results,
+/// because the image computation relies on constrain's image-preserving
+/// property (paper footnote 1).
+pub fn run_benchmark(
+    circuit: &bddmin_fsm::Circuit,
+    paper_name: &str,
+    config: &ExperimentConfig,
+    results: &mut ExperimentResults,
+) {
+    let product = product_circuit(circuit, &circuit.clone());
+    let mut fsm = SymbolicFsm::new(&product);
+    let mut iteration = 0usize;
+    let init = fsm.initial_states();
+    let mut reached = init;
+    let mut frontier = init;
+    while !frontier.is_zero() {
+        if let Some(cap) = config.max_iterations {
+            if iteration >= cap {
+                break;
+            }
+        }
+        // Instance class 1: frontier-set choice.
+        let care = {
+            let bdd = fsm.bdd_mut();
+            let not_reached = bdd.not(reached);
+            bdd.or(frontier, not_reached)
+        };
+        let frontier_isf = Isf::new(frontier, care);
+        record_call(fsm.bdd_mut(), frontier_isf, paper_name, iteration, config, results);
+        let minimized = {
+            let bdd = fsm.bdd_mut();
+            bdd.clear_caches();
+            bdd.constrain(frontier_isf.f, frontier_isf.c)
+        };
+        // Instance class 2: the per-latch image constrains.
+        let next_fns = fsm.next_fns().to_vec();
+        let mut constrained = Vec::with_capacity(next_fns.len());
+        for &delta in &next_fns {
+            let isf = Isf::new(delta, minimized);
+            record_call(fsm.bdd_mut(), isf, paper_name, iteration, config, results);
+            let bdd = fsm.bdd_mut();
+            bdd.clear_caches();
+            constrained.push(bdd.constrain(delta, minimized));
+        }
+        let image = fsm.image_of_constrained(&constrained);
+        let new_reached = fsm.bdd_mut().or(reached, image);
+        frontier = {
+            let bdd = fsm.bdd_mut();
+            let not_reached = bdd.not(reached);
+            bdd.and(image, not_reached)
+        };
+        reached = new_reached;
+        iteration += 1;
+        // Keep the node table bounded: the measured covers are dead now.
+        fsm.collect_garbage(&[reached, frontier]);
+    }
+}
+
+fn record_call(
+    bdd: &mut Bdd,
+    isf: Isf,
+    paper_name: &str,
+    iteration: usize,
+    config: &ExperimentConfig,
+    results: &mut ExperimentResults,
+) {
+    match filter_reason(bdd, isf) {
+        Some(FilterReason::CareIsCube) => results.filtered.cube += 1,
+        Some(FilterReason::CareInsideOnset) => results.filtered.inside_onset += 1,
+        Some(FilterReason::CareInsideOffset) => results.filtered.inside_offset += 1,
+        None => {
+            let pct = bdd.onset_percentage(isf.c);
+            let (sizes, times, min_size, lb) =
+                measure_instance(bdd, isf, &config.heuristics, config.lower_bound_cubes);
+            results.calls.push(CallRecord {
+                benchmark: paper_name.to_owned(),
+                iteration,
+                c_onset_pct: pct,
+                f_size: bdd.size(isf.f),
+                c_size: bdd.size(isf.c),
+                sizes,
+                times,
+                min_size,
+                lower_bound: lb,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddmin_bdd::Edge;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(OnsetBucket::of(0.0), OnsetBucket::Small);
+        assert_eq!(OnsetBucket::of(4.99), OnsetBucket::Small);
+        assert_eq!(OnsetBucket::of(5.0), OnsetBucket::Medium);
+        assert_eq!(OnsetBucket::of(95.0), OnsetBucket::Medium);
+        assert_eq!(OnsetBucket::of(95.01), OnsetBucket::Large);
+        assert_eq!(OnsetBucket::of(100.0), OnsetBucket::Large);
+        assert_eq!(OnsetBucket::Small.label(), "< 5%");
+    }
+
+    #[test]
+    fn filters_match_paper_rules() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(bddmin_bdd::Var(0));
+        let b = bdd.var(bddmin_bdd::Var(1));
+        let f = bdd.or(a, b);
+        // cube care
+        assert_eq!(
+            filter_reason(&mut bdd, Isf::new(f, a)),
+            Some(FilterReason::CareIsCube)
+        );
+        // c inside f (non-cube): f = a⊕b, c = f.
+        let x = bdd.xor(a, b);
+        assert_eq!(
+            filter_reason(&mut bdd, Isf::new(x, x)),
+            Some(FilterReason::CareInsideOnset)
+        );
+        // c inside ¬f: c = ¬(a⊕b), not a cube.
+        let nx = bdd.not(x);
+        assert_eq!(
+            filter_reason(&mut bdd, Isf::new(x, nx)),
+            Some(FilterReason::CareInsideOffset)
+        );
+        // Generic instance passes.
+        let x = bdd.xor(a, b);
+        let c3 = bdd.var(bddmin_bdd::Var(2));
+        let care = bdd.xnor(x, c3);
+        assert_eq!(filter_reason(&mut bdd, Isf::new(f, care)), None);
+        let _ = Edge::ONE;
+    }
+
+    #[test]
+    fn measure_instance_reports_all_heuristics() {
+        let mut bdd = Bdd::new(3);
+        let (f, c) = bdd.from_leaf_spec("d1 01 1d 01").unwrap();
+        let isf = Isf::new(f, c);
+        let hs = Heuristic::ALL.to_vec();
+        let (sizes, times, min_size, lb) = measure_instance(&mut bdd, isf, &hs, 100);
+        assert_eq!(sizes.len(), hs.len());
+        assert_eq!(times.len(), hs.len());
+        assert_eq!(min_size, *sizes.iter().min().unwrap());
+        assert!(lb >= 1 && lb <= min_size);
+    }
+
+    #[test]
+    fn small_experiment_produces_calls() {
+        let config = ExperimentConfig {
+            heuristics: vec![Heuristic::FOrig, Heuristic::Constrain, Heuristic::Restrict],
+            lower_bound_cubes: 10,
+            max_iterations: Some(4),
+            only_benchmarks: vec!["tlc".to_owned(), "minmax5".to_owned()],
+        };
+        let results = run_experiment(&config);
+        let total = results.calls.len() + results.filtered.total();
+        assert!(total > 0, "traversal must intercept calls");
+        for call in &results.calls {
+            assert_eq!(call.sizes.len(), 3);
+            assert!(call.min_size <= call.sizes[0]);
+            assert!(call.lower_bound <= call.min_size);
+            assert!(call.c_onset_pct >= 0.0 && call.c_onset_pct <= 100.0);
+        }
+    }
+
+    #[test]
+    fn results_bucket_query() {
+        let mut results = ExperimentResults {
+            heuristics: vec![Heuristic::Constrain],
+            ..Default::default()
+        };
+        for pct in [1.0, 50.0, 99.0] {
+            results.calls.push(CallRecord {
+                benchmark: "x".into(),
+                iteration: 0,
+                c_onset_pct: pct,
+                f_size: 10,
+                c_size: 10,
+                sizes: vec![5],
+                times: vec![Duration::ZERO],
+                min_size: 5,
+                lower_bound: 1,
+            });
+        }
+        assert_eq!(results.calls_in(None).len(), 3);
+        assert_eq!(results.calls_in(Some(OnsetBucket::Small)).len(), 1);
+        assert_eq!(results.calls_in(Some(OnsetBucket::Medium)).len(), 1);
+        assert_eq!(results.calls_in(Some(OnsetBucket::Large)).len(), 1);
+        assert_eq!(results.index_of(Heuristic::Constrain), Some(0));
+        assert_eq!(results.index_of(Heuristic::OptLv), None);
+    }
+}

@@ -1,0 +1,384 @@
+//! Aggregation of call records into the paper's tables and figures.
+
+use std::time::Duration;
+
+use bddmin_core::Heuristic;
+
+use crate::runner::{CallRecord, ExperimentResults, OnsetBucket};
+
+/// One row of Table 3 (per heuristic, per bucket).
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// The heuristic (None = the `min` or `low_bd` pseudo-rows).
+    pub heuristic: Option<Heuristic>,
+    /// Display name.
+    pub name: String,
+    /// Cumulative result size over all calls in the bucket.
+    pub total_size: usize,
+    /// Percentage of the `min` total (100 = as good as min).
+    pub pct_of_min: f64,
+    /// Cumulative runtime.
+    pub runtime: Duration,
+    /// Rank by total size among the real heuristics (1 = best), `None` for
+    /// pseudo-rows.
+    pub rank: Option<usize>,
+}
+
+/// Table 3 for one bucket.
+#[derive(Clone, Debug)]
+pub struct Table3 {
+    /// The bucket (None = all calls).
+    pub bucket: Option<OnsetBucket>,
+    /// Number of calls aggregated.
+    pub num_calls: usize,
+    /// Rows: `low_bd`, `min`, then the heuristics sorted by total size.
+    pub rows: Vec<Table3Row>,
+}
+
+/// Builds Table 3 for a bucket (or all calls).
+pub fn table3(results: &ExperimentResults, bucket: Option<OnsetBucket>) -> Table3 {
+    let calls = results.calls_in(bucket);
+    let n_heur = results.heuristics.len();
+    let mut totals = vec![0usize; n_heur];
+    let mut times = vec![Duration::ZERO; n_heur];
+    let mut min_total = 0usize;
+    let mut lb_total = 0usize;
+    for call in &calls {
+        for i in 0..n_heur {
+            totals[i] += call.sizes[i];
+            times[i] += call.times[i];
+        }
+        min_total += call.min_size;
+        lb_total += call.lower_bound;
+    }
+    let mut order: Vec<usize> = (0..n_heur).collect();
+    order.sort_by_key(|&i| totals[i]);
+    let mut rank_of = vec![0usize; n_heur];
+    for (rank, &i) in order.iter().enumerate() {
+        rank_of[i] = rank + 1;
+    }
+    let pct = |total: usize| {
+        if min_total == 0 {
+            100.0
+        } else {
+            100.0 * total as f64 / min_total as f64
+        }
+    };
+    let mut rows = Vec::with_capacity(n_heur + 2);
+    rows.push(Table3Row {
+        heuristic: None,
+        name: "low_bd".to_owned(),
+        total_size: lb_total,
+        pct_of_min: pct(lb_total),
+        runtime: Duration::ZERO,
+        rank: None,
+    });
+    rows.push(Table3Row {
+        heuristic: None,
+        name: "min".to_owned(),
+        total_size: min_total,
+        pct_of_min: 100.0,
+        runtime: Duration::ZERO,
+        rank: None,
+    });
+    for &i in &order {
+        rows.push(Table3Row {
+            heuristic: Some(results.heuristics[i]),
+            name: results.heuristics[i].name().to_owned(),
+            total_size: totals[i],
+            pct_of_min: pct(totals[i]),
+            runtime: times[i],
+            rank: Some(rank_of[i]),
+        });
+    }
+    Table3 {
+        bucket,
+        num_calls: calls.len(),
+        rows,
+    }
+}
+
+/// Table 4: head-to-head comparison matrix. `entry[i][j]` is the
+/// percentage of calls on which heuristic `i` found a **strictly smaller**
+/// result than heuristic `j`. The `min` pseudo-heuristic can be included.
+#[derive(Clone, Debug)]
+pub struct Table4 {
+    /// Row/column labels.
+    pub names: Vec<String>,
+    /// Percentages, `entries[i][j]`.
+    pub entries: Vec<Vec<f64>>,
+    /// Number of calls compared.
+    pub num_calls: usize,
+}
+
+/// Extracts one heuristic's size from a call record.
+type SizeColumn = Box<dyn Fn(&CallRecord) -> usize>;
+
+/// Builds Table 4 over a representative heuristic subset (plus `min` if
+/// requested), as in the paper.
+pub fn table4(
+    results: &ExperimentResults,
+    subset: &[Heuristic],
+    include_min: bool,
+    bucket: Option<OnsetBucket>,
+) -> Table4 {
+    let calls = results.calls_in(bucket);
+    let mut columns: Vec<(String, SizeColumn)> = Vec::new();
+    for &h in subset {
+        let idx = results
+            .index_of(h)
+            .unwrap_or_else(|| panic!("heuristic {h} not measured"));
+        columns.push((h.name().to_owned(), Box::new(move |c: &CallRecord| c.sizes[idx])));
+    }
+    if include_min {
+        columns.push(("min".to_owned(), Box::new(|c: &CallRecord| c.min_size)));
+    }
+    let k = columns.len();
+    let mut wins = vec![vec![0usize; k]; k];
+    for call in &calls {
+        for i in 0..k {
+            for j in 0..k {
+                if i != j && (columns[i].1)(call) < (columns[j].1)(call) {
+                    wins[i][j] += 1;
+                }
+            }
+        }
+    }
+    let n = calls.len().max(1);
+    let entries = wins
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|w| 100.0 * w as f64 / n as f64)
+                .collect()
+        })
+        .collect();
+    Table4 {
+        names: columns.into_iter().map(|(n, _)| n).collect(),
+        entries,
+        num_calls: calls.len(),
+    }
+}
+
+/// Figure 3: robustness curves. For each heuristic, `points[k] = (x_k, y_k)`
+/// where `y_k` is the percentage of calls whose result is within `x_k`
+/// percent of the `min` result.
+#[derive(Clone, Debug)]
+pub struct Figure3 {
+    /// Curve labels.
+    pub names: Vec<String>,
+    /// Per-curve `(within-%-of-min, %-of-calls)` points.
+    pub curves: Vec<Vec<(f64, f64)>>,
+    /// Number of calls.
+    pub num_calls: usize,
+}
+
+/// Builds Figure 3 over the given heuristics with x samples `0, step, …,
+/// max_pct`.
+pub fn figure3(
+    results: &ExperimentResults,
+    subset: &[Heuristic],
+    step: f64,
+    max_pct: f64,
+    bucket: Option<OnsetBucket>,
+) -> Figure3 {
+    let calls = results.calls_in(bucket);
+    let n = calls.len().max(1);
+    let mut names = Vec::new();
+    let mut curves = Vec::new();
+    for &h in subset {
+        let idx = results
+            .index_of(h)
+            .unwrap_or_else(|| panic!("heuristic {h} not measured"));
+        let mut points = Vec::new();
+        let mut x = 0.0;
+        while x <= max_pct + 1e-9 {
+            let within = calls
+                .iter()
+                .filter(|c| c.sizes[idx] as f64 <= c.min_size as f64 * (1.0 + x / 100.0))
+                .count();
+            points.push((x, 100.0 * within as f64 / n as f64));
+            x += step;
+        }
+        names.push(h.name().to_owned());
+        curves.push(points);
+    }
+    Figure3 {
+        names,
+        curves,
+        num_calls: calls.len(),
+    }
+}
+
+/// Summary statistics quoted in the paper's prose (§4.2).
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// Total `|f|` over all calls (the `f_orig` row).
+    pub f_orig_total: usize,
+    /// Total `min` size.
+    pub min_total: usize,
+    /// Total lower bound.
+    pub lower_bound_total: usize,
+    /// Reduction factor `f_orig / min` (the paper reports ≈ 8×).
+    pub reduction_factor: f64,
+    /// `min / low_bd` ratio (the paper reports ≈ 3.4×).
+    pub min_over_bound: f64,
+    /// Fraction of calls where the best heuristic hits the lower bound.
+    pub bound_achieved_pct: f64,
+}
+
+/// Computes the summary statistics for a bucket (or all calls).
+pub fn summary(results: &ExperimentResults, bucket: Option<OnsetBucket>) -> Summary {
+    let calls = results.calls_in(bucket);
+    let f_idx = results.index_of(Heuristic::FOrig);
+    let mut f_total = 0usize;
+    let mut min_total = 0usize;
+    let mut lb_total = 0usize;
+    let mut achieved = 0usize;
+    for call in &calls {
+        f_total += f_idx.map_or(call.f_size, |i| call.sizes[i]);
+        min_total += call.min_size;
+        lb_total += call.lower_bound;
+        if call.lower_bound == call.min_size && call.lower_bound > 0 {
+            achieved += 1;
+        }
+    }
+    let n = calls.len().max(1);
+    Summary {
+        f_orig_total: f_total,
+        min_total,
+        lower_bound_total: lb_total,
+        reduction_factor: if min_total > 0 {
+            f_total as f64 / min_total as f64
+        } else {
+            1.0
+        },
+        min_over_bound: if lb_total > 0 {
+            min_total as f64 / lb_total as f64
+        } else {
+            f64::NAN
+        },
+        bound_achieved_pct: 100.0 * achieved as f64 / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn fake_results() -> ExperimentResults {
+        // Three heuristics: f_orig, constrain-ish, restrict-ish.
+        let heuristics = vec![Heuristic::FOrig, Heuristic::Constrain, Heuristic::Restrict];
+        let mk = |pct: f64, sizes: [usize; 3], lb: usize| CallRecord {
+            benchmark: "t".into(),
+            iteration: 0,
+            c_onset_pct: pct,
+            f_size: sizes[0],
+            c_size: 5,
+            sizes: sizes.to_vec(),
+            times: vec![
+                Duration::from_micros(1),
+                Duration::from_micros(2),
+                Duration::from_micros(3),
+            ],
+            min_size: *sizes.iter().min().unwrap(),
+            lower_bound: lb,
+        };
+        ExperimentResults {
+            heuristics,
+            calls: vec![
+                mk(1.0, [100, 20, 10], 8),
+                mk(2.0, [50, 10, 12], 10),
+                mk(99.0, [30, 28, 25], 20),
+            ],
+            filtered: Default::default(),
+        }
+    }
+
+    #[test]
+    fn table3_totals_and_ranks() {
+        let r = fake_results();
+        let t = table3(&r, None);
+        assert_eq!(t.num_calls, 3);
+        // Rows: low_bd, min, then sorted heuristics.
+        assert_eq!(t.rows[0].name, "low_bd");
+        assert_eq!(t.rows[0].total_size, 38);
+        assert_eq!(t.rows[1].name, "min");
+        assert_eq!(t.rows[1].total_size, 10 + 10 + 25);
+        // restr total = 47, const total = 58, f_orig 180.
+        assert_eq!(t.rows[2].name, "restr");
+        assert_eq!(t.rows[2].total_size, 47);
+        assert_eq!(t.rows[2].rank, Some(1));
+        assert_eq!(t.rows[3].name, "const");
+        assert_eq!(t.rows[3].rank, Some(2));
+        assert_eq!(t.rows[4].name, "f_orig");
+        assert_eq!(t.rows[4].rank, Some(3));
+        assert!((t.rows[1].pct_of_min - 100.0).abs() < 1e-9);
+        assert!(t.rows[4].pct_of_min > 100.0);
+    }
+
+    #[test]
+    fn table3_bucket_split() {
+        let r = fake_results();
+        let small = table3(&r, Some(OnsetBucket::Small));
+        assert_eq!(small.num_calls, 2);
+        let large = table3(&r, Some(OnsetBucket::Large));
+        assert_eq!(large.num_calls, 1);
+        let medium = table3(&r, Some(OnsetBucket::Medium));
+        assert_eq!(medium.num_calls, 0);
+    }
+
+    #[test]
+    fn table4_strict_wins() {
+        let r = fake_results();
+        let t = table4(
+            &r,
+            &[Heuristic::FOrig, Heuristic::Constrain, Heuristic::Restrict],
+            true,
+            None,
+        );
+        assert_eq!(t.names, vec!["f_orig", "const", "restr", "min"]);
+        // f_orig never strictly beats anything here.
+        assert_eq!(t.entries[0][1], 0.0);
+        // const beats f_orig on all 3 calls.
+        assert!((t.entries[1][0] - 100.0).abs() < 1e-9);
+        // restr < const on calls 1 and 3 → 2/3.
+        assert!((t.entries[2][1] - 66.66).abs() < 1.0);
+        // min never loses; diagonal zero.
+        for i in 0..4 {
+            assert_eq!(t.entries[i][i], 0.0);
+            assert_eq!(t.entries[i][3], 0.0, "nothing strictly beats min");
+        }
+    }
+
+    #[test]
+    fn figure3_monotone_to_100() {
+        let r = fake_results();
+        let f = figure3(&r, &[Heuristic::Constrain, Heuristic::Restrict], 10.0, 200.0, None);
+        for curve in &f.curves {
+            for w in curve.windows(2) {
+                assert!(w[1].1 >= w[0].1, "curves are monotone");
+            }
+            let last = curve.last().unwrap();
+            assert!((last.1 - 100.0).abs() < 1e-9, "curves reach 100%");
+        }
+        // y-intercept of restr: restr is the smallest on 2 of 3 calls.
+        let restr_curve = &f.curves[1];
+        assert!((restr_curve[0].1 - 66.66).abs() < 1.0);
+    }
+
+    #[test]
+    fn summary_ratios() {
+        let r = fake_results();
+        let s = summary(&r, None);
+        assert_eq!(s.f_orig_total, 180);
+        assert_eq!(s.min_total, 45);
+        assert_eq!(s.lower_bound_total, 38);
+        assert!((s.reduction_factor - 4.0).abs() < 1e-9);
+        assert!((s.min_over_bound - 45.0 / 38.0).abs() < 1e-9);
+        // Calls 2 and 3 achieve the bound? call2: lb 10 == min 10 yes;
+        // call3: lb 20 != 25 no; call1: 8 != 10 no → 1/3.
+        assert!((s.bound_achieved_pct - 33.33).abs() < 1.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests for the circuit substrate: random netlists must
+//! agree between concrete simulation and symbolic compilation, survive the
+//! BLIF round trip, and keep the two image-computation methods in
+//! agreement.
+
+use proptest::prelude::*;
+
+use crate::blif::{parse_blif, print_blif};
+use crate::circuit::{Circuit, CircuitBuilder, GateKind, NetId};
+use crate::symbolic::{symbolic_matches_simulation, SymbolicFsm};
+
+/// A recipe for one random gate: kind selector and input picks.
+#[derive(Clone, Debug)]
+struct GateRecipe {
+    kind: u8,
+    picks: Vec<usize>,
+}
+
+/// A recipe for a whole random circuit.
+#[derive(Clone, Debug)]
+struct CircuitRecipe {
+    num_inputs: usize,
+    latches: Vec<bool>,
+    gates: Vec<GateRecipe>,
+    latch_feeds: Vec<usize>,
+    outputs: Vec<usize>,
+}
+
+fn recipe_strategy() -> impl Strategy<Value = CircuitRecipe> {
+    (1usize..4, proptest::collection::vec(any::<bool>(), 1..4)).prop_flat_map(
+        |(num_inputs, latches)| {
+            let n_latches = latches.len();
+            let gates = proptest::collection::vec(
+                (0u8..7, proptest::collection::vec(0usize..32, 1..4)),
+                1..10,
+            )
+            .prop_map(|gs| {
+                gs.into_iter()
+                    .map(|(kind, picks)| GateRecipe { kind, picks })
+                    .collect::<Vec<_>>()
+            });
+            let latch_feeds = proptest::collection::vec(0usize..32, n_latches);
+            let outputs = proptest::collection::vec(0usize..32, 1..3);
+            (
+                Just(num_inputs),
+                Just(latches),
+                gates,
+                latch_feeds,
+                outputs,
+            )
+                .prop_map(
+                    |(num_inputs, latches, gates, latch_feeds, outputs)| CircuitRecipe {
+                        num_inputs,
+                        latches,
+                        gates,
+                        latch_feeds,
+                        outputs,
+                    },
+                )
+        },
+    )
+}
+
+/// Materialises a recipe into a well-formed circuit.
+fn build(recipe: &CircuitRecipe) -> Circuit {
+    let mut b = CircuitBuilder::new("random");
+    let mut nets: Vec<NetId> = Vec::new();
+    for i in 0..recipe.num_inputs {
+        nets.push(b.input(&format!("x{i}")));
+    }
+    let latch_outs: Vec<NetId> = recipe
+        .latches
+        .iter()
+        .enumerate()
+        .map(|(i, &init)| {
+            let q = b.latch(&format!("q{i}"), init);
+            nets.push(q);
+            q
+        })
+        .collect();
+    for (gi, g) in recipe.gates.iter().enumerate() {
+        let kind = match g.kind {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Nand,
+            3 => GateKind::Nor,
+            4 => GateKind::Xor,
+            5 => GateKind::Xnor,
+            _ => GateKind::Not,
+        };
+        let picks: Vec<NetId> = if kind == GateKind::Not {
+            vec![nets[g.picks[0] % nets.len()]]
+        } else {
+            g.picks.iter().map(|&p| nets[p % nets.len()]).collect()
+        };
+        let out = b.gate_named(&format!("g{gi}"), kind, &picks);
+        nets.push(out);
+    }
+    for (i, &q) in latch_outs.iter().enumerate() {
+        let feed = nets[recipe.latch_feeds[i] % nets.len()];
+        b.connect_latch(q, feed);
+    }
+    for (i, &pick) in recipe.outputs.iter().enumerate() {
+        b.output(&format!("o{i}"), nets[pick % nets.len()]);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn symbolic_equals_simulation(recipe in recipe_strategy(), stimulus: u64) {
+        let circuit = build(&recipe);
+        let fsm = SymbolicFsm::new(&circuit);
+        let n_in = circuit.num_inputs();
+        let n_st = circuit.num_latches();
+        // Check several (input, state) points derived from the stimulus.
+        for k in 0..8u32 {
+            let bits = stimulus.rotate_left(k * 7);
+            let inputs: Vec<bool> = (0..n_in).map(|i| bits >> i & 1 == 1).collect();
+            let state: Vec<bool> = (0..n_st).map(|i| bits >> (16 + i) & 1 == 1).collect();
+            prop_assert!(symbolic_matches_simulation(&circuit, &fsm, &inputs, &state));
+        }
+    }
+
+    #[test]
+    fn blif_round_trip_behaviour(recipe in recipe_strategy(), stimulus: u64) {
+        let circuit = build(&recipe);
+        let text = print_blif(&circuit);
+        let reparsed = parse_blif(&text)
+            .map_err(|e| TestCaseError::fail(format!("reparse: {e}")))?;
+        prop_assert_eq!(reparsed.num_inputs(), circuit.num_inputs());
+        prop_assert_eq!(reparsed.num_latches(), circuit.num_latches());
+        let mut sa = circuit.initial_state();
+        let mut sb = reparsed.initial_state();
+        prop_assert_eq!(&sa, &sb);
+        for k in 0..12u32 {
+            let bits = stimulus.rotate_left(k * 5);
+            let inputs: Vec<bool> = (0..circuit.num_inputs())
+                .map(|i| bits >> i & 1 == 1)
+                .collect();
+            let (oa, na) = circuit.simulate(&inputs, &sa);
+            let (ob, nb) = reparsed.simulate(&inputs, &sb);
+            prop_assert_eq!(oa, ob);
+            sa = na;
+            sb = nb;
+        }
+    }
+
+    #[test]
+    fn image_methods_agree(recipe in recipe_strategy()) {
+        let circuit = build(&recipe);
+        let mut fsm = SymbolicFsm::new(&circuit);
+        let mut set = fsm.initial_states();
+        for _ in 0..3 {
+            let by_rel = fsm.image(set);
+            let by_rng = fsm.image_by_range(set);
+            prop_assert_eq!(by_rel, by_rng);
+            let bdd = fsm.bdd_mut();
+            set = bdd.or(set, by_rel);
+        }
+    }
+
+    #[test]
+    fn reachability_fixpoint_is_closed(recipe in recipe_strategy()) {
+        let circuit = build(&recipe);
+        let mut fsm = SymbolicFsm::new(&circuit);
+        let reached = {
+            let init = fsm.initial_states();
+            fsm.reachable_from(init)
+        };
+        // Closed under image and contains the initial state.
+        let img = fsm.image(reached);
+        prop_assert!(fsm.bdd_mut().implies_holds(img, reached));
+        let init = fsm.initial_states();
+        prop_assert!(fsm.bdd_mut().implies_holds(init, reached));
+    }
+
+    #[test]
+    fn product_miters_silent_on_self(recipe in recipe_strategy()) {
+        let circuit = build(&recipe);
+        prop_assume!(circuit.num_latches() <= 3); // keep the product small
+        let product = crate::product::product_circuit(&circuit, &circuit.clone());
+        let mut fsm = SymbolicFsm::new(&product);
+        let reached = {
+            let init = fsm.initial_states();
+            fsm.reachable_from(init)
+        };
+        let miters = fsm.output_fns().to_vec();
+        for m in miters {
+            let bad = fsm.bdd_mut().and(reached, m);
+            prop_assert!(bad.is_zero());
+        }
+    }
+}

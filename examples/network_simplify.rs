@@ -1,0 +1,50 @@
+//! Network simplification with observability don't cares — the paper's
+//! "incompletely specified circuit" motivation: internal nets of a logic
+//! network are unobservable on part of the input space, and minimizing
+//! each net's BDD against that freedom shrinks the network while provably
+//! preserving all outputs.
+//!
+//! Run with: `cargo run -p bddmin-eval --example network_simplify`
+
+use bddmin_core::Heuristic;
+use bddmin_fsm::{generators, simplify_report};
+
+fn main() {
+    for circuit in [
+        generators::traffic_light(),
+        generators::minmax("minmax4", 4),
+        generators::random_fsm("ctrl", 5, 4, 17),
+    ] {
+        println!("=== {circuit} ===");
+        println!(
+            "{:<14} {:>9} {:>9} {:>8}",
+            "net", "|f| orig", "|f| min", "ODC %"
+        );
+        let report = simplify_report(&circuit, |bdd, isf| {
+            Heuristic::OsmBt.minimize(bdd, isf)
+        });
+        let mut total_before = 0usize;
+        let mut total_after = 0usize;
+        let mut shown = 0;
+        for entry in &report {
+            total_before += entry.original_size;
+            total_after += entry.minimized_size;
+            // Show only the interesting rows (something was gained or the
+            // net has substantial unobservability).
+            if (entry.minimized_size < entry.original_size || entry.odc_pct > 20.0)
+                && shown < 10
+            {
+                println!(
+                    "{:<14} {:>9} {:>9} {:>7.1}%",
+                    entry.name, entry.original_size, entry.minimized_size, entry.odc_pct
+                );
+                shown += 1;
+            }
+        }
+        println!(
+            "total net-function BDD nodes: {total_before} -> {total_after} ({} nets)\n",
+            report.len()
+        );
+    }
+    println!("every replacement was verified to preserve all outputs and latch inputs");
+}

@@ -1,0 +1,121 @@
+//! Cross-crate soundness: every heuristic must return a valid cover on the
+//! *real* instance stream produced by symbolic reachability of the
+//! benchmark machines (not just synthetic leaf-spec instances).
+
+use bddmin_core::{lower_bound, minimize_all, Heuristic, Isf};
+use bddmin_fsm::{generators, product_circuit, Reachability, SymbolicFsm};
+
+/// Collects the frontier-choice instances of a short traversal and checks
+/// every heuristic on them.
+#[test]
+fn all_heuristics_cover_fsm_instances() {
+    for name in ["tlc", "minmax5", "s386"] {
+        let bench = generators::benchmark_suite()
+            .into_iter()
+            .find(|b| b.paper_name == name)
+            .expect("benchmark exists");
+        let product = product_circuit(&bench.circuit, &bench.circuit.clone());
+        let mut fsm = SymbolicFsm::new(&product);
+        let mut checked = 0usize;
+        let _ = Reachability::new()
+            .max_iterations(5)
+            .with_hook(|bdd, isf| {
+                for h in Heuristic::ALL {
+                    let g = h.minimize(bdd, isf);
+                    assert!(
+                        isf.is_cover(bdd, g),
+                        "{h} returned a non-cover on {name}"
+                    );
+                }
+                checked += 1;
+                bdd.constrain(isf.f, isf.c)
+            })
+            .run(&mut fsm);
+        assert!(checked > 0, "{name} produced no instances");
+    }
+}
+
+/// The per-latch image instances `[δᵢ, S]` are also covered soundly, and
+/// `constrain`'s result on them preserves the image (cross-checked against
+/// the relation-based image).
+#[test]
+fn image_instances_covered_and_image_preserved() {
+    let bench = generators::benchmark_suite()
+        .into_iter()
+        .find(|b| b.paper_name == "tlc")
+        .unwrap();
+    let mut fsm = SymbolicFsm::new(&bench.circuit);
+    let init = fsm.initial_states();
+    let mut set = init;
+    for _ in 0..3 {
+        let constrained = fsm.constrained_next_fns(set);
+        // Soundness of the instances as EBM problems.
+        let next_fns = fsm.next_fns().to_vec();
+        for (i, &delta) in next_fns.iter().enumerate() {
+            let isf = Isf::new(delta, set);
+            assert!(isf.is_cover(fsm.bdd_mut(), constrained[i]));
+            for h in [Heuristic::Restrict, Heuristic::OsmBt, Heuristic::TsmTd] {
+                let g = h.minimize(fsm.bdd_mut(), isf);
+                assert!(isf.is_cover(fsm.bdd_mut(), g), "{h}");
+            }
+        }
+        // Image preservation (the constrain special property).
+        let by_range = fsm.image_of_constrained(&constrained);
+        let by_relation = fsm.image(set);
+        assert_eq!(by_range, by_relation);
+        let bdd = fsm.bdd_mut();
+        set = bdd.or(set, by_range);
+    }
+}
+
+/// The lower bound is below every heuristic on real instances.
+#[test]
+fn lower_bound_sound_on_fsm_instances() {
+    let bench = generators::benchmark_suite()
+        .into_iter()
+        .find(|b| b.paper_name == "minmax5")
+        .unwrap();
+    let product = product_circuit(&bench.circuit, &bench.circuit.clone());
+    let mut fsm = SymbolicFsm::new(&product);
+    let _ = Reachability::new()
+        .max_iterations(4)
+        .with_hook(|bdd, isf| {
+            if !bdd.is_cube(isf.c) {
+                let lb = lower_bound(bdd, isf, 200);
+                let (_, min) = minimize_all(bdd, isf);
+                assert!(lb.bound <= bdd.size(min));
+            }
+            bdd.constrain(isf.f, isf.c)
+        })
+        .run(&mut fsm);
+}
+
+/// The traversal fixpoint is independent of which cover the hook returns —
+/// the whole justification for minimizing with don't cares.
+#[test]
+fn fixpoint_invariant_under_heuristic_choice() {
+    let bench = generators::benchmark_suite()
+        .into_iter()
+        .find(|b| b.paper_name == "s386")
+        .unwrap();
+    let mut counts = Vec::new();
+    for h in [
+        Heuristic::Constrain,
+        Heuristic::Restrict,
+        Heuristic::OsmBt,
+        Heuristic::TsmCp,
+        Heuristic::OptLv,
+        Heuristic::Scheduled,
+    ] {
+        let mut fsm = SymbolicFsm::new(&bench.circuit);
+        let stats = Reachability::new()
+            .with_hook(move |bdd, isf| h.minimize(bdd, isf))
+            .run(&mut fsm);
+        counts.push((h, fsm.count_states(stats.reached), stats.iterations));
+    }
+    let (h0, states0, iters0) = counts[0];
+    for &(h, states, iters) in &counts[1..] {
+        assert_eq!(states, states0, "{h} vs {h0}: different reached sets");
+        assert_eq!(iters, iters0, "{h} vs {h0}: different depths");
+    }
+}

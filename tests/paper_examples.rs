@@ -1,0 +1,195 @@
+//! Integration tests reproducing the paper's worked examples end-to-end
+//! across the crates.
+
+use bddmin_bdd::{Bdd, Var};
+use bddmin_core::{
+    generic_td, lower_bound, minimize_all, Heuristic, Isf, MatchCriterion, SiblingConfig,
+};
+
+/// §3.2 example 1: `(d1 01)` — constrain gives `(11 01)`, minimum `(01 01)`.
+#[test]
+fn example1_constrain_suboptimal() {
+    let mut bdd = Bdd::new(2);
+    let (f, c) = bdd.from_leaf_spec("d1 01").unwrap();
+    let isf = Isf::new(f, c);
+    let constrain_result = Heuristic::Constrain.minimize(&mut bdd, isf);
+    let paper_result = bdd.from_leaf_spec("11 01").unwrap().0;
+    let paper_minimum = bdd.from_leaf_spec("01 01").unwrap().0;
+    assert_eq!(constrain_result, paper_result);
+    assert!(isf.is_cover(&mut bdd, paper_minimum));
+    assert_eq!(bdd.size(paper_minimum), 2);
+    assert_eq!(bdd.size(constrain_result), 3);
+    // osm_td and tsm_td find a minimum on this instance (paper's claim).
+    for h in [Heuristic::OsmTd, Heuristic::TsmTd] {
+        let g = h.minimize(&mut bdd, isf);
+        assert_eq!(bdd.size(g), 2, "{h}");
+    }
+}
+
+/// §3.2 example 2: `(d1 01 1d 01)` — osm_td gives `(01 01 11 01)`,
+/// minimum `(11 01 11 01)`; constrain and tsm_td find a minimum.
+#[test]
+fn example2_osm_td_suboptimal() {
+    let mut bdd = Bdd::new(3);
+    let (f, c) = bdd.from_leaf_spec("d1 01 1d 01").unwrap();
+    let isf = Isf::new(f, c);
+    let osm_result = Heuristic::OsmTd.minimize(&mut bdd, isf);
+    let paper_result = bdd.from_leaf_spec("01 01 11 01").unwrap().0;
+    let paper_minimum = bdd.from_leaf_spec("11 01 11 01").unwrap().0;
+    assert_eq!(osm_result, paper_result);
+    assert!(isf.is_cover(&mut bdd, paper_minimum));
+    let g_con = Heuristic::Constrain.minimize(&mut bdd, isf);
+    assert_eq!(bdd.size(g_con), bdd.size(paper_minimum));
+    let g_tsm = Heuristic::TsmTd.minimize(&mut bdd, isf);
+    assert_eq!(bdd.size(g_tsm), bdd.size(paper_minimum));
+}
+
+/// §3.2 example 3: `(1d d1 d0 0d)` — tsm_td gives `(10 01 10 01)`,
+/// minimum `(11 11 00 00)`; constrain and osm_td find a minimum.
+#[test]
+fn example3_tsm_td_suboptimal() {
+    let mut bdd = Bdd::new(3);
+    let (f, c) = bdd.from_leaf_spec("1d d1 d0 0d").unwrap();
+    let isf = Isf::new(f, c);
+    let tsm_result = Heuristic::TsmTd.minimize(&mut bdd, isf);
+    let paper_result = bdd.from_leaf_spec("10 01 10 01").unwrap().0;
+    let paper_minimum = bdd.from_leaf_spec("11 11 00 00").unwrap().0;
+    assert_eq!(tsm_result, paper_result);
+    assert!(isf.is_cover(&mut bdd, paper_minimum));
+    // The minimum is ¬x1: two nodes.
+    let nx1 = bdd.literal(Var(0), false);
+    assert_eq!(paper_minimum, nx1);
+    let g_con = Heuristic::Constrain.minimize(&mut bdd, isf);
+    assert_eq!(bdd.size(g_con), 2);
+    let g_osm = Heuristic::OsmTd.minimize(&mut bdd, isf);
+    assert_eq!(bdd.size(g_osm), 2);
+    assert_eq!(bdd.size(tsm_result), 3);
+}
+
+/// No heuristic always beats another: each of the three examples is won by
+/// a different pair (the paper's point about incomparability).
+#[test]
+fn heuristics_are_incomparable() {
+    let mut bdd = Bdd::new(3);
+    let mut wins = [0usize; 3]; // constrain, osm_td, tsm_td
+    for spec in ["d1 01", "d1 01 1d 01", "1d d1 d0 0d"] {
+        let (f, c) = bdd.from_leaf_spec(spec).unwrap();
+        let isf = Isf::new(f, c);
+        let g_con = Heuristic::Constrain.minimize(&mut bdd, isf);
+        let g_osm = Heuristic::OsmTd.minimize(&mut bdd, isf);
+        let g_tsm = Heuristic::TsmTd.minimize(&mut bdd, isf);
+        let sizes = [bdd.size(g_con), bdd.size(g_osm), bdd.size(g_tsm)];
+        let best = *sizes.iter().min().unwrap();
+        for (i, &s) in sizes.iter().enumerate() {
+            if s == best {
+                wins[i] += 1;
+            }
+        }
+    }
+    // Each heuristic ties the minimum exactly twice over the three
+    // examples — 1: osm+tsm, 2: constrain+tsm, 3: constrain+osm.
+    assert_eq!(wins, [2, 2, 2]);
+}
+
+/// Theorem 7: every sibling heuristic is optimal when `c` is a cube, and
+/// the cube-based lower bound is tight there.
+#[test]
+fn theorem7_and_lower_bound_consistency() {
+    let mut bdd = Bdd::new(4);
+    let a = bdd.var(Var(0));
+    let c3 = bdd.var(Var(2));
+    let cube = bdd.and(a, c3);
+    let b = bdd.var(Var(1));
+    let d = bdd.var(Var(3));
+    let f = {
+        let x = bdd.xor(b, d);
+        let y = bdd.and(a, b);
+        bdd.or(x, y)
+    };
+    let isf = Isf::new(f, cube);
+    let sizes: Vec<usize> = Heuristic::SIBLING
+        .iter()
+        .map(|h| {
+            let g = h.minimize(&mut bdd, isf);
+            assert!(isf.is_cover(&mut bdd, g));
+            bdd.size(g)
+        })
+        .collect();
+    // All sibling heuristics agree on the optimal size.
+    assert!(sizes.windows(2).all(|w| w[0] == w[1]), "{sizes:?}");
+    let lb = lower_bound(&mut bdd, isf, 1000);
+    assert_eq!(lb.bound, sizes[0], "bound tight for cube care");
+}
+
+/// The Madre example (§3.2): introducing a foreign variable can shrink the
+/// cover to two nodes; no-new-vars heuristics cannot find it, but it is a
+/// valid cover.
+#[test]
+fn madre_example_new_variable_wins() {
+    let mut bdd = Bdd::new(4);
+    let x = bdd.var(Var(0));
+    let b = bdd.var(Var(1));
+    let c = bdd.var(Var(2));
+    let d = bdd.var(Var(3));
+    let f = {
+        let t = bdd.xor(b, c);
+        bdd.xor(t, d)
+    };
+    let nf = bdd.not(f);
+    let care = bdd.ite(x, f, nf);
+    let isf = Isf::new(f, care);
+    // x is a 2-node cover.
+    assert!(isf.is_cover(&mut bdd, x));
+    assert_eq!(bdd.size(x), 2);
+    // f itself is a cover of size 4.
+    assert_eq!(bdd.size(f), 4);
+    // Every heuristic still returns a valid cover.
+    let (results, min) = minimize_all(&mut bdd, isf);
+    for (h, g) in results {
+        assert!(isf.is_cover(&mut bdd, g), "{h}");
+    }
+    assert!(bdd.size(min) <= bdd.size(f));
+}
+
+/// Proposition 4's containment check, executed: a guessed cover can be
+/// verified in polynomial time by two implication checks.
+#[test]
+fn ebm_membership_check() {
+    let mut bdd = Bdd::new(3);
+    let (f, c) = bdd.from_leaf_spec("d1 01 1d 01").unwrap();
+    let isf = Isf::new(f, c);
+    // Guess: the paper minimum for this instance.
+    let guess = bdd.from_leaf_spec("11 01 11 01").unwrap().0;
+    assert!(isf.is_cover(&mut bdd, guess));
+    assert!(bdd.size(guess) < bdd.size(f) + 1);
+}
+
+/// Framework-vs-classic identities across crates (Table 2 rows 1 and 2) on
+/// a mixed corpus of leaf specs.
+#[test]
+fn framework_identities_on_corpus() {
+    let corpus = [
+        "d1 01",
+        "1d d1 d0 0d",
+        "0d d1 10 01 11 d0 d1 00",
+        "01 0d 01 d1",
+        "dd 01 11 d0",
+        "0d 1d d1 10 01 11 d0 d1 00 11 01 10 d0 0d 1d d1",
+    ];
+    for spec in corpus {
+        let mut bdd = Bdd::new(5);
+        let (f, c) = bdd.from_leaf_spec(spec).unwrap();
+        if c.is_zero() {
+            continue;
+        }
+        let isf = Isf::new(f, c);
+        let con = generic_td(&mut bdd, isf, SiblingConfig::new(MatchCriterion::Osdm));
+        assert_eq!(con, bdd.constrain(f, c), "{spec}");
+        let res = generic_td(
+            &mut bdd,
+            isf,
+            SiblingConfig::new(MatchCriterion::Osdm).no_new_vars(true),
+        );
+        assert_eq!(res, bdd.restrict(f, c), "{spec}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Whole-pipeline integration: benchmark generation → product machine →
+//! instrumented traversal → measurement → aggregation → rendering, on a
+//! bounded configuration so it stays fast in CI.
+
+use bddmin_core::Heuristic;
+use bddmin_eval::report::{render_figure3, render_summary, render_table3, render_table4};
+use bddmin_eval::runner::{run_experiment, ExperimentConfig, OnsetBucket};
+use bddmin_eval::tables::{figure3, summary, table3, table4};
+
+fn small_config() -> ExperimentConfig {
+    ExperimentConfig {
+        heuristics: Heuristic::ALL.to_vec(),
+        lower_bound_cubes: 20,
+        max_iterations: Some(3),
+        only_benchmarks: vec!["tlc".into(), "s386".into(), "minmax5".into()],
+    }
+}
+
+#[test]
+fn full_pipeline_produces_consistent_tables() {
+    let results = run_experiment(&small_config());
+    assert!(!results.calls.is_empty(), "no instances intercepted");
+
+    // Every call is internally consistent.
+    for call in &results.calls {
+        assert_eq!(call.sizes.len(), Heuristic::ALL.len());
+        let min = *call.sizes.iter().min().unwrap();
+        assert_eq!(call.min_size, min);
+        assert!(call.lower_bound <= call.min_size);
+        assert!(call.lower_bound >= 1);
+        // f_orig's size equals the instance's |f|.
+        let f_idx = results.index_of(Heuristic::FOrig).unwrap();
+        assert_eq!(call.sizes[f_idx], call.f_size);
+    }
+
+    // Table 3: min row ≤ every heuristic row; ranks are a permutation.
+    let t3 = table3(&results, None);
+    let min_total = t3
+        .rows
+        .iter()
+        .find(|r| r.name == "min")
+        .expect("min row")
+        .total_size;
+    let mut ranks = Vec::new();
+    for row in &t3.rows {
+        if let Some(rank) = row.rank {
+            assert!(row.total_size >= min_total);
+            ranks.push(rank);
+        }
+    }
+    ranks.sort_unstable();
+    assert_eq!(ranks, (1..=Heuristic::ALL.len()).collect::<Vec<_>>());
+    // Bucket tables partition the calls.
+    let n_small = table3(&results, Some(OnsetBucket::Small)).num_calls;
+    let n_med = table3(&results, Some(OnsetBucket::Medium)).num_calls;
+    let n_large = table3(&results, Some(OnsetBucket::Large)).num_calls;
+    assert_eq!(n_small + n_med + n_large, results.calls.len());
+
+    // Table 4: diagonal is zero, nothing strictly beats min, and the
+    // (i,j)+(j,i) sum never exceeds 100%.
+    let subset = [
+        Heuristic::FOrig,
+        Heuristic::Constrain,
+        Heuristic::Restrict,
+        Heuristic::OsmBt,
+        Heuristic::TsmTd,
+        Heuristic::OptLv,
+    ];
+    let t4 = table4(&results, &subset, true, None);
+    let k = t4.names.len();
+    for i in 0..k {
+        assert_eq!(t4.entries[i][i], 0.0);
+        assert_eq!(t4.entries[i][k - 1], 0.0, "beats min?");
+        for j in 0..k {
+            assert!(t4.entries[i][j] + t4.entries[j][i] <= 100.0 + 1e-9);
+        }
+    }
+
+    // Figure 3: monotone curves ending at 100%; min's own curve would be
+    // flat at 100 (not included), f_orig's y-intercept is the % of calls
+    // where f is already minimum.
+    let f3 = figure3(&results, &[Heuristic::FOrig, Heuristic::Restrict], 10.0, 300.0, None);
+    for curve in &f3.curves {
+        assert!(curve.windows(2).all(|w| w[1].1 >= w[0].1));
+        assert!((curve.last().unwrap().1 - 100.0).abs() < 1e-9);
+    }
+
+    // Summary: reduction factor ≥ 1 and min/bound ≥ 1.
+    let s = summary(&results, None);
+    assert!(s.reduction_factor >= 1.0);
+    assert!(s.min_over_bound >= 1.0);
+
+    // Rendering produces non-empty text for all artifacts.
+    assert!(render_table3(&t3).contains("Table 3"));
+    assert!(render_table4(&t4).contains("Table 4"));
+    assert!(render_figure3(&f3).contains("Figure 3"));
+    assert!(render_summary("all", &s).contains("reduction factor"));
+}
+
+#[test]
+fn experiment_is_deterministic() {
+    let a = run_experiment(&small_config());
+    let b = run_experiment(&small_config());
+    assert_eq!(a.calls.len(), b.calls.len());
+    assert_eq!(a.filtered, b.filtered);
+    for (x, y) in a.calls.iter().zip(&b.calls) {
+        assert_eq!(x.benchmark, y.benchmark);
+        assert_eq!(x.sizes, y.sizes);
+        assert_eq!(x.min_size, y.min_size);
+        assert_eq!(x.lower_bound, y.lower_bound);
+        assert_eq!(x.c_onset_pct, y.c_onset_pct);
+    }
+}
+
+#[test]
+fn both_instance_classes_appear() {
+    // The SIS-style traversal should produce both frontier-choice (large
+    // onset) and image-constrain (small onset) instances.
+    let results = run_experiment(&ExperimentConfig {
+        heuristics: vec![Heuristic::FOrig, Heuristic::Restrict],
+        lower_bound_cubes: 0,
+        max_iterations: Some(5),
+        only_benchmarks: vec!["s386".into(), "s820".into(), "mult16b".into()],
+    });
+    let small = results.calls_in(Some(OnsetBucket::Small)).len();
+    let large = results.calls_in(Some(OnsetBucket::Large)).len();
+    assert!(small > 0, "no small-onset (image) instances");
+    assert!(large > 0, "no large-onset (frontier) instances");
+    // The paper's observation: small-onset calls dominate.
+    assert!(small > large);
+}
