@@ -1,8 +1,22 @@
-//! Computed table: memoisation of BDD operations.
-
-use std::collections::HashMap;
+//! Computed table: lossy memoisation of BDD operations.
+//!
+//! CUDD-style fixed-capacity cache: a power-of-two array of 2-way buckets
+//! that **overwrites on collision**. Losing an entry only costs a
+//! re-computation — `ite` and friends re-derive the same canonical result —
+//! so the cache may be lossy without affecting correctness. In exchange:
+//!
+//! * memory is bounded (no unbounded `HashMap` growth during ITE storms),
+//! * there are no rehash pauses on the hot path,
+//! * [`ComputedTable::clear`] is O(1): a generation counter is bumped and
+//!   stale entries die in place (the paper's between-heuristics cache flush
+//!   becomes free).
+//!
+//! Hit/miss/eviction/occupancy counters feed [`BddStats`]
+//! (crate::BddStats), keeping the paper's cache-flush methodology
+//! observable.
 
 use crate::edge::Edge;
+use crate::util::mix64;
 
 /// Operation tags used as part of computed-table keys.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -15,16 +29,72 @@ pub(crate) enum Op {
     Compose(u32),
 }
 
-/// A simple computed table mapping `(op, a, b, c)` to a result edge.
-///
-/// This plays the role of the caches in [1]; the paper's experimental
-/// methodology ("we invoke the BDD garbage collector before each heuristic is
-/// called to flush the caches") maps to [`ComputedTable::clear`].
-#[derive(Debug, Default)]
+impl Op {
+    /// Injective encoding into a `u32` word: the five plain tags take
+    /// 0..=4 and `Compose(v)` maps to `5 + 8v`, which never collides with
+    /// a plain tag (it is ≥ 5) nor with another `Compose` (affine in `v`).
+    #[inline]
+    fn word(self) -> u32 {
+        match self {
+            Op::Ite => 0,
+            Op::Exists => 1,
+            Op::Forall => 2,
+            Op::Constrain => 3,
+            Op::Restrict => 4,
+            Op::Compose(v) => {
+                debug_assert!(v < (u32::MAX - 5) / 8, "variable index overflows op word");
+                5 + 8 * v
+            }
+        }
+    }
+}
+
+/// One cache entry: the full `(op, a, b, c)` key, the result, and the
+/// generation it was written in. 24 bytes; a 2-way bucket is 48 bytes, so
+/// a probe touches one cache line.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    op: u32,
+    a: u32,
+    b: u32,
+    c: u32,
+    result: u32,
+    generation: u32,
+}
+
+const DEAD: Entry = Entry {
+    op: 0,
+    a: 0,
+    b: 0,
+    c: 0,
+    result: 0,
+    generation: 0,
+};
+
+/// Default cache capacity in entries (2-way buckets of two); 2^16 entries
+/// = 1.5 MiB, enough for the paper-scale workloads while staying resident
+/// in L2/L3.
+const DEFAULT_LOG2_CAPACITY: u32 = 16;
+
+/// The lossy computed table.
+#[derive(Debug)]
 pub(crate) struct ComputedTable {
-    map: HashMap<(Op, Edge, Edge, Edge), Edge>,
+    entries: Box<[Entry]>,
+    /// `bucket_count - 1` where `bucket_count = capacity / 2`.
+    bucket_mask: usize,
+    /// Entries written in an earlier generation are invisible. Starts at 1
+    /// so the zero-initialised array is empty.
+    generation: u32,
+    occupied: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl Default for ComputedTable {
+    fn default() -> Self {
+        ComputedTable::with_log2_capacity(DEFAULT_LOG2_CAPACITY)
+    }
 }
 
 impl ComputedTable {
@@ -32,31 +102,107 @@ impl ComputedTable {
         Self::default()
     }
 
-    #[inline]
-    pub(crate) fn get(&mut self, op: Op, a: Edge, b: Edge, c: Edge) -> Option<Edge> {
-        match self.map.get(&(op, a, b, c)) {
-            Some(&r) => {
-                self.hits += 1;
-                Some(r)
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
+    /// A cache with `2^log2` entry slots (minimum 2).
+    pub(crate) fn with_log2_capacity(log2: u32) -> Self {
+        let cap = 1usize << log2.max(1);
+        ComputedTable {
+            entries: vec![DEAD; cap].into_boxed_slice(),
+            bucket_mask: (cap >> 1) - 1,
+            generation: 1,
+            occupied: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
         }
     }
 
     #[inline]
+    fn bucket(&self, op: u32, a: Edge, b: Edge, c: Edge) -> usize {
+        let k0 = ((op as u64) << 32) | a.to_bits() as u64;
+        let k1 = ((b.to_bits() as u64) << 32) | c.to_bits() as u64;
+        (mix64(k0 ^ k1.rotate_left(23).wrapping_mul(0x9E37_79B9_7F4A_7C15)) as usize
+            & self.bucket_mask)
+            << 1
+    }
+
+    #[inline]
+    pub(crate) fn get(&mut self, op: Op, a: Edge, b: Edge, c: Edge) -> Option<Edge> {
+        let op = op.word();
+        let i = self.bucket(op, a, b, c);
+        for way in 0..2 {
+            let e = self.entries[i + way];
+            if e.generation == self.generation
+                && e.op == op
+                && e.a == a.to_bits()
+                && e.b == b.to_bits()
+                && e.c == c.to_bits()
+            {
+                self.hits += 1;
+                if way == 1 {
+                    // Promote to the primary way so the hot entry survives
+                    // the next collision in this bucket.
+                    self.entries.swap(i, i + 1);
+                }
+                return Some(Edge::from_bits(e.result));
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    #[inline]
     pub(crate) fn insert(&mut self, op: Op, a: Edge, b: Edge, c: Edge, result: Edge) {
-        self.map.insert((op, a, b, c), result);
+        let op = op.word();
+        let i = self.bucket(op, a, b, c);
+        let fresh = Entry {
+            op,
+            a: a.to_bits(),
+            b: b.to_bits(),
+            c: c.to_bits(),
+            result: result.to_bits(),
+            generation: self.generation,
+        };
+        // Pick the victim way: a stale/empty slot if there is one,
+        // otherwise demote way 0 into way 1 (dropping way 1, the colder
+        // entry, as the eviction victim).
+        for way in 0..2 {
+            let e = self.entries[i + way];
+            if e.generation != self.generation {
+                self.entries[i + way] = fresh;
+                self.occupied += 1;
+                return;
+            }
+            if e.op == op && e.a == fresh.a && e.b == fresh.b && e.c == fresh.c {
+                // Same key re-inserted (recomputed after eviction elsewhere).
+                self.entries[i + way] = fresh;
+                return;
+            }
+        }
+        self.entries[i + 1] = self.entries[i];
+        self.entries[i] = fresh;
+        self.evictions += 1;
     }
 
+    /// O(1) flush: bump the generation so every entry becomes stale. On
+    /// the (astronomically rare) u32 wrap the array is scrubbed once so
+    /// ancient entries cannot resurrect.
     pub(crate) fn clear(&mut self) {
-        self.map.clear();
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.entries.fill(DEAD);
+            self.generation = 1;
+        }
+        self.occupied = 0;
     }
 
+    /// Entries written in the current generation.
     pub(crate) fn len(&self) -> usize {
-        self.map.len()
+        self.occupied
+    }
+
+    /// Total entry capacity.
+    pub(crate) fn capacity(&self) -> usize {
+        self.entries.len()
     }
 
     pub(crate) fn hits(&self) -> u64 {
@@ -65,6 +211,10 @@ impl ComputedTable {
 
     pub(crate) fn misses(&self) -> u64 {
         self.misses
+    }
+
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -103,5 +253,88 @@ mod tests {
             t.get(Op::Compose(2), Edge::ONE, Edge::ONE, Edge::ONE),
             None
         );
+    }
+
+    #[test]
+    fn op_words_are_injective() {
+        let words: Vec<u32> = [
+            Op::Ite,
+            Op::Exists,
+            Op::Forall,
+            Op::Constrain,
+            Op::Restrict,
+            Op::Compose(0),
+            Op::Compose(1),
+            Op::Compose(1000),
+        ]
+        .iter()
+        .map(|o| o.word())
+        .collect();
+        let mut dedup = words.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), words.len());
+    }
+
+    #[test]
+    fn collisions_evict_but_stay_bounded() {
+        // A tiny 4-entry cache: hammer it with distinct keys; capacity and
+        // occupancy must stay bounded and evictions must be counted.
+        let mut t = ComputedTable::with_log2_capacity(2);
+        assert_eq!(t.capacity(), 4);
+        for i in 0..100u32 {
+            let a = Edge::from_bits(i);
+            t.insert(Op::Ite, a, Edge::ONE, Edge::ZERO, a);
+        }
+        assert!(t.len() <= t.capacity());
+        assert!(t.evictions() > 0);
+        // Whatever survives must be exact.
+        for i in 0..100u32 {
+            let a = Edge::from_bits(i);
+            if let Some(r) = t.get(Op::Ite, a, Edge::ONE, Edge::ZERO) {
+                assert_eq!(r, a);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_clear_is_total() {
+        let mut t = ComputedTable::with_log2_capacity(4);
+        for i in 0..16u32 {
+            t.insert(Op::Ite, Edge::from_bits(i), Edge::ONE, Edge::ZERO, Edge::ONE);
+        }
+        let occupied = t.len();
+        assert!(occupied > 0);
+        t.clear();
+        for i in 0..16u32 {
+            assert_eq!(t.get(Op::Ite, Edge::from_bits(i), Edge::ONE, Edge::ZERO), None);
+        }
+        // Entries from before the flush must not be resurrected by
+        // re-inserting a subset.
+        t.insert(Op::Ite, Edge::from_bits(3), Edge::ONE, Edge::ZERO, Edge::ZERO);
+        assert_eq!(
+            t.get(Op::Ite, Edge::from_bits(3), Edge::ONE, Edge::ZERO),
+            Some(Edge::ZERO)
+        );
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn way1_hit_promotes() {
+        let mut t = ComputedTable::with_log2_capacity(1); // one bucket, 2 ways
+        t.insert(Op::Ite, Edge::from_bits(10), Edge::ONE, Edge::ZERO, Edge::ONE);
+        t.insert(Op::Ite, Edge::from_bits(20), Edge::ONE, Edge::ZERO, Edge::ZERO);
+        // Entry 10 got demoted to way 1; hitting it must promote it back.
+        assert_eq!(
+            t.get(Op::Ite, Edge::from_bits(10), Edge::ONE, Edge::ZERO),
+            Some(Edge::ONE)
+        );
+        // A third insert now evicts 20 (the cold one), not 10.
+        t.insert(Op::Ite, Edge::from_bits(30), Edge::ONE, Edge::ZERO, Edge::ONE);
+        assert_eq!(
+            t.get(Op::Ite, Edge::from_bits(10), Edge::ONE, Edge::ZERO),
+            Some(Edge::ONE)
+        );
+        assert_eq!(t.get(Op::Ite, Edge::from_bits(20), Edge::ONE, Edge::ZERO), None);
     }
 }

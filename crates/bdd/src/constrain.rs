@@ -37,7 +37,9 @@ impl Bdd {
     /// ```
     pub fn constrain(&mut self, f: Edge, c: Edge) -> Edge {
         assert!(!c.is_zero(), "constrain: care set must be non-empty");
-        self.constrain_rec(f, c)
+        self.begin_op();
+        let r = self.constrain_rec(f, c);
+        self.end_op(r)
     }
 
     fn constrain_rec(&mut self, f: Edge, c: Edge) -> Edge {
@@ -93,7 +95,9 @@ impl Bdd {
     /// ```
     pub fn restrict(&mut self, f: Edge, c: Edge) -> Edge {
         assert!(!c.is_zero(), "restrict: care set must be non-empty");
-        self.restrict_rec(f, c)
+        self.begin_op();
+        let r = self.restrict_rec(f, c);
+        self.end_op(r)
     }
 
     fn restrict_rec(&mut self, f: Edge, c: Edge) -> Edge {

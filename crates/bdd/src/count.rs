@@ -1,9 +1,10 @@
 //! Size and satisfaction counting.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use crate::edge::{Edge, NodeId, Var};
 use crate::manager::Bdd;
+use crate::util::{Bitmap, FastBuild};
 
 impl Bdd {
     /// The size `|f|`: number of nodes in the BDD of `f`, **including the
@@ -31,12 +32,14 @@ impl Bdd {
     /// Number of distinct nodes in the shared BDD of several functions,
     /// including the constant node (counted once).
     pub fn size_many(&self, fs: &[Edge]) -> usize {
-        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut seen = Bitmap::new(self.nodes.len());
+        let mut count = 0;
         let mut stack: Vec<Edge> = fs.iter().map(|e| e.regular()).collect();
         while let Some(e) = stack.pop() {
-            if !seen.insert(e.node()) {
+            if !seen.insert(e.node().index()) {
                 continue;
             }
+            count += 1;
             if e.is_constant() {
                 continue;
             }
@@ -46,8 +49,10 @@ impl Bdd {
         }
         // The terminal is always reachable from any edge (possibly via
         // complement), so make sure it is counted exactly once.
-        seen.insert(NodeId::TERMINAL);
-        seen.len()
+        if !seen.get(NodeId::TERMINAL.index()) {
+            count += 1;
+        }
+        count
     }
 
     /// The fraction of the full variable space `B^n` on which `f` is true,
@@ -69,7 +74,7 @@ impl Bdd {
     /// assert_eq!(bdd.sat_fraction(f), 0.25);
     /// ```
     pub fn sat_fraction(&self, f: Edge) -> f64 {
-        let mut memo: HashMap<NodeId, f64> = HashMap::new();
+        let mut memo: HashMap<NodeId, f64, FastBuild> = HashMap::default();
         let p = self.frac_rec(f.regular(), &mut memo);
         if f.is_complemented() {
             1.0 - p
@@ -78,7 +83,7 @@ impl Bdd {
         }
     }
 
-    fn frac_rec(&self, e: Edge, memo: &mut HashMap<NodeId, f64>) -> f64 {
+    fn frac_rec(&self, e: Edge, memo: &mut HashMap<NodeId, f64, FastBuild>) -> f64 {
         debug_assert!(!e.is_complemented());
         if e.is_constant() {
             return 1.0;
@@ -114,10 +119,10 @@ impl Bdd {
     /// number of nodes labelled `Var(i)`; the constant node is not included.
     pub fn level_profile(&self, f: Edge) -> Vec<usize> {
         let mut profile = vec![0usize; self.num_vars()];
-        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut seen = Bitmap::new(self.nodes.len());
         let mut stack = vec![f.regular()];
         while let Some(e) = stack.pop() {
-            if e.is_constant() || !seen.insert(e.node()) {
+            if e.is_constant() || !seen.insert(e.node().index()) {
                 continue;
             }
             let n = self.node(e);
@@ -132,10 +137,10 @@ impl Bdd {
     /// (the paper's `N_i(g)`), excluding the constant node.
     pub fn nodes_below_level(&self, f: Edge, level: Var) -> usize {
         let mut count = 0;
-        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut seen = Bitmap::new(self.nodes.len());
         let mut stack = vec![f.regular()];
         while let Some(e) = stack.pop() {
-            if e.is_constant() || !seen.insert(e.node()) {
+            if e.is_constant() || !seen.insert(e.node().index()) {
                 continue;
             }
             let n = self.node(e);

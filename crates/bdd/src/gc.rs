@@ -1,9 +1,15 @@
-//! Mark–sweep garbage collection.
-
-use std::collections::HashSet;
+//! Mark–sweep garbage collection with bitmap marking.
+//!
+//! The mark set is a dense `u64` bitmap parallel to the node vector (one
+//! bit per slot) instead of a `HashSet<NodeId>`: marking is a shift and an
+//! OR, and the sweep reads the bitmap sequentially. After the sweep the
+//! unique table is rebuilt densely from the survivors, which both removes
+//! the dead entries and repairs any probe-sequence damage accumulated
+//! since the last collection.
 
 use crate::edge::{Edge, NodeId};
 use crate::manager::Bdd;
+use crate::util::Bitmap;
 
 impl Bdd {
     /// Reclaims every node not reachable from `roots` and clears the
@@ -11,6 +17,8 @@ impl Bdd {
     ///
     /// Live edges keep their identity (node slots are stable); any edge not
     /// protected by a root becomes dangling and must not be used afterwards.
+    /// Single-variable functions ([`Bdd::var`]) and explicitly pinned edges
+    /// ([`Bdd::pin`]) are implicit roots and always survive.
     /// This mirrors the paper's experimental discipline of invoking the
     /// garbage collector (and thereby flushing the caches) before timing
     /// each heuristic.
@@ -29,36 +37,46 @@ impl Bdd {
     /// assert_eq!(bdd.stats().live_nodes, before - freed);
     /// ```
     pub fn collect_garbage(&mut self, roots: &[Edge]) -> usize {
-        let mut marked: HashSet<NodeId> = HashSet::new();
-        marked.insert(NodeId::TERMINAL);
+        let mut marked = Bitmap::new(self.nodes.len());
+        marked.set(NodeId::TERMINAL.index());
         let mut stack: Vec<NodeId> = roots.iter().map(|e| e.node()).collect();
+        // Implicit roots: the pinned list and the single-variable
+        // functions, which must stay valid across collections and
+        // unique-table rebuilds.
+        stack.extend(self.pinned.iter().map(|e| e.node()));
+        stack.extend(self.var_roots.iter().flatten().map(|e| e.node()));
         while let Some(id) = stack.pop() {
-            if !marked.insert(id) {
+            if !marked.insert(id.index()) {
                 continue;
             }
             let n = self.nodes[id.index()];
-            stack.push(n.hi.node());
-            stack.push(n.lo.node());
-        }
-        // Also keep the single-variable functions alive: they are cheap, and
-        // callers reasonably expect `var()` results to stay valid.
-        for v in 0..self.num_vars() as u32 {
-            let var = crate::edge::Var(v);
-            if let Some(&id) = self.unique.get(&(var, Edge::ONE, Edge::ZERO)) {
-                marked.insert(id);
+            if !n.hi.is_constant() {
+                stack.push(n.hi.node());
+            }
+            if !n.lo.is_constant() {
+                stack.push(n.lo.node());
             }
         }
         let mut reclaimed = 0;
         for slot in 1..self.nodes.len() {
-            let id = NodeId(slot as u32);
-            if self.live[slot] && !marked.contains(&id) {
-                let n = self.nodes[slot];
-                self.unique.remove(&(n.var, n.hi, n.lo));
+            if self.live[slot] && !marked.get(slot) {
                 self.live[slot] = false;
                 self.free.push(slot as u32);
                 reclaimed += 1;
             }
         }
+        // Rebuild the unique table densely from the survivors: dead keys
+        // vanish and probe clusters reset to near-ideal length.
+        let live = &self.live;
+        self.unique.rebuild(
+            &self.nodes,
+            (1..self.nodes.len())
+                .filter(|&s| live[s])
+                .map(|s| NodeId(s as u32)),
+        );
+        // Every marked decision node (all marks except the terminal's) must
+        // have landed in the rebuilt table exactly once.
+        debug_assert_eq!(self.unique.len(), marked.count() - 1);
         self.cache.clear();
         self.gc_runs += 1;
         self.gc_reclaimed += reclaimed as u64;
@@ -126,6 +144,40 @@ mod tests {
     }
 
     #[test]
+    fn gc_rebuild_is_canonical_at_scale() {
+        // Force unique-table growth, GC away most of it, rebuild, and
+        // check edges stay canonical through the dense table rebuild.
+        let mut bdd = Bdd::new(16);
+        let vars: Vec<Edge> = (0..16).map(|i| bdd.var(Var(i))).collect();
+        let mut keep = Edge::ZERO;
+        for w in vars.chunks(2) {
+            let t = bdd.and(w[0], w[1]);
+            keep = bdd.or(keep, t);
+        }
+        // Scratch storm to bloat the table.
+        let mut scratch = Edge::ONE;
+        for i in 0..15 {
+            let x = bdd.xor(vars[i], vars[i + 1]);
+            scratch = bdd.ite(x, scratch, keep);
+        }
+        let _ = scratch;
+        let keep_size = bdd.size(keep);
+        let freed = bdd.collect_garbage(&[keep]);
+        assert!(freed > 0);
+        assert_eq!(bdd.size(keep), keep_size);
+        // Identical reconstruction is pointer-equal (canonicity survived
+        // the rebuild), and derived identities hold.
+        let mut keep2 = Edge::ZERO;
+        for w in vars.chunks(2) {
+            let t = bdd.and(w[0], w[1]);
+            keep2 = bdd.or(keep2, t);
+        }
+        assert_eq!(keep, keep2);
+        let g = bdd.or(keep, keep);
+        assert_eq!(g, keep);
+    }
+
+    #[test]
     fn gc_clears_cache() {
         let mut bdd = Bdd::new(4);
         let a = bdd.var(Var(0));
@@ -143,5 +195,85 @@ mod tests {
         let a = bdd.var(Var(0));
         bdd.collect_garbage(&[]);
         assert_eq!(bdd.var(Var(0)), a);
+        // The pinned var root is usable, not just pointer-equal.
+        let b = bdd.var(Var(1));
+        let f = bdd.and(a, b);
+        assert!(bdd.eval(f, &[true, true, false]));
+    }
+
+    #[test]
+    fn pinned_edges_survive_gc() {
+        let mut bdd = Bdd::new(4);
+        let a = bdd.var(Var(0));
+        let b = bdd.var(Var(1));
+        let f = bdd.xor(a, b);
+        let f_size = bdd.size(f);
+        bdd.pin(f);
+        bdd.collect_garbage(&[]);
+        assert_eq!(bdd.size(f), f_size);
+        assert!(bdd.eval(f, &[true, false, false, false]));
+        // After unpinning, a GC with no roots may reclaim it.
+        bdd.unpin(f);
+        let freed = bdd.collect_garbage(&[]);
+        assert!(freed > 0);
+    }
+
+    #[test]
+    fn auto_gc_collects_scratch() {
+        let mut bdd = Bdd::new(24);
+        bdd.set_auto_gc(true);
+        bdd.gc_threshold = 32; // force the trigger on a small workload
+        let vars: Vec<Edge> = (0..24).map(|i| bdd.var(Var(i))).collect();
+        let keep = bdd.and(vars[0], vars[1]);
+        bdd.pin(keep);
+        // Churn: single-op scratch per iteration (auto-GC semantics: any
+        // unpinned edge may die between top-level operations).
+        for round in 0..200 {
+            let i = round % 20;
+            let _ = bdd.xor(vars[i], vars[i + 3]);
+        }
+        assert!(bdd.stats().gc_runs > 0, "auto GC never fired");
+        // Pinned and var edges survived and stay usable.
+        let mut assign = [false; 24];
+        (assign[0], assign[1]) = (true, true);
+        assert!(bdd.eval(keep, &assign));
+        assert_eq!(bdd.size(keep), 3);
+        let again = bdd.and(vars[0], vars[1]);
+        assert_eq!(again, keep);
+    }
+
+    #[test]
+    fn auto_gc_defers_while_op_in_flight() {
+        // A compound op (restrict calls or() internally) must not be torn
+        // by an automatic collection firing mid-recursion: the final
+        // result is protected, intermediate recursion results are not, so
+        // the collection has to wait for depth zero.
+        let mut bdd = Bdd::new(12);
+        bdd.set_auto_gc(true);
+        bdd.gc_threshold = 4; // absurdly low: every mk wants a GC
+        let vars: Vec<Edge> = (0..12).map(|i| bdd.var(Var(i))).collect();
+        let mut f = Edge::ZERO;
+        let mut care = Edge::ONE;
+        for w in vars.chunks(3) {
+            let t = {
+                let ab = bdd.and(w[0], w[1]);
+                bdd.xor(ab, w[2])
+            };
+            f = bdd.or(f, t);
+            let c = bdd.or(w[0], w[2]);
+            care = bdd.and(care, c);
+            // f/care survive only because each loop iteration re-derives
+            // them as op results; pin them across iterations to be safe.
+            bdd.pin(f);
+            bdd.pin(care);
+        }
+        let g = bdd.restrict(f, care);
+        // Cover property: f·care ≤ g ≤ f + ¬care.
+        bdd.pin(g);
+        let onset = bdd.and(f, care);
+        assert!(bdd.implies_holds(onset, g));
+        let upper = bdd.or(f, care.complement());
+        assert!(bdd.implies_holds(g, upper));
+        assert!(bdd.stats().gc_runs > 0);
     }
 }

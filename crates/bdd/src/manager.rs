@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use crate::cache::ComputedTable;
 use crate::edge::{Edge, NodeId, Var};
 use crate::node::Node;
+use crate::unique::UniqueTable;
 
 /// Counters describing the state of a [`Bdd`] manager.
 ///
@@ -18,6 +19,7 @@ use crate::node::Node;
 /// let _ = bdd.and(a, b);
 /// let stats = bdd.stats();
 /// assert!(stats.live_nodes >= 3);
+/// assert!(stats.cache_capacity > 0);
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BddStats {
@@ -25,12 +27,18 @@ pub struct BddStats {
     pub live_nodes: usize,
     /// Total node slots ever allocated (live + free-listed).
     pub allocated_nodes: usize,
-    /// Entries in the computed table.
+    /// Entries in the computed table (current generation).
     pub cache_entries: usize,
     /// Computed-table hits since creation.
     pub cache_hits: u64,
     /// Computed-table misses since creation.
     pub cache_misses: u64,
+    /// Computed-table entries overwritten by colliding keys (lossy cache).
+    pub cache_evictions: u64,
+    /// Fixed entry capacity of the computed table.
+    pub cache_capacity: usize,
+    /// Slot capacity of the open-addressed unique table.
+    pub unique_capacity: usize,
     /// Garbage collections performed.
     pub gc_runs: u64,
     /// Nodes reclaimed by garbage collection.
@@ -62,13 +70,34 @@ pub struct Bdd {
     pub(crate) free: Vec<u32>,
     /// Liveness flags parallel to `nodes` (false = slot is on the free list).
     pub(crate) live: Vec<bool>,
-    pub(crate) unique: HashMap<(Var, Edge, Edge), NodeId>,
+    pub(crate) unique: UniqueTable,
     pub(crate) cache: ComputedTable,
     var_names: Vec<String>,
     name_index: HashMap<String, Var>,
+    /// The single-variable function for each declared variable, recorded on
+    /// first construction. These are pinned GC roots: `var()` results stay
+    /// valid across collections and unique-table rebuilds.
+    pub(crate) var_roots: Vec<Option<Edge>>,
+    /// User-pinned GC roots (see [`Bdd::pin`]); always marked live.
+    pub(crate) pinned: Vec<Edge>,
+    /// Automatic GC: when enabled, a collection over the pinned roots runs
+    /// at the next quiescent point after the live-node count crosses
+    /// `gc_threshold`.
+    pub(crate) auto_gc: bool,
+    pub(crate) gc_threshold: usize,
+    /// Set by `mk` when growth crosses `gc_threshold`; consumed by
+    /// [`Bdd::end_op`] once the operation nesting depth returns to zero
+    /// (running a collection mid-recursion would free unprotected
+    /// intermediate results).
+    pub(crate) gc_wanted: bool,
+    /// Nesting depth of in-flight recursive operations.
+    pub(crate) op_depth: u32,
     pub(crate) gc_runs: u64,
     pub(crate) gc_reclaimed: u64,
 }
+
+/// Live-node floor below which automatic GC never triggers.
+const MIN_AUTO_GC_THRESHOLD: usize = 1 << 14;
 
 impl Bdd {
     /// Creates a manager with `num_vars` variables named `x1 … xn`
@@ -105,10 +134,16 @@ impl Bdd {
             nodes: vec![Node::TERMINAL],
             free: Vec::new(),
             live: vec![true],
-            unique: HashMap::new(),
+            unique: UniqueTable::new(),
             cache: ComputedTable::new(),
             var_names: Vec::new(),
             name_index: HashMap::new(),
+            var_roots: Vec::new(),
+            pinned: Vec::new(),
+            auto_gc: false,
+            gc_threshold: MIN_AUTO_GC_THRESHOLD,
+            gc_wanted: false,
+            op_depth: 0,
             gc_runs: 0,
             gc_reclaimed: 0,
         };
@@ -131,6 +166,7 @@ impl Bdd {
         let var = Var(self.var_names.len() as u32);
         self.var_names.push(name.to_owned());
         self.name_index.insert(name.to_owned(), var);
+        self.var_roots.push(None);
         var
     }
 
@@ -155,6 +191,9 @@ impl Bdd {
 
     /// The single-variable function `var`.
     ///
+    /// The returned edge is a pinned GC root: it survives
+    /// [`Bdd::collect_garbage`] whether or not it is passed as a root.
+    ///
     /// # Panics
     ///
     /// Panics if `var` is not declared.
@@ -164,7 +203,12 @@ impl Bdd {
             "variable {var} not declared (have {})",
             self.var_names.len()
         );
-        self.mk(var, Edge::ONE, Edge::ZERO)
+        if let Some(e) = self.var_roots[var.index()] {
+            return e;
+        }
+        let e = self.mk(var, Edge::ONE, Edge::ZERO);
+        self.var_roots[var.index()] = Some(e);
+        e
     }
 
     /// The literal `var` (positive) or `!var` (negative).
@@ -180,6 +224,69 @@ impl Bdd {
         } else {
             Edge::ZERO
         }
+    }
+
+    /// Pins `edge` as a garbage-collection root: the function (and its
+    /// cone) survives every [`Bdd::collect_garbage`] — including automatic
+    /// collections (see [`Bdd::set_auto_gc`]) — until [`Bdd::unpin`]ned.
+    pub fn pin(&mut self, edge: Edge) {
+        self.pinned.push(edge);
+    }
+
+    /// Removes one pin of `edge` (edges can be pinned multiple times).
+    /// Returns true if a pin was found.
+    pub fn unpin(&mut self, edge: Edge) -> bool {
+        match self.pinned.iter().rposition(|&e| e == edge) {
+            Some(i) => {
+                self.pinned.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Enables or disables automatic garbage collection.
+    ///
+    /// When enabled, the manager collects at the next quiescent point
+    /// (between top-level operations, never mid-recursion) after the live
+    /// node count crosses an adaptive threshold. **Only pinned edges
+    /// ([`Bdd::pin`]), single-variable functions, and the result of the
+    /// operation that triggered the collection survive** — any other edge
+    /// the caller still holds becomes dangling. Off by default.
+    pub fn set_auto_gc(&mut self, enabled: bool) {
+        self.auto_gc = enabled;
+        self.gc_wanted = false;
+    }
+
+    /// Count of live (allocated and not freed) nodes.
+    #[inline]
+    pub(crate) fn live_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Marks the start of a (possibly recursive) operation; paired with
+    /// [`Bdd::end_op`]. Automatic GC is deferred while any operation is in
+    /// flight so intermediate results cannot be swept.
+    #[inline]
+    pub(crate) fn begin_op(&mut self) {
+        self.op_depth += 1;
+    }
+
+    /// Marks the end of an operation. At depth zero, runs a pending
+    /// automatic collection with `result` protected alongside the pinned
+    /// roots.
+    #[inline]
+    pub(crate) fn end_op(&mut self, result: Edge) -> Edge {
+        self.op_depth -= 1;
+        if self.op_depth == 0 && self.gc_wanted {
+            self.gc_wanted = false;
+            if self.auto_gc {
+                self.collect_garbage(&[result]);
+                // Back off: require meaningful growth before the next one.
+                self.gc_threshold = (self.live_count() * 2).max(MIN_AUTO_GC_THRESHOLD);
+            }
+        }
+        result
     }
 
     /// Canonicalizing node constructor ("find-or-add").
@@ -201,7 +308,7 @@ impl Bdd {
 
     fn mk_raw(&mut self, var: Var, hi: Edge, lo: Edge) -> Edge {
         debug_assert!(!hi.is_complemented());
-        if let Some(&id) = self.unique.get(&(var, hi, lo)) {
+        if let Some(id) = self.unique.find(&self.nodes, var, hi, lo) {
             return Edge::new(id, false);
         }
         let id = match self.free.pop() {
@@ -218,7 +325,10 @@ impl Bdd {
                 id
             }
         };
-        self.unique.insert((var, hi, lo), id);
+        self.unique.insert(&self.nodes, id);
+        if self.auto_gc && self.live_count() > self.gc_threshold {
+            self.gc_wanted = true;
+        }
         Edge::new(id, false)
     }
 
@@ -268,7 +378,7 @@ impl Bdd {
     }
 
     /// Clears the computed table (the paper's cache flush between
-    /// heuristics).
+    /// heuristics). O(1): the cache is generation-stamped.
     pub fn clear_caches(&mut self) {
         self.cache.clear();
     }
@@ -276,11 +386,14 @@ impl Bdd {
     /// Current manager statistics.
     pub fn stats(&self) -> BddStats {
         BddStats {
-            live_nodes: self.nodes.len() - self.free.len(),
+            live_nodes: self.live_count(),
             allocated_nodes: self.nodes.len(),
             cache_entries: self.cache.len(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
+            cache_evictions: self.cache.evictions(),
+            cache_capacity: self.cache.capacity(),
+            unique_capacity: self.unique.capacity(),
             gc_runs: self.gc_runs,
             gc_reclaimed: self.gc_reclaimed,
         }
@@ -379,5 +492,43 @@ mod tests {
         assert!(bdd.level(Edge::ZERO).is_terminal());
         assert_eq!(bdd.constant(true), Edge::ONE);
         assert_eq!(bdd.constant(false), Edge::ZERO);
+    }
+
+    #[test]
+    fn unique_table_doubles_with_growth() {
+        // Build a function family big enough to force several table
+        // doublings; canonicity (find-or-add) must hold throughout.
+        let mut bdd = Bdd::new(18);
+        let start_cap = bdd.stats().unique_capacity;
+        let mut f = Edge::ZERO;
+        for i in 0..18u32 {
+            let v = bdd.var(Var(i));
+            let prev = f;
+            let w = bdd.xor(v, prev);
+            f = bdd.or(w, prev);
+        }
+        assert!(bdd.stats().unique_capacity >= start_cap);
+        // Rebuilding an equal function must return the identical edge.
+        let mut g = Edge::ZERO;
+        for i in 0..18u32 {
+            let v = bdd.var(Var(i));
+            let prev = g;
+            let w = bdd.xor(v, prev);
+            g = bdd.or(w, prev);
+        }
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn pin_unpin_roundtrip() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(Var(0));
+        let b = bdd.var(Var(1));
+        let f = bdd.and(a, b);
+        bdd.pin(f);
+        bdd.pin(f);
+        assert!(bdd.unpin(f));
+        assert!(bdd.unpin(f));
+        assert!(!bdd.unpin(f));
     }
 }

@@ -26,6 +26,12 @@ impl Bdd {
     /// assert_eq!(mux, manual);
     /// ```
     pub fn ite(&mut self, f: Edge, g: Edge, h: Edge) -> Edge {
+        self.begin_op();
+        let r = self.ite_rec(f, g, h);
+        self.end_op(r)
+    }
+
+    pub(crate) fn ite_rec(&mut self, f: Edge, g: Edge, h: Edge) -> Edge {
         // Terminal cases.
         if f.is_one() {
             return g;
@@ -99,8 +105,8 @@ impl Bdd {
         let (f1, f0) = self.branches_at(f, top);
         let (g1, g0) = self.branches_at(g, top);
         let (h1, h0) = self.branches_at(h, top);
-        let t = self.ite(f1, g1, h1);
-        let e = self.ite(f0, g0, h0);
+        let t = self.ite_rec(f1, g1, h1);
+        let e = self.ite_rec(f0, g0, h0);
         let r = self.mk(top, t, e);
         self.cache.insert(Op::Ite, f, g, h, r);
         r.complement_if(negate)
@@ -188,7 +194,9 @@ impl Bdd {
     /// assert!(bdd.cofactor(f, Var(0), false).is_zero());
     /// ```
     pub fn cofactor(&mut self, f: Edge, var: Var, value: bool) -> Edge {
-        self.cofactor_rec(f, var, if value { Edge::ONE } else { Edge::ZERO })
+        self.begin_op();
+        let r = self.cofactor_rec(f, var, if value { Edge::ONE } else { Edge::ZERO });
+        self.end_op(r)
     }
 
     fn cofactor_rec(&mut self, f: Edge, var: Var, value: Edge) -> Edge {
@@ -245,7 +253,9 @@ impl Bdd {
     /// Panics if `vars` is not a positive cube.
     pub fn exists(&mut self, f: Edge, vars: Edge) -> Edge {
         self.assert_positive_cube(vars);
-        self.exists_rec(f, vars)
+        self.begin_op();
+        let r = self.exists_rec(f, vars);
+        self.end_op(r)
     }
 
     fn exists_rec(&mut self, f: Edge, mut cube: Edge) -> Edge {
@@ -286,9 +296,10 @@ impl Bdd {
         if let Some(r) = self.cache.get(Op::Forall, f, vars, Edge::ONE) {
             return r;
         }
+        self.begin_op();
         let r = self.exists_rec(f.complement(), vars).complement();
         self.cache.insert(Op::Forall, f, vars, Edge::ONE, r);
-        r
+        self.end_op(r)
     }
 
     /// Relational product `∃ vars . (f · g)` (the workhorse of image
@@ -327,6 +338,12 @@ impl Bdd {
     /// Substitutes the function `g` for variable `var` in `f` (functional
     /// composition `f[var ← g]`).
     pub fn compose(&mut self, f: Edge, var: Var, g: Edge) -> Edge {
+        self.begin_op();
+        let r = self.compose_rec(f, var, g);
+        self.end_op(r)
+    }
+
+    fn compose_rec(&mut self, f: Edge, var: Var, g: Edge) -> Edge {
         if self.level(f) > var {
             return f;
         }
@@ -338,8 +355,8 @@ impl Bdd {
         let r = if top == var {
             self.ite(g, f1, f0)
         } else {
-            let t = self.compose(f1, var, g);
-            let e = self.compose(f0, var, g);
+            let t = self.compose_rec(f1, var, g);
+            let e = self.compose_rec(f0, var, g);
             // Cannot use mk: g may have pushed structure above `top`.
             let tv = self.var(top);
             self.ite(tv, t, e)
@@ -385,11 +402,11 @@ impl Bdd {
     /// assert_eq!(bdd.support(f), vec![Var(0), Var(2)]);
     /// ```
     pub fn support(&self, f: Edge) -> Vec<Var> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = crate::util::Bitmap::new(self.nodes.len());
         let mut vars = std::collections::BTreeSet::new();
         let mut stack = vec![f.regular()];
         while let Some(e) = stack.pop() {
-            if e.is_constant() || !seen.insert(e.node()) {
+            if e.is_constant() || !seen.insert(e.node().index()) {
                 continue;
             }
             let n = self.node(e);

@@ -12,6 +12,7 @@ use std::collections::HashMap;
 
 use crate::edge::{Edge, Var};
 use crate::manager::Bdd;
+use crate::util::FastBuild;
 
 impl Bdd {
     /// Rebuilds `f` (a function of *this* manager) inside `target`,
@@ -71,7 +72,7 @@ impl Bdd {
         let mut by_target: Vec<(Var, Var)> = mapping.iter().map(|(&s, &t)| (t, s)).collect();
         by_target.sort();
         let plan: Vec<(Var, Var)> = by_target; // (target var, source var)
-        let mut memo: HashMap<(Edge, usize), Edge> = HashMap::new();
+        let mut memo: HashMap<(Edge, usize), Edge, FastBuild> = HashMap::default();
         self.transfer_rec(f, target, &plan, 0, &mut memo)
     }
 
@@ -81,7 +82,7 @@ impl Bdd {
         target: &mut Bdd,
         plan: &[(Var, Var)],
         depth: usize,
-        memo: &mut HashMap<(Edge, usize), Edge>,
+        memo: &mut HashMap<(Edge, usize), Edge, FastBuild>,
     ) -> Edge {
         if f.is_constant() {
             return f; // ONE/ZERO are identical edges in every manager

@@ -1,0 +1,266 @@
+//! Open-addressed unique table (the hash-consing "find-or-add" structure).
+//!
+//! CUDD-style layout: the table is a power-of-two array of `u32` node-slot
+//! indices; node payloads stay in the manager's contiguous `nodes` vector.
+//! A probe therefore touches one small table word and (on candidate match)
+//! one 12-byte node — no tuple keys, no SipHash, no per-entry allocation.
+//!
+//! * **Hash**: the `(var, hi, lo)` key packs into a single `u64`-pair mix
+//!   ([`key_hash`]), a multiply-xorshift finalizer in the wyhash family.
+//! * **Probing**: linear, mask-wrapped. Linear probing is the right choice
+//!   here because the table stores 4-byte entries — a whole probe cluster
+//!   sits in one or two cache lines.
+//! * **Deletion**: none. The only deletions happen during garbage
+//!   collection, which rebuilds the table densely from the surviving nodes
+//!   ([`UniqueTable::rebuild`]), so no tombstones ever accumulate and
+//!   probe sequences stay short after every GC.
+//! * **Growth**: doubling when the load factor crosses 2/3, rehashing from
+//!   the live node payloads.
+
+use crate::edge::{Edge, NodeId, Var};
+use crate::node::Node;
+use crate::util::mix64;
+
+/// Sentinel for an empty table slot (never a valid node index: the node
+/// table asserts `id < u32::MAX >> 1`).
+const EMPTY: u32 = u32::MAX;
+
+/// Smallest table capacity (slots); must be a power of two.
+const MIN_CAPACITY: usize = 1 << 8;
+
+/// Hash of a unique-table key. `hi` is always a regular edge here (the
+/// manager normalises complement attributes before consing), so all 96 key
+/// bits are significant.
+#[inline]
+pub(crate) fn key_hash(var: Var, hi: Edge, lo: Edge) -> u64 {
+    let a = ((var.0 as u64) << 32) | hi.to_bits() as u64;
+    let b = lo.to_bits() as u64;
+    // Two-word mix: fold `lo` in with a rotation so (a, b) and (b, a)
+    // diverge, then finalize.
+    mix64(a ^ b.rotate_left(32).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The open-addressed unique table. Stores node-slot indices only; key
+/// comparisons read the node payloads from the `nodes` slice the manager
+/// passes in.
+#[derive(Debug)]
+pub(crate) struct UniqueTable {
+    slots: Box<[u32]>,
+    /// `capacity - 1`; capacity is a power of two.
+    mask: usize,
+    /// Occupied slot count.
+    len: usize,
+}
+
+impl UniqueTable {
+    pub(crate) fn new() -> UniqueTable {
+        UniqueTable::with_capacity(MIN_CAPACITY)
+    }
+
+    /// Creates a table with at least `capacity` slots (rounded up to a
+    /// power of two, floored at [`MIN_CAPACITY`]).
+    pub(crate) fn with_capacity(capacity: usize) -> UniqueTable {
+        let cap = capacity.next_power_of_two().max(MIN_CAPACITY);
+        UniqueTable {
+            slots: vec![EMPTY; cap].into_boxed_slice(),
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of stored nodes.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Total slot capacity.
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True once an insert would push the load factor past 2/3.
+    #[inline]
+    fn needs_grow(&self) -> bool {
+        (self.len + 1) * 3 > self.slots.len() * 2
+    }
+
+    /// Finds the node with key `(var, hi, lo)`.
+    #[inline]
+    pub(crate) fn find(&self, nodes: &[Node], var: Var, hi: Edge, lo: Edge) -> Option<NodeId> {
+        let mut i = key_hash(var, hi, lo) as usize & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s == EMPTY {
+                return None;
+            }
+            let n = &nodes[s as usize];
+            if n.var == var && n.hi == hi && n.lo == lo {
+                return Some(NodeId(s));
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Inserts node `id` (whose payload must already be `(var, hi, lo)` in
+    /// `nodes`, and must not be present in the table). Grows first if the
+    /// load factor demands it.
+    #[inline]
+    pub(crate) fn insert(&mut self, nodes: &[Node], id: NodeId) {
+        if self.needs_grow() {
+            self.grow(nodes);
+        }
+        let n = &nodes[id.index()];
+        let mut i = key_hash(n.var, n.hi, n.lo) as usize & self.mask;
+        while self.slots[i] != EMPTY {
+            debug_assert_ne!(self.slots[i], id.0, "double insert");
+            i = (i + 1) & self.mask;
+        }
+        self.slots[i] = id.0;
+        self.len += 1;
+    }
+
+    /// Doubles the capacity and rehashes every entry from the node
+    /// payloads.
+    fn grow(&mut self, nodes: &[Node]) {
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![EMPTY; new_cap].into_boxed_slice(),
+        );
+        self.mask = new_cap - 1;
+        for &s in old.iter() {
+            if s == EMPTY {
+                continue;
+            }
+            let n = &nodes[s as usize];
+            let mut i = key_hash(n.var, n.hi, n.lo) as usize & self.mask;
+            while self.slots[i] != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = s;
+        }
+    }
+
+    /// Rebuilds the table densely from an iterator of live node ids (used
+    /// after a GC sweep). Sizes the fresh table for a sub-1/2 load factor
+    /// so post-GC probe sequences start short.
+    pub(crate) fn rebuild(&mut self, nodes: &[Node], live: impl Iterator<Item = NodeId>) {
+        let ids: Vec<NodeId> = live.collect();
+        let cap = (ids.len() * 2).next_power_of_two().max(MIN_CAPACITY);
+        self.slots = vec![EMPTY; cap].into_boxed_slice();
+        self.mask = cap - 1;
+        self.len = 0;
+        for id in ids {
+            let n = &nodes[id.index()];
+            let mut i = key_hash(n.var, n.hi, n.lo) as usize & self.mask;
+            while self.slots[i] != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = id.0;
+            self.len += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(var: u32, hi: Edge, lo: Edge) -> Node {
+        Node {
+            var: Var(var),
+            hi,
+            lo,
+        }
+    }
+
+    #[test]
+    fn find_insert_roundtrip_across_growth() {
+        // Insert enough distinct keys to force several doublings and check
+        // that every key stays findable.
+        let mut nodes = vec![Node::TERMINAL];
+        let mut table = UniqueTable::new();
+        for v in 0..2000u32 {
+            let (hi, lo) = (Edge::ONE, Edge::new(NodeId(v % 7), true));
+            let id = NodeId(nodes.len() as u32);
+            nodes.push(node(v, hi, lo));
+            assert_eq!(table.find(&nodes, Var(v), hi, lo), None);
+            table.insert(&nodes, id);
+            assert_eq!(table.find(&nodes, Var(v), hi, lo), Some(id));
+        }
+        assert_eq!(table.len(), 2000);
+        assert!(table.capacity().is_power_of_two());
+        // Load factor invariant: len <= 2/3 capacity.
+        assert!(table.len() * 3 <= table.capacity() * 2);
+        for v in 0..2000u32 {
+            let (hi, lo) = (Edge::ONE, Edge::new(NodeId(v % 7), true));
+            assert_eq!(table.find(&nodes, Var(v), hi, lo), Some(NodeId(v + 1)));
+        }
+    }
+
+    #[test]
+    fn rebuild_drops_dead_entries() {
+        let mut nodes = vec![Node::TERMINAL];
+        let mut table = UniqueTable::new();
+        for v in 0..100u32 {
+            let id = NodeId(nodes.len() as u32);
+            nodes.push(node(v, Edge::ONE, Edge::ZERO));
+            table.insert(&nodes, id);
+        }
+        // Keep only even-v nodes.
+        let survivors: Vec<NodeId> =
+            (0..100u32).filter(|v| v % 2 == 0).map(|v| NodeId(v + 1)).collect();
+        table.rebuild(&nodes, survivors.iter().copied());
+        assert_eq!(table.len(), 50);
+        for v in 0..100u32 {
+            let found = table.find(&nodes, Var(v), Edge::ONE, Edge::ZERO);
+            if v % 2 == 0 {
+                assert_eq!(found, Some(NodeId(v + 1)));
+            } else {
+                assert_eq!(found, None);
+            }
+        }
+    }
+
+    #[test]
+    fn u32_packing_roundtrip() {
+        // The key packs (var, hi, lo) — three u32 words — into two u64s.
+        // Check the packing is lossless: every field is recoverable, so no
+        // two distinct keys alias before hashing even begins.
+        let cases = [
+            (0u32, 0u32, 0u32),
+            (1, 2, 3),
+            (u32::MAX >> 2, 5, 1),
+            (7, (u32::MAX >> 1) & !1, u32::MAX >> 1),
+            (0, 0, 1), // complement bit on lo only
+        ];
+        for &(v, h, l) in &cases {
+            let (var, hi, lo) = (Var(v), Edge::from_bits(h), Edge::from_bits(l));
+            let a = ((var.0 as u64) << 32) | hi.to_bits() as u64;
+            let b = lo.to_bits() as u64;
+            assert_eq!((a >> 32) as u32, v);
+            assert_eq!(a as u32, h);
+            assert_eq!(b as u32, l);
+            // And the Edge u32 representation itself round-trips.
+            assert_eq!(Edge::from_bits(hi.to_bits()), hi);
+            assert_eq!(Edge::from_bits(lo.to_bits()), lo);
+        }
+        // Distinct keys that collide word-wise under a naive (non-rotated)
+        // fold must still produce distinct hashes in practice.
+        let h_ab = key_hash(Var(1), Edge::from_bits(2), Edge::from_bits(3));
+        let h_ba = key_hash(Var(0), Edge::from_bits(3), Edge::from_bits(2));
+        assert_ne!(h_ab, h_ba);
+    }
+
+    #[test]
+    fn key_hash_distinguishes_field_swaps() {
+        // (var, hi, lo) permutations of the same three raw words should
+        // hash apart — this guards the packing scheme.
+        let h1 = key_hash(Var(1), Edge::from_bits(2), Edge::from_bits(3));
+        let h2 = key_hash(Var(1), Edge::from_bits(3), Edge::from_bits(2));
+        let h3 = key_hash(Var(2), Edge::from_bits(1), Edge::from_bits(3));
+        assert_ne!(h1, h2);
+        assert_ne!(h1, h3);
+        assert_ne!(h2, h3);
+    }
+}

@@ -5,11 +5,10 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bddmin_bdd::{Bdd, Edge, Var};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bddmin_core::rng::XorShift64;
 
 /// A pseudo-random function over `n` vars built from `terms` random cubes.
-fn random_function(bdd: &mut Bdd, rng: &mut StdRng, n: usize, terms: usize) -> Edge {
+fn random_function(bdd: &mut Bdd, rng: &mut XorShift64, n: usize, terms: usize) -> Edge {
     let mut f = Edge::ZERO;
     for _ in 0..terms {
         let mut cube = Edge::ONE;
@@ -36,7 +35,7 @@ fn bench_ite(c: &mut Criterion) {
     for n in [8usize, 12, 16] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let mut bdd = Bdd::new(n);
-            let mut rng = StdRng::seed_from_u64(7);
+            let mut rng = XorShift64::seed_from_u64(7);
             let f = random_function(&mut bdd, &mut rng, n, 12);
             let g = random_function(&mut bdd, &mut rng, n, 12);
             let h = random_function(&mut bdd, &mut rng, n, 12);
@@ -53,7 +52,7 @@ fn bench_constrain_restrict(c: &mut Criterion) {
     let mut group = c.benchmark_group("bdd/classic_operators");
     for n in [10usize, 14] {
         let mut bdd = Bdd::new(n);
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = XorShift64::seed_from_u64(11);
         let f = random_function(&mut bdd, &mut rng, n, 16);
         let care = random_function(&mut bdd, &mut rng, n, 16);
         if care.is_zero() {
@@ -79,7 +78,7 @@ fn bench_quantify(c: &mut Criterion) {
     let mut group = c.benchmark_group("bdd/exists");
     for n in [10usize, 14] {
         let mut bdd = Bdd::new(n);
-        let mut rng = StdRng::seed_from_u64(13);
+        let mut rng = XorShift64::seed_from_u64(13);
         let f = random_function(&mut bdd, &mut rng, n, 20);
         let vars: Vec<Var> = (0..n as u32 / 2).map(Var).collect();
         let cube = bdd.cube_of_vars(&vars);
@@ -95,7 +94,7 @@ fn bench_quantify(c: &mut Criterion) {
 
 fn bench_counting(c: &mut Criterion) {
     let mut bdd = Bdd::new(16);
-    let mut rng = StdRng::seed_from_u64(17);
+    let mut rng = XorShift64::seed_from_u64(17);
     let f = random_function(&mut bdd, &mut rng, 16, 24);
     let mut group = c.benchmark_group("bdd/analysis");
     group.bench_function("size", |b| b.iter(|| black_box(bdd.size(black_box(f)))));
@@ -112,7 +111,7 @@ fn bench_gc(c: &mut Criterion) {
     c.bench_function("bdd/gc_build_and_collect", |b| {
         b.iter(|| {
             let mut bdd = Bdd::new(12);
-            let mut rng = StdRng::seed_from_u64(19);
+            let mut rng = XorShift64::seed_from_u64(19);
             let keep = random_function(&mut bdd, &mut rng, 12, 10);
             let _scratch = random_function(&mut bdd, &mut rng, 12, 10);
             black_box(bdd.collect_garbage(&[keep]))

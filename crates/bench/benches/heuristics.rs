@@ -7,10 +7,9 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use bddmin_bdd::{Bdd, Edge, Var};
 use bddmin_core::{Heuristic, Isf, Schedule};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bddmin_core::rng::XorShift64;
 
-fn random_function(bdd: &mut Bdd, rng: &mut StdRng, n: usize, terms: usize) -> Edge {
+fn random_function(bdd: &mut Bdd, rng: &mut XorShift64, n: usize, terms: usize) -> Edge {
     let mut f = Edge::ZERO;
     for _ in 0..terms {
         let mut cube = Edge::ONE;
@@ -35,7 +34,7 @@ fn random_function(bdd: &mut Bdd, rng: &mut StdRng, n: usize, terms: usize) -> E
 /// A reusable instance: moderately large `f`, care set with a ~25% onset.
 fn standard_instance(n: usize, seed: u64) -> (Bdd, Isf) {
     let mut bdd = Bdd::new(n);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64::seed_from_u64(seed);
     let f = random_function(&mut bdd, &mut rng, n, 18);
     let c1 = random_function(&mut bdd, &mut rng, n, 10);
     let c2 = random_function(&mut bdd, &mut rng, n, 10);

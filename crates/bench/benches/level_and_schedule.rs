@@ -11,10 +11,9 @@ use bddmin_core::{
     gather_below_level, minimize_at_level, opt_lv, solve_fmm_osm, solve_fmm_tsm, CliqueOptions,
     Isf, MatchCriterion,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bddmin_core::rng::XorShift64;
 
-fn random_function(bdd: &mut Bdd, rng: &mut StdRng, n: usize, terms: usize) -> Edge {
+fn random_function(bdd: &mut Bdd, rng: &mut XorShift64, n: usize, terms: usize) -> Edge {
     let mut f = Edge::ZERO;
     for _ in 0..terms {
         let mut cube = Edge::ONE;
@@ -38,7 +37,7 @@ fn random_function(bdd: &mut Bdd, rng: &mut StdRng, n: usize, terms: usize) -> E
 
 fn instance(n: usize, seed: u64) -> (Bdd, Isf) {
     let mut bdd = Bdd::new(n);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64::seed_from_u64(seed);
     let f = random_function(&mut bdd, &mut rng, n, 16);
     let c = random_function(&mut bdd, &mut rng, n, 12);
     let c = if c.is_zero() { Edge::ONE } else { c };

@@ -1,7 +1,11 @@
 //! # bddmin-bench
 //!
-//! Criterion benchmark harnesses for the bddmin workspace; see the
-//! `benches/` directory:
+//! Benchmark harnesses for the bddmin workspace.
+//!
+//! The Criterion suites in `benches/` are **opt-in** (they need the
+//! external `criterion` crate, which the hermetic offline build does not
+//! resolve). After restoring the dev-dependency, run them with
+//! `cargo bench --workspace --features bddmin-bench/criterion-benches`:
 //!
 //! * `bdd_ops` — substrate operations (ite, constrain/restrict, exists,
 //!   counting, GC),
@@ -13,4 +17,12 @@
 //!   (gathering, DMG/UMG FMM solving, clique optimizations, `opt_lv`
 //!   scaling).
 //!
-//! Run with `cargo bench --workspace`.
+//! For a dependency-free performance check that works offline, use the
+//! `perf_smoke` binary in `bddmin-eval` instead:
+//! `cargo run --release -p bddmin-eval --bin perf_smoke`.
+//!
+//! All benchmark inputs are generated with the in-tree deterministic
+//! [`rng::XorShift64`] generator (re-exported from `bddmin-core`), so runs
+//! are reproducible without any external randomness crate.
+
+pub use bddmin_core::rng;

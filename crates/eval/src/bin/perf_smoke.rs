@@ -1,0 +1,243 @@
+//! Dependency-free kernel performance smoke test.
+//!
+//! Exercises the three hot paths of the BDD kernel and reports throughput:
+//!
+//! 1. **ITE storm** — a pool-based storm of top-level `ite` calls over
+//!    random operands, the workload dominated by unique-table probing and
+//!    computed-cache traffic.
+//! 2. **Constrain/restrict** — the paper's generalized-cofactor operators
+//!    over random incompletely specified functions (cube-cover `f` and
+//!    care set `c`).
+//! 3. **GC cycles** — scratch churn followed by explicit mark–sweep
+//!    collections with a dense unique-table rebuild.
+//!
+//! All randomness comes from the in-tree `XorShift64` generator, so runs
+//! are deterministic and the binary builds offline. Results are printed
+//! and written as JSON to `BENCH_1.json` at the repository root.
+//!
+//! Usage: `cargo run --release -p bddmin-eval --bin perf_smoke [-- --quick]`
+
+use std::time::Instant;
+
+use bddmin_bdd::{Bdd, Edge, Var};
+use bddmin_core::rng::XorShift64;
+
+const NUM_VARS: u32 = 24;
+
+struct PhaseReport {
+    name: &'static str,
+    ops: u64,
+    secs: f64,
+    peak_live: usize,
+}
+
+impl PhaseReport {
+    fn ops_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.ops as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A random function built as an OR of random cubes (an ISF component in
+/// the paper's sense: the on-set or care-set of an incompletely specified
+/// function).
+fn random_cover(bdd: &mut Bdd, rng: &mut XorShift64, cubes: usize, lits: usize) -> Edge {
+    let mut f = bdd.constant(false);
+    for _ in 0..cubes {
+        let mut cube = bdd.constant(true);
+        for _ in 0..lits {
+            let v = bdd.var(Var(rng.gen_range(0..NUM_VARS as usize) as u32));
+            let lit = if rng.gen_bool(0.5) { v } else { v.complement() };
+            cube = bdd.and(cube, lit);
+        }
+        f = bdd.or(f, cube);
+    }
+    f
+}
+
+fn ite_storm(bdd: &mut Bdd, rng: &mut XorShift64, ops: u64) -> PhaseReport {
+    // Operand pool seeded with the variables; results feed back in, but
+    // only while they stay below a size cap — unconstrained random ite
+    // composition over 24 variables grows without bound.
+    const POOL: usize = 128;
+    const MAX_OPERAND_NODES: usize = 250;
+    let mut pool: Vec<Edge> = (0..NUM_VARS).map(|i| bdd.var(Var(i))).collect();
+    let mut peak_live = bdd.stats().live_nodes;
+    let start = Instant::now();
+    for i in 0..ops {
+        let f = pool[rng.gen_range(0..pool.len())];
+        let g = pool[rng.gen_range(0..pool.len())];
+        let h = pool[rng.gen_range(0..pool.len())];
+        let r = bdd.ite(f, g, h);
+        if bdd.size(r) <= MAX_OPERAND_NODES {
+            if pool.len() < POOL {
+                pool.push(r);
+            } else {
+                // Keep the variables in the first NUM_VARS slots so the
+                // operand mix stays diverse.
+                pool[rng.gen_range(NUM_VARS as usize..POOL)] = r;
+            }
+        }
+        if i % 512 == 511 {
+            peak_live = peak_live.max(bdd.stats().live_nodes);
+            bdd.collect_garbage(&pool.clone());
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    peak_live = peak_live.max(bdd.stats().live_nodes);
+    PhaseReport {
+        name: "ite_storm",
+        ops,
+        secs,
+        peak_live,
+    }
+}
+
+fn minimize_storm(bdd: &mut Bdd, rng: &mut XorShift64, rounds: u64) -> PhaseReport {
+    let mut peak_live = bdd.stats().live_nodes;
+    let mut sink = 0usize;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let f = random_cover(bdd, rng, 12, 6);
+        let care = random_cover(bdd, rng, 10, 3);
+        let g1 = bdd.constrain(f, care);
+        let g2 = bdd.restrict(f, care);
+        sink = sink.wrapping_add(bdd.size(g1)).wrapping_add(bdd.size(g2));
+        peak_live = peak_live.max(bdd.stats().live_nodes);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    // Keep the size sums observable so the loop cannot be optimised away.
+    assert!(sink > 0);
+    PhaseReport {
+        name: "minimize",
+        ops: rounds * 2,
+        secs,
+        peak_live,
+    }
+}
+
+fn gc_storm(bdd: &mut Bdd, rng: &mut XorShift64, cycles: u64) -> PhaseReport {
+    let mut peak_live = bdd.stats().live_nodes;
+    let start = Instant::now();
+    for _ in 0..cycles {
+        let keep = random_cover(bdd, rng, 8, 4);
+        for _ in 0..64 {
+            let _scratch = random_cover(bdd, rng, 4, 4);
+        }
+        peak_live = peak_live.max(bdd.stats().live_nodes);
+        bdd.collect_garbage(&[keep]);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    PhaseReport {
+        name: "gc_cycles",
+        ops: cycles,
+        secs,
+        peak_live,
+    }
+}
+
+fn json_escape_free(name: &str) -> &str {
+    // Phase names are static identifiers; nothing to escape.
+    name
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (ite_ops, min_rounds, gc_cycles) = if quick {
+        (5_000u64, 60u64, 8u64)
+    } else {
+        (40_000u64, 400u64, 32u64)
+    };
+
+    let mut bdd = Bdd::new(NUM_VARS as usize);
+    let mut rng = XorShift64::seed_from_u64(0x5EED_CAFE_D00D_1994);
+
+    println!(
+        "perf_smoke: {} mode ({} ite ops, {} minimize rounds, {} gc cycles)",
+        if quick { "quick" } else { "full" },
+        ite_ops,
+        min_rounds,
+        gc_cycles
+    );
+
+    let phases = [
+        ite_storm(&mut bdd, &mut rng, ite_ops),
+        minimize_storm(&mut bdd, &mut rng, min_rounds),
+        gc_storm(&mut bdd, &mut rng, gc_cycles),
+    ];
+
+    let stats = bdd.stats();
+    let lookups = stats.cache_hits + stats.cache_misses;
+    let hit_rate = if lookups > 0 {
+        stats.cache_hits as f64 / lookups as f64
+    } else {
+        0.0
+    };
+
+    for p in &phases {
+        println!(
+            "  {:<10} {:>9} ops in {:>8.3} s  ({:>12.0} ops/s, peak live {})",
+            p.name,
+            p.ops,
+            p.secs,
+            p.ops_per_sec(),
+            p.peak_live
+        );
+    }
+    println!(
+        "  cache: {:.1}% hit rate ({} hits / {} misses / {} evictions, capacity {})",
+        hit_rate * 100.0,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+        stats.cache_capacity
+    );
+    println!(
+        "  unique table: {} live nodes, {} slots; gc: {} runs, {} reclaimed",
+        stats.live_nodes, stats.unique_capacity, stats.gc_runs, stats.gc_reclaimed
+    );
+
+    let mut phase_json = String::new();
+    for (i, p) in phases.iter().enumerate() {
+        if i > 0 {
+            phase_json.push_str(",\n");
+        }
+        phase_json.push_str(&format!(
+            "    \"{}\": {{\"ops\": {}, \"secs\": {:.6}, \"ops_per_sec\": {:.1}, \"peak_live_nodes\": {}}}",
+            json_escape_free(p.name),
+            p.ops,
+            p.secs,
+            p.ops_per_sec(),
+            p.peak_live
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"perf_smoke\",\n  \"mode\": \"{}\",\n  \"phases\": {{\n{}\n  }},\n  \
+         \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}, \"capacity\": {}}},\n  \
+         \"nodes\": {{\"live\": {}, \"allocated\": {}, \"unique_capacity\": {}}},\n  \
+         \"gc\": {{\"runs\": {}, \"reclaimed\": {}}}\n}}\n",
+        if quick { "quick" } else { "full" },
+        phase_json,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+        hit_rate,
+        stats.cache_capacity,
+        stats.live_nodes,
+        stats.allocated_nodes,
+        stats.unique_capacity,
+        stats.gc_runs,
+        stats.gc_reclaimed
+    );
+
+    // Repo root = two levels up from this crate's manifest.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../BENCH_1.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}

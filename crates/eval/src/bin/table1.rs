@@ -7,13 +7,12 @@
 
 use bddmin_bdd::{Bdd, Cube, Edge, Var};
 use bddmin_core::{matches_directed, Isf, MatchCriterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bddmin_core::rng::XorShift64;
 
 const NVARS: usize = 4;
 
-fn random_function(bdd: &mut Bdd, rng: &mut StdRng) -> Edge {
-    let table: u16 = rng.gen();
+fn random_function(bdd: &mut Bdd, rng: &mut XorShift64) -> Edge {
+    let table: u16 = rng.gen_u16();
     let mut f = Edge::ZERO;
     for row in 0..(1 << NVARS) {
         if table >> row & 1 == 1 {
@@ -29,7 +28,7 @@ fn random_function(bdd: &mut Bdd, rng: &mut StdRng) -> Edge {
 
 fn main() {
     let mut bdd = Bdd::new(NVARS);
-    let mut rng = StdRng::seed_from_u64(1994);
+    let mut rng = XorShift64::seed_from_u64(1994);
     let mut sample: Vec<Isf> = (0..56)
         .map(|_| {
             let f = random_function(&mut bdd, &mut rng);

@@ -8,13 +8,12 @@
 
 use bddmin_bdd::{Bdd, Cube, Edge, Var};
 use bddmin_core::{generic_td, Isf, MatchCriterion, SiblingConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bddmin_core::rng::XorShift64;
 
 const NVARS: usize = 4;
 
-fn random_function(bdd: &mut Bdd, rng: &mut StdRng) -> Edge {
-    let table: u16 = rng.gen();
+fn random_function(bdd: &mut Bdd, rng: &mut XorShift64) -> Edge {
+    let table: u16 = rng.gen_u16();
     let mut f = Edge::ZERO;
     for row in 0..(1 << NVARS) {
         if table >> row & 1 == 1 {
@@ -30,7 +29,7 @@ fn random_function(bdd: &mut Bdd, rng: &mut StdRng) -> Edge {
 
 fn main() {
     let mut bdd = Bdd::new(NVARS);
-    let mut rng = StdRng::seed_from_u64(1994);
+    let mut rng = XorShift64::seed_from_u64(1994);
     let instances: Vec<Isf> = std::iter::repeat_with(|| {
         let f = random_function(&mut bdd, &mut rng);
         let c = random_function(&mut bdd, &mut rng);

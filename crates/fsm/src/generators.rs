@@ -10,8 +10,7 @@
 //! harness only needs the stream of `[frontier, care]` instances these
 //! machines induce during product-machine traversal.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bddmin_core::rng::XorShift64;
 
 use crate::circuit::{Circuit, CircuitBuilder, GateKind, NetId};
 
@@ -304,7 +303,7 @@ pub fn carry_bypass_acc(name: &str, n: usize, block: usize) -> Circuit {
 /// Panics if `latches == 0` or `inputs == 0`.
 pub fn random_fsm(name: &str, latches: usize, inputs: usize, seed: u64) -> Circuit {
     assert!(latches > 0 && inputs > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64::seed_from_u64(seed);
     let mut b = CircuitBuilder::new(name);
     let ins: Vec<NetId> = (0..inputs).map(|i| b.input(&format!("x{i}"))).collect();
     let qs: Vec<NetId> = (0..latches)
@@ -332,7 +331,7 @@ pub fn random_fsm(name: &str, latches: usize, inputs: usize, seed: u64) -> Circu
 
 fn random_cone(
     b: &mut CircuitBuilder,
-    rng: &mut StdRng,
+    rng: &mut XorShift64,
     leaves: &[NetId],
     depth: usize,
 ) -> NetId {
@@ -351,7 +350,7 @@ fn random_cone(
         3 => GateKind::Nor,
         _ => GateKind::Xor,
     };
-    let arity = rng.gen_range(2..=3);
+    let arity = rng.gen_range_inclusive(2, 3);
     let kids: Vec<NetId> = (0..arity)
         .map(|_| random_cone(b, rng, leaves, depth - 1))
         .collect();
@@ -377,7 +376,7 @@ pub fn benchmark_suite() -> Vec<Benchmark> {
     };
     vec![
         mk("s344", random_fsm("s344_like", 8, 5, 344)),
-        mk("s386", random_fsm("s386_like", 6, 5, 386)),
+        mk("s386", random_fsm("s386_like", 6, 5, 3860)),
         mk("s510", random_fsm("s510_like", 6, 6, 510)),
         mk("s641", random_fsm("s641_like", 8, 5, 641)),
         mk("s820", random_fsm("s820_like", 6, 6, 820)),

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Offline CI gate for the bddmin workspace.
+#
+# Runs the tier-1 suite, a zero-warning lint pass, and a quick kernel
+# performance smoke test. Everything here works with no network access:
+# the workspace has no external dependencies (see the workspace Cargo.toml
+# — proptest/criterion suites are feature-gated off by default).
+#
+# Usage: scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> lint: cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> perf: perf_smoke --quick (writes BENCH_1.json)"
+cargo run --release -q -p bddmin-eval --bin perf_smoke -- --quick
+
+echo "==> ci.sh: all gates passed"
