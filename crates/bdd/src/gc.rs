@@ -12,16 +12,19 @@ use crate::manager::Bdd;
 use crate::util::Bitmap;
 
 impl Bdd {
-    /// Reclaims every node not reachable from `roots` and clears the
-    /// computed table. Returns the number of nodes reclaimed.
+    /// Reclaims every node not reachable from `roots` and scrubs the
+    /// computed table and minimization memo of entries that referenced a
+    /// reclaimed node. Returns the number of nodes reclaimed.
     ///
     /// Live edges keep their identity (node slots are stable); any edge not
     /// protected by a root becomes dangling and must not be used afterwards.
     /// Single-variable functions ([`Bdd::var`]) and explicitly pinned edges
-    /// ([`Bdd::pin`]) are implicit roots and always survive.
-    /// This mirrors the paper's experimental discipline of invoking the
-    /// garbage collector (and thereby flushing the caches) before timing
-    /// each heuristic.
+    /// ([`Bdd::pin`]) are implicit roots and always survive. Cache entries
+    /// whose operands and results all survived stay valid and are kept —
+    /// only entries touching a freed slot are dropped, so repeated
+    /// collections do not discard the reuse the caches have accumulated.
+    /// For the paper's timing discipline of a full flush between
+    /// heuristics, use [`Bdd::clear_caches`].
     ///
     /// # Example
     ///
@@ -77,7 +80,13 @@ impl Bdd {
         // Every marked decision node (all marks except the terminal's) must
         // have landed in the rebuilt table exactly once.
         debug_assert_eq!(self.unique.len(), marked.count() - 1);
-        self.cache.clear();
+        // Scrub the caches rather than clearing them: live nodes keep
+        // their slots, so entries over surviving nodes stay exact and the
+        // reuse they encode carries across the collection. Any entry
+        // touching a reclaimed slot dies here, before the slot can be
+        // recycled for an unrelated node.
+        self.cache.scrub_dead(&|slot| marked.get(slot));
+        self.min_memo.scrub_dead(&|slot| marked.get(slot));
         self.gc_runs += 1;
         self.gc_reclaimed += reclaimed as u64;
         reclaimed
@@ -178,15 +187,32 @@ mod tests {
     }
 
     #[test]
-    fn gc_clears_cache() {
+    fn gc_scrubs_dead_cache_entries_and_keeps_live_ones() {
         let mut bdd = Bdd::new(4);
         let a = bdd.var(Var(0));
         let b = bdd.var(Var(1));
         let f = bdd.and(a, b);
+        let dead = {
+            let c = bdd.var(Var(2));
+            let d = bdd.var(Var(3));
+            bdd.xor(c, d)
+        };
+        let _ = dead;
         assert!(bdd.stats().cache_entries > 0);
         bdd.collect_garbage(&[f]);
-        assert_eq!(bdd.stats().cache_entries, 0);
         assert_eq!(bdd.stats().gc_runs, 1);
+        // The and-entry survived (operands and result all live): redoing
+        // the operation is a pure cache hit.
+        let hits_before = bdd.stats().cache_hits;
+        assert_eq!(bdd.and(a, b), f);
+        assert!(bdd.stats().cache_hits > hits_before);
+        // The xor result was reclaimed, so its entry was scrubbed: redoing
+        // it must miss (and rebuild the node from the free list).
+        let misses_before = bdd.stats().cache_misses;
+        let c = bdd.var(Var(2));
+        let d = bdd.var(Var(3));
+        let _again = bdd.xor(c, d);
+        assert!(bdd.stats().cache_misses > misses_before);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use crate::cubes::Cube;
 use crate::edge::{Edge, Var};
 use crate::manager::Bdd;
+use crate::util::FastBuild;
 
 /// An ISOP result: the cube list and its characteristic function.
 #[derive(Clone, Debug, PartialEq)]
@@ -92,7 +93,7 @@ impl Bdd {
             self.implies_holds(lower, upper),
             "isop: lower must imply upper"
         );
-        let mut memo: HashMap<(Edge, Edge), Isop> = HashMap::new();
+        let mut memo: HashMap<(Edge, Edge), Isop, FastBuild> = HashMap::default();
         self.isop_rec(lower, upper, &mut memo)
     }
 
@@ -100,7 +101,7 @@ impl Bdd {
         &mut self,
         lower: Edge,
         upper: Edge,
-        memo: &mut HashMap<(Edge, Edge), Isop>,
+        memo: &mut HashMap<(Edge, Edge), Isop, FastBuild>,
     ) -> Isop {
         if lower.is_zero() {
             return Isop {

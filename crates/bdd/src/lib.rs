@@ -50,6 +50,7 @@ mod gc;
 mod isop;
 mod leafspec;
 mod manager;
+mod memo;
 mod node;
 mod ops;
 mod transfer;
@@ -63,6 +64,7 @@ pub use isop::Isop;
 pub use leafspec::{LeafSpec, ParseLeafSpecError};
 pub use manager::{Bdd, BddStats};
 pub use node::Node;
+pub use util::{FastBuild, FastHasher};
 
 // Property-based suite: needs the external `proptest` crate, which the
 // offline build cannot resolve. Enable with `--features proptest` after

@@ -2,8 +2,9 @@
 
 use std::collections::HashMap;
 
-use crate::cache::ComputedTable;
+use crate::cache::{ComputedTable, OP_CLASS_COUNT, OP_CLASS_NAMES};
 use crate::edge::{Edge, NodeId, Var};
+use crate::memo::MinMemo;
 use crate::node::Node;
 use crate::unique::UniqueTable;
 
@@ -35,14 +36,41 @@ pub struct BddStats {
     pub cache_misses: u64,
     /// Computed-table entries overwritten by colliding keys (lossy cache).
     pub cache_evictions: u64,
-    /// Fixed entry capacity of the computed table.
+    /// Current entry capacity of the computed table (adaptive).
     pub cache_capacity: usize,
+    /// Adaptive doublings the computed table has performed.
+    pub cache_resizes: u64,
+    /// Computed-table hits per operation class, indexed as
+    /// [`BddStats::OP_CLASSES`].
+    pub cache_class_hits: [u64; OP_CLASS_COUNT],
+    /// Computed-table misses per operation class, indexed as
+    /// [`BddStats::OP_CLASSES`].
+    pub cache_class_misses: [u64; OP_CLASS_COUNT],
+    /// Entries in the minimization memo (current generation).
+    pub memo_entries: usize,
+    /// Current entry capacity of the minimization memo (adaptive).
+    pub memo_capacity: usize,
+    /// Minimization-memo hits since creation.
+    pub memo_hits: u64,
+    /// Minimization-memo misses since creation.
+    pub memo_misses: u64,
+    /// Minimization-memo entries overwritten by colliding keys.
+    pub memo_evictions: u64,
+    /// Adaptive doublings the minimization memo has performed.
+    pub memo_resizes: u64,
     /// Slot capacity of the open-addressed unique table.
     pub unique_capacity: usize,
     /// Garbage collections performed.
     pub gc_runs: u64,
     /// Nodes reclaimed by garbage collection.
     pub gc_reclaimed: u64,
+}
+
+impl BddStats {
+    /// Names of the computed-table operation classes, aligned with the
+    /// indices of [`BddStats::cache_class_hits`] /
+    /// [`BddStats::cache_class_misses`].
+    pub const OP_CLASSES: [&'static str; OP_CLASS_COUNT] = OP_CLASS_NAMES;
 }
 
 /// A BDD manager: owns the node store and the fixed variable order.
@@ -72,6 +100,9 @@ pub struct Bdd {
     pub(crate) live: Vec<bool>,
     pub(crate) unique: UniqueTable,
     pub(crate) cache: ComputedTable,
+    /// Lossy memo for the don't-care minimization recursions layered on
+    /// top of the kernel (see `crate::memo`).
+    pub(crate) min_memo: MinMemo,
     var_names: Vec<String>,
     name_index: HashMap<String, Var>,
     /// The single-variable function for each declared variable, recorded on
@@ -136,6 +167,7 @@ impl Bdd {
             live: vec![true],
             unique: UniqueTable::new(),
             cache: ComputedTable::new(),
+            min_memo: MinMemo::default(),
             var_names: Vec::new(),
             name_index: HashMap::new(),
             var_roots: Vec::new(),
@@ -278,13 +310,22 @@ impl Bdd {
     #[inline]
     pub(crate) fn end_op(&mut self, result: Edge) -> Edge {
         self.op_depth -= 1;
-        if self.op_depth == 0 && self.gc_wanted {
-            self.gc_wanted = false;
-            if self.auto_gc {
-                self.collect_garbage(&[result]);
-                // Back off: require meaningful growth before the next one.
-                self.gc_threshold = (self.live_count() * 2).max(MIN_AUTO_GC_THRESHOLD);
+        if self.op_depth == 0 {
+            if self.gc_wanted {
+                self.gc_wanted = false;
+                if self.auto_gc {
+                    self.collect_garbage(&[result]);
+                    // Back off: require meaningful growth before the next one.
+                    self.gc_threshold = (self.live_count() * 2).max(MIN_AUTO_GC_THRESHOLD);
+                }
             }
+            // Adaptive cache growth is also a quiescent-point decision: the
+            // budget ties cache memory to the node store so a cache never
+            // dwarfs the BDDs it serves. `maybe_grow` is an O(1) counter
+            // check unless it actually resizes.
+            let budget = self.nodes.len().saturating_mul(2);
+            self.cache.maybe_grow(budget);
+            self.min_memo.maybe_grow(budget);
         }
         result
     }
@@ -377,10 +418,49 @@ impl Bdd {
         f.complement()
     }
 
-    /// Clears the computed table (the paper's cache flush between
-    /// heuristics). O(1): the cache is generation-stamped.
+    /// Clears the computed table and the minimization memo (the paper's
+    /// cache flush between heuristics). O(1): both are generation-stamped.
     pub fn clear_caches(&mut self) {
         self.cache.clear();
+        self.min_memo.clear();
+    }
+
+    /// Reconfigures the computed table: start at `2^log2` entries, allow
+    /// adaptive growth up to `2^max_log2` (use `max_log2 == log2` to pin
+    /// the capacity). Drops the current cache contents; results of
+    /// subsequent operations are unaffected — the cache is semantically
+    /// transparent.
+    pub fn configure_cache(&mut self, log2: u32, max_log2: u32) {
+        self.cache.configure(log2, max_log2);
+    }
+
+    /// Reconfigures the minimization memo (see [`Bdd::configure_cache`];
+    /// same semantics, separate table).
+    pub fn configure_min_memo(&mut self, log2: u32, max_log2: u32) {
+        self.min_memo.configure(log2, max_log2);
+    }
+
+    /// Looks up a minimization-memo entry. `tag` is the caller's injective
+    /// encoding of operation class + configuration (see `crate::memo`).
+    #[inline]
+    pub fn memo_get(&mut self, tag: u64, a: Edge, b: Edge) -> Option<(Edge, Edge)> {
+        self.min_memo.get(tag, a, b)
+    }
+
+    /// Records a minimization-memo entry. The table is lossy: the entry
+    /// may be evicted at any time, so callers must treat it as a pure
+    /// cache. Single-edge results conventionally store the edge twice.
+    #[inline]
+    pub fn memo_insert(&mut self, tag: u64, a: Edge, b: Edge, result: (Edge, Edge)) {
+        self.min_memo.insert(tag, a, b, result);
+    }
+
+    /// A fresh salt for per-invocation memo key spaces: callers whose
+    /// results depend on call-local state (e.g. a substitution map) fold
+    /// this into their tag so entries never leak between invocations.
+    #[inline]
+    pub fn memo_salt(&mut self) -> u32 {
+        self.min_memo.next_salt()
     }
 
     /// Current manager statistics.
@@ -393,6 +473,15 @@ impl Bdd {
             cache_misses: self.cache.misses(),
             cache_evictions: self.cache.evictions(),
             cache_capacity: self.cache.capacity(),
+            cache_resizes: self.cache.resizes(),
+            cache_class_hits: self.cache.class_hits(),
+            cache_class_misses: self.cache.class_misses(),
+            memo_entries: self.min_memo.len(),
+            memo_capacity: self.min_memo.capacity(),
+            memo_hits: self.min_memo.hits(),
+            memo_misses: self.min_memo.misses(),
+            memo_evictions: self.min_memo.evictions(),
+            memo_resizes: self.min_memo.resizes(),
             unique_capacity: self.unique.capacity(),
             gc_runs: self.gc_runs,
             gc_reclaimed: self.gc_reclaimed,

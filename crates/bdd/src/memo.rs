@@ -1,0 +1,371 @@
+//! Manager-owned minimization memo: lossy memoisation for the don't-care
+//! minimization recursions that live *above* the kernel (sibling matching,
+//! windowed passes, below-level substitution).
+//!
+//! The paper's discipline of flushing caches between heuristics (§4.1.1)
+//! previously meant every heuristic invocation allocated a fresh SipHash
+//! `HashMap<(Edge, Edge), _>` and dropped it on return. This table replaces
+//! those per-invocation maps with a single generation-cleared structure
+//! owned by the manager, so the flush is a free generation bump and the
+//! storage is reused across calls.
+//!
+//! Keys are `(tag, a, b)` where `tag` is a caller-chosen 64-bit word that
+//! encodes the operation class plus whatever configuration the result
+//! depends on (match criterion flags, window bounds, or a per-invocation
+//! salt from [`MinMemo::next_salt`] when the result depends on
+//! call-local state). Tags are compared for equality — not merely hashed —
+//! so callers only need their encoding to be injective. Values are a pair
+//! of edges; single-edge results store the edge twice.
+//!
+//! Same mechanics as the computed table (`crate::cache`): power-of-two
+//! array of 2-way buckets, overwrite on collision, O(1) generation clear,
+//! and adaptive doubling under eviction pressure bounded by the manager's
+//! node-store budget. Lossiness is safe for the same reason: every
+//! memoised recursion is a deterministic function of its key, so a lost
+//! entry only costs recomputation.
+
+use crate::edge::Edge;
+use crate::util::mix64;
+
+/// One memo entry: 64-bit tag, the `(a, b)` edge pair, the result pair,
+/// and the generation it was written in. 32 bytes, two per bucket.
+#[derive(Clone, Copy, Debug)]
+struct MemoEntry {
+    tag: u64,
+    a: u32,
+    b: u32,
+    r0: u32,
+    r1: u32,
+    generation: u32,
+    _pad: u32,
+}
+
+const DEAD: MemoEntry = MemoEntry {
+    tag: 0,
+    a: 0,
+    b: 0,
+    r0: 0,
+    r1: 0,
+    generation: 0,
+    _pad: 0,
+};
+
+/// Default starting capacity: 2^15 entries = 1 MiB.
+pub(crate) const DEFAULT_LOG2_CAPACITY: u32 = 15;
+
+/// Hard growth ceiling: 2^18 entries = 8 MiB — the same locality knee as
+/// the computed table (see `crate::cache::DEFAULT_MAX_LOG2_CAPACITY`).
+pub(crate) const DEFAULT_MAX_LOG2_CAPACITY: u32 = 18;
+
+/// The lossy minimization memo table.
+#[derive(Debug)]
+pub(crate) struct MinMemo {
+    entries: Box<[MemoEntry]>,
+    bucket_mask: usize,
+    /// Entries from earlier generations are invisible; starts at 1 so the
+    /// zeroed array is empty.
+    generation: u32,
+    occupied: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    log2: u32,
+    max_log2: u32,
+    epoch_hits: u64,
+    epoch_evictions: u64,
+    resizes: u64,
+    /// Monotone counter backing [`MinMemo::next_salt`].
+    salt: u32,
+}
+
+impl Default for MinMemo {
+    fn default() -> Self {
+        MinMemo::with_log2_capacity(DEFAULT_LOG2_CAPACITY)
+    }
+}
+
+impl MinMemo {
+    pub(crate) fn with_log2_capacity(log2: u32) -> Self {
+        let log2 = log2.max(1);
+        let cap = 1usize << log2;
+        MinMemo {
+            entries: vec![DEAD; cap].into_boxed_slice(),
+            bucket_mask: (cap >> 1) - 1,
+            generation: 1,
+            occupied: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            log2,
+            max_log2: DEFAULT_MAX_LOG2_CAPACITY.max(log2),
+            epoch_hits: 0,
+            epoch_evictions: 0,
+            resizes: 0,
+            salt: 0,
+        }
+    }
+
+    /// Reset to `2^log2` entries, growing up to `2^max_log2`
+    /// (`max_log2 == log2` pins the capacity). Contents are dropped;
+    /// counters and the salt sequence are preserved.
+    pub(crate) fn configure(&mut self, log2: u32, max_log2: u32) {
+        let log2 = log2.max(1);
+        let cap = 1usize << log2;
+        self.entries = vec![DEAD; cap].into_boxed_slice();
+        self.bucket_mask = (cap >> 1) - 1;
+        self.generation = 1;
+        self.occupied = 0;
+        self.log2 = log2;
+        self.max_log2 = max_log2.max(log2);
+        self.epoch_hits = 0;
+        self.epoch_evictions = 0;
+    }
+
+    /// A fresh salt for per-invocation key spaces. Never returns the same
+    /// value twice within a generation span short of 2^32 invocations, at
+    /// which point the periodic generation flushes have long since retired
+    /// any entry an aliasing salt could collide with.
+    pub(crate) fn next_salt(&mut self) -> u32 {
+        self.salt = self.salt.wrapping_add(1);
+        self.salt
+    }
+
+    #[inline]
+    fn mix_key(&self, tag: u64, a: u32, b: u32) -> usize {
+        let ab = ((a as u64) << 32) | b as u64;
+        mix64(tag ^ ab.rotate_left(17).wrapping_mul(0x9E37_79B9_7F4A_7C15)) as usize
+    }
+
+    #[inline]
+    fn bucket(&self, tag: u64, a: u32, b: u32) -> usize {
+        (self.mix_key(tag, a, b) & self.bucket_mask) << 1
+    }
+
+    #[inline]
+    pub(crate) fn get(&mut self, tag: u64, a: Edge, b: Edge) -> Option<(Edge, Edge)> {
+        let (a, b) = (a.to_bits(), b.to_bits());
+        let i = self.bucket(tag, a, b);
+        for way in 0..2 {
+            let e = self.entries[i + way];
+            if e.generation == self.generation && e.tag == tag && e.a == a && e.b == b {
+                self.hits += 1;
+                self.epoch_hits += 1;
+                if way == 1 {
+                    self.entries.swap(i, i + 1);
+                }
+                return Some((Edge::from_bits(e.r0), Edge::from_bits(e.r1)));
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    #[inline]
+    pub(crate) fn insert(&mut self, tag: u64, a: Edge, b: Edge, result: (Edge, Edge)) {
+        let (a, b) = (a.to_bits(), b.to_bits());
+        let i = self.bucket(tag, a, b);
+        let fresh = MemoEntry {
+            tag,
+            a,
+            b,
+            r0: result.0.to_bits(),
+            r1: result.1.to_bits(),
+            generation: self.generation,
+            _pad: 0,
+        };
+        for way in 0..2 {
+            let e = self.entries[i + way];
+            if e.generation != self.generation {
+                self.entries[i + way] = fresh;
+                self.occupied += 1;
+                return;
+            }
+            if e.tag == tag && e.a == a && e.b == b {
+                self.entries[i + way] = fresh;
+                return;
+            }
+        }
+        self.entries[i + 1] = self.entries[i];
+        self.entries[i] = fresh;
+        self.evictions += 1;
+        self.epoch_evictions += 1;
+    }
+
+    /// Drops current-generation entries referencing reclaimed nodes and
+    /// keeps the rest (see `ComputedTable::scrub_dead`): live slots are
+    /// stable across a collection, so surviving entries stay exact, and
+    /// the matchers keep their memoised traversals across GCs.
+    pub(crate) fn scrub_dead(&mut self, is_live: &dyn Fn(usize) -> bool) {
+        let generation = self.generation;
+        let mut occupied = 0usize;
+        for e in self.entries.iter_mut() {
+            if e.generation != generation {
+                continue;
+            }
+            let live = |bits: u32| is_live((bits >> 1) as usize);
+            if live(e.a) && live(e.b) && live(e.r0) && live(e.r1) {
+                occupied += 1;
+            } else {
+                *e = DEAD;
+            }
+        }
+        self.occupied = occupied;
+    }
+
+    /// O(1) flush via generation bump (scrub once on u32 wrap).
+    pub(crate) fn clear(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.entries.fill(DEAD);
+            self.generation = 1;
+        }
+        self.occupied = 0;
+    }
+
+    /// Same adaptive policy as `ComputedTable::maybe_grow`: double under
+    /// epoch pressure + reward, bounded by `max_log2` and the budget.
+    #[inline]
+    pub(crate) fn maybe_grow(&mut self, budget_entries: usize) -> bool {
+        if self.epoch_evictions < self.capacity() as u64 {
+            return false;
+        }
+        let rewarded = self.epoch_hits >= (self.capacity() as u64) / 4;
+        let bounded = self.log2 < self.max_log2 && self.capacity() < budget_entries;
+        self.epoch_hits = 0;
+        self.epoch_evictions = 0;
+        if !(rewarded && bounded) {
+            return false;
+        }
+        self.grow();
+        true
+    }
+
+    fn grow(&mut self) {
+        self.log2 += 1;
+        let cap = 1usize << self.log2;
+        let old = std::mem::replace(&mut self.entries, vec![DEAD; cap].into_boxed_slice());
+        self.bucket_mask = (cap >> 1) - 1;
+        self.occupied = 0;
+        for e in old.iter() {
+            if e.generation != self.generation {
+                continue;
+            }
+            let i = (self.mix_key(e.tag, e.a, e.b) & self.bucket_mask) << 1;
+            for way in 0..2 {
+                if self.entries[i + way].generation != self.generation {
+                    self.entries[i + way] = *e;
+                    self.occupied += 1;
+                    break;
+                }
+            }
+        }
+        self.resizes += 1;
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.occupied
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    pub(crate) fn resizes(&self) -> u64 {
+        self.resizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> Edge {
+        Edge::from_bits(i)
+    }
+
+    #[test]
+    fn insert_get_clear() {
+        let mut m = MinMemo::default();
+        assert_eq!(m.get(7, e(2), e(4)), None);
+        m.insert(7, e(2), e(4), (e(6), e(8)));
+        assert_eq!(m.get(7, e(2), e(4)), Some((e(6), e(8))));
+        assert_eq!(m.len(), 1);
+        m.clear();
+        assert_eq!(m.get(7, e(2), e(4)), None);
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn tags_are_compared_exactly() {
+        let mut m = MinMemo::default();
+        m.insert(1 << 61, e(2), e(4), (e(6), e(6)));
+        assert_eq!(m.get(2 << 61, e(2), e(4)), None);
+        assert_eq!(m.get((1 << 61) | 1, e(2), e(4)), None);
+        assert_eq!(m.get(1 << 61, e(2), e(4)), Some((e(6), e(6))));
+    }
+
+    #[test]
+    fn salts_are_distinct() {
+        let mut m = MinMemo::default();
+        let s1 = m.next_salt();
+        let s2 = m.next_salt();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn tiny_capacity_stays_bounded_and_exact() {
+        let mut m = MinMemo::with_log2_capacity(2);
+        for i in 0..200u32 {
+            m.insert(3, e(i), e(i + 1), (e(i), e(i)));
+        }
+        assert!(m.len() <= m.capacity());
+        assert!(m.evictions() > 0);
+        for i in 0..200u32 {
+            if let Some(r) = m.get(3, e(i), e(i + 1)) {
+                assert_eq!(r, (e(i), e(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn grows_under_pressure() {
+        let mut m = MinMemo::with_log2_capacity(2);
+        for _ in 0..64 {
+            for i in 0..64u32 {
+                if m.get(5, e(i), e(i)).is_none() {
+                    m.insert(5, e(i), e(i), (e(i), e(i)));
+                    let _ = m.get(5, e(i), e(i));
+                }
+            }
+            m.maybe_grow(1 << 20);
+        }
+        assert!(m.resizes() > 0);
+        assert!(m.capacity() > 4);
+
+        // Pinned configuration never grows.
+        let mut p = MinMemo::with_log2_capacity(2);
+        p.configure(2, 2);
+        for _ in 0..64 {
+            for i in 0..64u32 {
+                if p.get(5, e(i), e(i)).is_none() {
+                    p.insert(5, e(i), e(i), (e(i), e(i)));
+                    let _ = p.get(5, e(i), e(i));
+                }
+            }
+            p.maybe_grow(1 << 20);
+        }
+        assert_eq!(p.capacity(), 4);
+    }
+}

@@ -59,7 +59,7 @@ pub(crate) fn mix64(mut x: u64) -> u64 {
 /// well-distributed integers. Not DoS-resistant; never use for
 /// attacker-controlled keys.
 #[derive(Default)]
-pub(crate) struct FastHasher {
+pub struct FastHasher {
     state: u64,
 }
 
@@ -95,8 +95,8 @@ impl Hasher for FastHasher {
     }
 }
 
-/// Build-hasher for [`FastHasher`]-backed `HashMap`s.
-pub(crate) type FastBuild = BuildHasherDefault<FastHasher>;
+/// Build-hasher for [`FastHasher`]-backed `HashMap`s / `HashSet`s.
+pub type FastBuild = BuildHasherDefault<FastHasher>;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,172 @@
+//! Cache-size invariance of the public operation results.
+//!
+//! The computed table and the minimization memo are *lossy* accelerators:
+//! every memoized recursion is a deterministic function of its key, so the
+//! table capacity — and any mid-sequence flush — may change only *speed*,
+//! never *results*. Because a subproblem's first computation can never be a
+//! cache hit (in any manager) and recomputations allocate no new nodes
+//! (hash-consing finds the existing ones), two managers driven by the same
+//! operation sequence allocate nodes in the same order. The tests therefore
+//! compare raw [`Edge`] bits, the strongest possible form of agreement.
+
+use bddmin_bdd::{Bdd, Edge, Var};
+
+/// xorshift64* (same generator the workspace uses elsewhere; inlined here
+/// because `bddmin-bdd` sits below `bddmin-core` in the dependency order).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        ((self.next() as u128 * n as u128) >> 64) as usize
+    }
+}
+
+const NUM_VARS: usize = 10;
+const STEPS: usize = 400;
+
+/// Runs a fixed pseudo-random script of every cached public operation,
+/// optionally flushing all manager caches every `flush_every` steps.
+/// Returns every produced edge, in order.
+fn run_script(bdd: &mut Bdd, seed: u64, flush_every: Option<usize>) -> Vec<Edge> {
+    let mut rng = Rng::new(seed);
+    let mut pool: Vec<Edge> = (0..NUM_VARS as u32).map(|v| bdd.var(Var(v))).collect();
+    pool.push(Edge::ONE);
+    pool.push(Edge::ZERO);
+    let mut outputs = Vec::with_capacity(STEPS);
+    for step in 0..STEPS {
+        if let Some(k) = flush_every {
+            if step % k == k - 1 {
+                bdd.clear_caches();
+            }
+        }
+        let a = pool[rng.pick(pool.len())];
+        let b = pool[rng.pick(pool.len())];
+        let c = pool[rng.pick(pool.len())];
+        let v = Var(rng.pick(NUM_VARS) as u32);
+        let op = rng.pick(16);
+        let r = match op {
+            0 => bdd.ite(a, b, c),
+            1 => bdd.and(a, b),
+            2 => bdd.or(a, b),
+            3 => bdd.xor(a, b),
+            4 => bdd.xnor(a, b),
+            5 => bdd.implies(a, b),
+            6 => bdd.diff(a, b),
+            7 => bdd.nand(a, b),
+            8 => bdd.nor(a, b),
+            9..=11 => {
+                let vars = {
+                    let w = Var(rng.pick(NUM_VARS) as u32);
+                    bdd.cube_of_vars(&[v, w])
+                };
+                match op {
+                    9 => bdd.exists(a, vars),
+                    10 => bdd.forall(a, vars),
+                    _ => bdd.and_exists(a, b, vars),
+                }
+            }
+            12 => {
+                if c.is_zero() {
+                    bdd.constrain(a, Edge::ONE)
+                } else {
+                    bdd.constrain(a, c)
+                }
+            }
+            13 => {
+                if c.is_zero() {
+                    bdd.restrict(a, Edge::ONE)
+                } else {
+                    bdd.restrict(a, c)
+                }
+            }
+            14 => bdd.compose(a, v, b),
+            15 => bdd.cofactor(a, v, rng.next() & 1 == 1),
+            _ => unreachable!(),
+        };
+        pool.push(r);
+        outputs.push(r);
+    }
+    outputs
+}
+
+/// A manager with pinned cache geometry (`max == initial`, so the adaptive
+/// policy can never resize it away from the configuration under test).
+fn manager_with(cache_log2: u32, memo_log2: u32) -> Bdd {
+    let mut bdd = Bdd::new(NUM_VARS);
+    bdd.set_auto_gc(false);
+    bdd.configure_cache(cache_log2, cache_log2);
+    bdd.configure_min_memo(memo_log2, memo_log2);
+    bdd
+}
+
+#[test]
+fn tiny_and_huge_caches_agree_bit_for_bit() {
+    for seed in [0x1994_DAC0, 0xBDD_CAFE, 7] {
+        let mut tiny = manager_with(4, 4);
+        let mut huge = manager_with(20, 16);
+        let out_tiny = run_script(&mut tiny, seed, None);
+        let out_huge = run_script(&mut huge, seed, None);
+        assert_eq!(out_tiny, out_huge, "results diverged for seed {seed:#x}");
+        // The tiny table must actually have been under pressure, or the
+        // test proves nothing.
+        assert!(
+            tiny.stats().cache_evictions > 0,
+            "script too small to stress a 16-entry cache"
+        );
+    }
+}
+
+#[test]
+fn adaptive_default_matches_pinned_tiny() {
+    // The default manager grows its tables mid-sequence; growth must be
+    // just as invisible as any other capacity difference.
+    let mut adaptive = Bdd::new(NUM_VARS);
+    adaptive.set_auto_gc(false);
+    let mut tiny = manager_with(4, 4);
+    let out_a = run_script(&mut adaptive, 0x5EED, None);
+    let out_t = run_script(&mut tiny, 0x5EED, None);
+    assert_eq!(out_a, out_t);
+}
+
+#[test]
+fn mid_sequence_flushes_are_invisible() {
+    // Flush one manager aggressively, the other never: identical results.
+    for flush in [3, 17, 64] {
+        let mut flushed = manager_with(12, 12);
+        let mut steady = manager_with(12, 12);
+        let out_f = run_script(&mut flushed, 0x0F1A_54ED, Some(flush));
+        let out_s = run_script(&mut steady, 0x0F1A_54ED, None);
+        assert_eq!(out_f, out_s, "flush every {flush} changed results");
+    }
+}
+
+#[test]
+fn isop_is_capacity_invariant() {
+    // `isop` memoizes per invocation but its operands flow through the
+    // shared caches; the cover it extracts must not depend on capacity.
+    let run = |cache_log2: u32, memo_log2: u32| {
+        let mut bdd = manager_with(cache_log2, memo_log2);
+        let outs = run_script(&mut bdd, 123, None);
+        let lower = bdd.and(outs[STEPS - 1], outs[STEPS - 2]);
+        let upper = bdd.or(outs[STEPS - 1], outs[STEPS - 2]);
+        let cover = bdd.isop(lower, upper);
+        (outs, cover.len())
+    };
+    let (outs_tiny, cubes_tiny) = run(4, 4);
+    let (outs_huge, cubes_huge) = run(20, 16);
+    assert_eq!(outs_tiny, outs_huge);
+    assert_eq!(cubes_tiny, cubes_huge);
+}

@@ -1,0 +1,129 @@
+//! Benchmarks for the PR-2 performance surfaces: adaptive computed-table
+//! sizing, the manager-resident minimization memo, and the sharded
+//! evaluation pipeline.
+//!
+//! Opt-in like the other Criterion suites (see `bddmin-bench`'s crate
+//! docs); for an offline check use `perf_smoke` in `bddmin-eval`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bddmin_bdd::{Bdd, Edge, Var};
+use bddmin_core::rng::XorShift64;
+use bddmin_core::{Heuristic, Isf};
+use bddmin_eval::par::run_experiment_jobs;
+use bddmin_eval::runner::ExperimentConfig;
+
+/// A pseudo-random function over `n` vars built from `terms` random cubes.
+fn random_function(bdd: &mut Bdd, rng: &mut XorShift64, n: usize, terms: usize) -> Edge {
+    let mut f = Edge::ZERO;
+    for _ in 0..terms {
+        let mut cube = Edge::ONE;
+        for v in 0..n {
+            match rng.gen_range(0..3) {
+                0 => {
+                    let lit = bdd.literal(Var(v as u32), true);
+                    cube = bdd.and(cube, lit);
+                }
+                1 => {
+                    let lit = bdd.literal(Var(v as u32), false);
+                    cube = bdd.and(cube, lit);
+                }
+                _ => {}
+            }
+        }
+        f = bdd.or(f, cube);
+    }
+    f
+}
+
+/// Repeated-ITE storm at a fixed cache geometry; `None` = adaptive default.
+fn ite_storm(pinned_log2: Option<u32>) -> usize {
+    let n = 16usize;
+    let mut bdd = Bdd::new(n);
+    if let Some(l) = pinned_log2 {
+        bdd.configure_cache(l, l);
+    }
+    let mut rng = XorShift64::seed_from_u64(0xCAFE);
+    let pool: Vec<Edge> = (0..32)
+        .map(|_| random_function(&mut bdd, &mut rng, n, 10))
+        .collect();
+    let mut acc = 0usize;
+    for _ in 0..400 {
+        let f = pool[rng.gen_range(0..pool.len())];
+        let g = pool[rng.gen_range(0..pool.len())];
+        let h = pool[rng.gen_range(0..pool.len())];
+        acc = acc.wrapping_add(bdd.ite(f, g, h).to_bits() as usize);
+    }
+    acc
+}
+
+/// The computed table's adaptive policy against hand-pinned geometries on
+/// the same deterministic storm: the adaptive run should track the best
+/// pinned capacity without being told it.
+fn bench_cache_sizing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache/ite_storm");
+    group.bench_function("adaptive", |b| b.iter(|| black_box(ite_storm(None))));
+    for l in [12u32, 16, 18] {
+        group.bench_with_input(BenchmarkId::new("pinned", l), &l, |b, &l| {
+            b.iter(|| black_box(ite_storm(Some(l))))
+        });
+    }
+    group.finish();
+}
+
+/// Heuristic minimization with the paper's flush-between-heuristics
+/// discipline versus retaining the manager-resident memo: the gap is what
+/// the memo layer buys when the timing discipline allows it.
+fn bench_memo_retention(c: &mut Criterion) {
+    let n = 12usize;
+    let mut group = c.benchmark_group("memo/heuristic_rounds");
+    for flush in [true, false] {
+        let name = if flush { "flush_each_call" } else { "retain" };
+        group.bench_function(name, |b| {
+            let mut bdd = Bdd::new(n);
+            let mut rng = XorShift64::seed_from_u64(0x1994);
+            let f = random_function(&mut bdd, &mut rng, n, 10);
+            let dc = random_function(&mut bdd, &mut rng, n, 4);
+            let care = bdd.not(dc);
+            let isf = Isf::new(f, care);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for h in Heuristic::ALL {
+                    if flush {
+                        bdd.clear_caches();
+                    }
+                    acc = acc.wrapping_add(bdd.size(h.minimize(&mut bdd, isf)));
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The sharded table-3 pipeline at several job counts (speedup requires
+/// more than one hardware core; at one core this measures shard overhead).
+fn bench_parallel_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval/table3_jobs");
+    group.sample_size(10);
+    for jobs in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            let config = ExperimentConfig {
+                lower_bound_cubes: 25,
+                max_iterations: Some(4),
+                only_benchmarks: vec!["tlc".to_owned(), "minmax5".to_owned()],
+                ..Default::default()
+            };
+            b.iter(|| black_box(run_experiment_jobs(&config, jobs).calls.len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache_sizing,
+    bench_memo_retention,
+    bench_parallel_eval
+);
+criterion_main!(benches);

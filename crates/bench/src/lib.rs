@@ -15,7 +15,10 @@
 //!   quick-mode Table 3,
 //! * `level_and_schedule` — level matching internals and ablations
 //!   (gathering, DMG/UMG FMM solving, clique optimizations, `opt_lv`
-//!   scaling).
+//!   scaling),
+//! * `cache_and_par` — adaptive computed-table sizing against pinned
+//!   geometries, memo retention vs the paper's flush discipline, and the
+//!   sharded table-3 pipeline at several `--jobs` counts.
 //!
 //! For a dependency-free performance check that works offline, use the
 //! `perf_smoke` binary in `bddmin-eval` instead:

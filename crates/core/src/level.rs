@@ -19,12 +19,13 @@
 //! The driver [`opt_lv`] visits levels top-down with tsm, which is the
 //! heuristic evaluated in the paper's experiments.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use bddmin_bdd::{Bdd, Edge, Var};
+use bddmin_bdd::{Bdd, Edge, FastBuild, Var};
 
 use crate::isf::Isf;
 use crate::matching::{matches_directed, merge_tsm_many, MatchCriterion};
+use crate::memo_tags::subst_tag;
 
 /// A sub-function gathered below the target level, together with the
 /// variable-assignment path used to reach it (for the distance weight).
@@ -96,7 +97,7 @@ pub fn gather_below_level_mode(
     mode: GatherMode,
 ) -> Vec<GatheredFunction> {
     let mut out: Vec<GatheredFunction> = Vec::new();
-    let mut seen: HashMap<(Edge, Edge), ()> = HashMap::new();
+    let mut seen: HashSet<(Edge, Edge), FastBuild> = HashSet::default();
     let mut path = vec![2u8; level.index() + 1];
     gather_rec(bdd, isf, level, limit, &mut out, &mut seen, &mut path);
     if let GatherMode::RootedJustBelow = mode {
@@ -112,7 +113,7 @@ fn gather_rec(
     level: Var,
     limit: Option<usize>,
     out: &mut Vec<GatheredFunction>,
-    seen: &mut HashMap<(Edge, Edge), ()>,
+    seen: &mut HashSet<(Edge, Edge), FastBuild>,
     path: &mut Vec<u8>,
 ) {
     if let Some(n) = limit {
@@ -123,7 +124,7 @@ fn gather_rec(
     let fl = bdd.level(isf.f);
     let cl = bdd.level(isf.c);
     if fl > level && cl > level {
-        if seen.insert((isf.f, isf.c), ()).is_none() {
+        if seen.insert((isf.f, isf.c)) {
             out.push(GatheredFunction {
                 isf,
                 path: path.clone(),
@@ -153,7 +154,7 @@ pub fn solve_fmm_osm(bdd: &mut Bdd, functions: &[Isf]) -> Vec<Isf> {
     for isf in functions {
         canon.push(isf.canonical_key(bdd));
     }
-    let mut vertex_of: HashMap<(Edge, Edge), usize> = HashMap::new();
+    let mut vertex_of: HashMap<(Edge, Edge), usize, FastBuild> = HashMap::default();
     let mut vertices: Vec<Isf> = Vec::new();
     let mut vertex_idx: Vec<usize> = Vec::with_capacity(n);
     for (i, key) in canon.iter().enumerate() {
@@ -324,21 +325,24 @@ pub fn substitute_below_level(
     replacements: &[Isf],
 ) -> Isf {
     assert_eq!(gathered.len(), replacements.len());
-    let map: HashMap<(Edge, Edge), Isf> = gathered
+    let map: HashMap<(Edge, Edge), Isf, FastBuild> = gathered
         .iter()
         .zip(replacements.iter())
         .map(|(g, &r)| ((g.isf.f, g.isf.c), r))
         .collect();
-    let mut memo: HashMap<(Edge, Edge), Isf> = HashMap::new();
-    subst_rec(bdd, isf, level, &map, &mut memo)
+    // The result depends on this invocation's substitution map, so the
+    // manager-resident memo is used under a fresh salt: entries can never
+    // leak into another substitution.
+    let tag = subst_tag(bdd.memo_salt());
+    subst_rec(bdd, isf, level, &map, tag)
 }
 
 fn subst_rec(
     bdd: &mut Bdd,
     isf: Isf,
     level: Var,
-    map: &HashMap<(Edge, Edge), Isf>,
-    memo: &mut HashMap<(Edge, Edge), Isf>,
+    map: &HashMap<(Edge, Edge), Isf, FastBuild>,
+    tag: u64,
 ) -> Isf {
     let fl = bdd.level(isf.f);
     let cl = bdd.level(isf.c);
@@ -346,19 +350,19 @@ fn subst_rec(
         // Frontier pair: replace if matched, else keep.
         return map.get(&(isf.f, isf.c)).copied().unwrap_or(isf);
     }
-    if let Some(&r) = memo.get(&(isf.f, isf.c)) {
-        return r;
+    if let Some((rf, rc)) = bdd.memo_get(tag, isf.f, isf.c) {
+        return Isf { f: rf, c: rc };
     }
     let top = fl.min(cl);
     let (f_t, f_e) = bdd.branches_at(isf.f, top);
     let (c_t, c_e) = bdd.branches_at(isf.c, top);
-    let then_r = subst_rec(bdd, Isf::new(f_t, c_t), level, map, memo);
-    let else_r = subst_rec(bdd, Isf::new(f_e, c_e), level, map, memo);
+    let then_r = subst_rec(bdd, Isf::new(f_t, c_t), level, map, tag);
+    let else_r = subst_rec(bdd, Isf::new(f_e, c_e), level, map, tag);
     let v = bdd.var(top);
     let nf = bdd.ite(v, then_r.f, else_r.f);
     let nc = bdd.ite(v, then_r.c, else_r.c);
     let r = Isf::new(nf, nc);
-    memo.insert((isf.f, isf.c), r);
+    bdd.memo_insert(tag, isf.f, isf.c, (r.f, r.c));
     r
 }
 

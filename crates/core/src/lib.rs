@@ -52,6 +52,7 @@ mod isf;
 mod level;
 mod lower_bound;
 mod matching;
+mod memo_tags;
 pub mod rng;
 mod schedule;
 mod sibling;

@@ -15,12 +15,11 @@
 //! including the classic `constrain` (osdm) and `restrict` (osdm +
 //! no-new-vars) operators.
 
-use std::collections::HashMap;
-
 use bddmin_bdd::{Bdd, Edge};
 
 use crate::isf::Isf;
 use crate::matching::{try_match, MatchCriterion};
+use crate::memo_tags::sibling_tag;
 
 /// Parameters of the generic sibling matcher (paper Table 2 columns).
 ///
@@ -124,19 +123,29 @@ pub struct SiblingStats {
 /// assert!(Isf::new(f, c).is_cover(&mut bdd, g));
 /// ```
 pub fn generic_td(bdd: &mut Bdd, isf: Isf, config: SiblingConfig) -> Edge {
-    generic_td_stats(bdd, isf, config).0
+    assert!(!isf.c.is_zero(), "generic_td: care set must be non-empty");
+    // Sibling results are pure in (f, c, config): salt 0 shares the
+    // manager-resident memo across invocations, so repeated calls on
+    // overlapping instances cost nothing until the next cache flush.
+    let tag = sibling_tag(config, 0);
+    let mut stats = SiblingStats::default();
+    td_rec(bdd, isf, config, tag, &mut stats)
 }
 
 /// Like [`generic_td`], additionally returning traversal statistics.
+///
+/// The traversal runs in a private memo key space (a fresh salt), so the
+/// counters always describe one full traversal of the instance rather
+/// than whatever a previous invocation happened to leave memoised.
 ///
 /// # Panics
 ///
 /// Panics if `isf.c` is the zero function (empty care set).
 pub fn generic_td_stats(bdd: &mut Bdd, isf: Isf, config: SiblingConfig) -> (Edge, SiblingStats) {
     assert!(!isf.c.is_zero(), "generic_td: care set must be non-empty");
-    let mut memo: HashMap<(Edge, Edge), Edge> = HashMap::new();
+    let tag = sibling_tag(config, bdd.memo_salt());
     let mut stats = SiblingStats::default();
-    let g = td_rec(bdd, isf, config, &mut memo, &mut stats);
+    let g = td_rec(bdd, isf, config, tag, &mut stats);
     (g, stats)
 }
 
@@ -144,7 +153,7 @@ fn td_rec(
     bdd: &mut Bdd,
     isf: Isf,
     config: SiblingConfig,
-    memo: &mut HashMap<(Edge, Edge), Edge>,
+    tag: u64,
     stats: &mut SiblingStats,
 ) -> Edge {
     let Isf { f, c } = isf;
@@ -152,7 +161,7 @@ fn td_rec(
     if c.is_one() || f.is_constant() {
         return f;
     }
-    if let Some(&r) = memo.get(&(f, c)) {
+    if let Some((r, _)) = bdd.memo_get(tag, f, c) {
         return r;
     }
     stats.visited += 1;
@@ -169,26 +178,26 @@ fn td_rec(
         // quantifying the variable out of the care function.
         stats.no_new_vars_steps += 1;
         let c_next = bdd.or(c_t, c_e);
-        td_rec(bdd, Isf::new(f, c_next), config, memo, stats)
+        td_rec(bdd, Isf::new(f, c_next), config, tag, stats)
     } else if let Some(m) = try_match(bdd, config.criterion, then_isf, else_isf) {
         // Parent and one child eliminated.
         stats.matches += 1;
-        td_rec(bdd, m, config, memo, stats)
+        td_rec(bdd, m, config, tag, stats)
     } else if config.match_complement {
         if let Some(m) = try_match(bdd, config.criterion, then_isf, else_isf.complement()) {
             // Parent kept, but only one recursion: then-branch is covered by
             // the i-cover's cover, else-branch by its complement.
             stats.complement_matches += 1;
-            let temp = td_rec(bdd, m, config, memo, stats);
+            let temp = td_rec(bdd, m, config, tag, stats);
             let top_var = bdd.var(top);
             bdd.ite(top_var, temp, temp.complement())
         } else {
-            td_split(bdd, top, then_isf, else_isf, config, memo, stats)
+            td_split(bdd, top, then_isf, else_isf, config, tag, stats)
         }
     } else {
-        td_split(bdd, top, then_isf, else_isf, config, memo, stats)
+        td_split(bdd, top, then_isf, else_isf, config, tag, stats)
     };
-    memo.insert((f, c), ret);
+    bdd.memo_insert(tag, f, c, (ret, ret));
     ret
 }
 
@@ -198,15 +207,15 @@ fn td_split(
     then_isf: Isf,
     else_isf: Isf,
     config: SiblingConfig,
-    memo: &mut HashMap<(Edge, Edge), Edge>,
+    tag: u64,
     stats: &mut SiblingStats,
 ) -> Edge {
     // No match was possible, so neither branch care is zero (a zero care on
     // either side always matches, for every criterion).
     debug_assert!(!then_isf.c.is_zero() && !else_isf.c.is_zero());
     stats.splits += 1;
-    let t = td_rec(bdd, then_isf, config, memo, stats);
-    let e = td_rec(bdd, else_isf, config, memo, stats);
+    let t = td_rec(bdd, then_isf, config, tag, stats);
+    let e = td_rec(bdd, else_isf, config, tag, stats);
     let top_var = bdd.var(top);
     bdd.ite(top_var, t, e)
 }

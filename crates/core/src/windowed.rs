@@ -8,12 +8,11 @@
 //! whose care set contains the original's. Passes therefore compose: the
 //! scheduler chains osm and tsm windows before finishing with `constrain`.
 
-use std::collections::HashMap;
-
-use bddmin_bdd::{Bdd, Edge, Var};
+use bddmin_bdd::{Bdd, Var};
 
 use crate::isf::Isf;
 use crate::matching::try_match;
+use crate::memo_tags::window_tag;
 use crate::sibling::SiblingConfig;
 
 /// A half-open band of levels `[top, bottom)` in which matching is allowed.
@@ -76,8 +75,11 @@ pub fn windowed_sibling_pass(
     config: SiblingConfig,
     window: LevelWindow,
 ) -> Isf {
-    let mut memo: HashMap<(Edge, Edge), Isf> = HashMap::new();
-    pass_rec(bdd, isf, config, window, &mut memo)
+    // Pass results are pure in (f, c, config, window); the window bounds
+    // are folded into the manager-resident memo tag, so the scheduler's
+    // repeated passes over shifting windows never cross-contaminate.
+    let tag = window_tag(config, window);
+    pass_rec(bdd, isf, config, window, tag)
 }
 
 fn pass_rec(
@@ -85,15 +87,15 @@ fn pass_rec(
     isf: Isf,
     config: SiblingConfig,
     window: LevelWindow,
-    memo: &mut HashMap<(Edge, Edge), Isf>,
+    tag: u64,
 ) -> Isf {
     let Isf { f, c } = isf;
     // All-DC and total ISFs have nothing to match; constants likewise.
     if c.is_zero() || c.is_one() || f.is_constant() {
         return isf;
     }
-    if let Some(&r) = memo.get(&(f, c)) {
-        return r;
+    if let Some((rf, rc)) = bdd.memo_get(tag, f, c) {
+        return Isf { f: rf, c: rc };
     }
     let f_level = bdd.level(f);
     let c_level = bdd.level(c);
@@ -109,25 +111,25 @@ fn pass_rec(
 
     let ret = if in_window && config.no_new_vars && c_level < f_level {
         let c_next = bdd.or(c_t, c_e);
-        pass_rec(bdd, Isf::new(f, c_next), config, window, memo)
+        pass_rec(bdd, Isf::new(f, c_next), config, window, tag)
     } else if in_window {
         if let Some(m) = try_match(bdd, config.criterion, then_isf, else_isf) {
-            pass_rec(bdd, m, config, window, memo)
+            pass_rec(bdd, m, config, window, tag)
         } else if config.match_complement {
             if let Some(m) = try_match(bdd, config.criterion, then_isf, else_isf.complement()) {
-                let t = pass_rec(bdd, m, config, window, memo);
+                let t = pass_rec(bdd, m, config, window, tag);
                 rebuild_complement(bdd, top, t)
             } else {
-                rebuild_split(bdd, top, then_isf, else_isf, config, window, memo)
+                rebuild_split(bdd, top, then_isf, else_isf, config, window, tag)
             }
         } else {
-            rebuild_split(bdd, top, then_isf, else_isf, config, window, memo)
+            rebuild_split(bdd, top, then_isf, else_isf, config, window, tag)
         }
     } else {
         // Above the window: descend without matching.
-        rebuild_split(bdd, top, then_isf, else_isf, config, window, memo)
+        rebuild_split(bdd, top, then_isf, else_isf, config, window, tag)
     };
-    memo.insert((f, c), ret);
+    bdd.memo_insert(tag, f, c, (ret.f, ret.c));
     ret
 }
 
@@ -138,10 +140,10 @@ fn rebuild_split(
     else_isf: Isf,
     config: SiblingConfig,
     window: LevelWindow,
-    memo: &mut HashMap<(Edge, Edge), Isf>,
+    tag: u64,
 ) -> Isf {
-    let t = pass_rec(bdd, then_isf, config, window, memo);
-    let e = pass_rec(bdd, else_isf, config, window, memo);
+    let t = pass_rec(bdd, then_isf, config, window, tag);
+    let e = pass_rec(bdd, else_isf, config, window, tag);
     let v = bdd.var(top);
     Isf {
         f: bdd.ite(v, t.f, e.f),
@@ -162,6 +164,7 @@ mod tests {
     use super::*;
     use crate::matching::MatchCriterion;
     use crate::sibling::generic_td;
+    use bddmin_bdd::Edge;
 
     fn osm() -> SiblingConfig {
         SiblingConfig::new(MatchCriterion::Osm)

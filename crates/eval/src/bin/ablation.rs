@@ -36,11 +36,10 @@ fn main() {
 
     // The ablations re-run the traversals with each variant as the hook,
     // summing the minimized-cover sizes it produces.
-    println!("ablation 1 — clique-cover optimizations of opt_lv (total cover size; lower is better)\n");
     println!(
-        "{:<28} {:>12} {:>12}",
-        "variant", "total size", "time (ms)"
+        "ablation 1 — clique-cover optimizations of opt_lv (total cover size; lower is better)\n"
     );
+    println!("{:<28} {:>12} {:>12}", "variant", "total size", "time (ms)");
     for (label, opts) in [
         (
             "both optimizations",
@@ -76,10 +75,7 @@ fn main() {
     }
 
     println!("\nablation 2 — schedule parameters (total cover size; lower is better)\n");
-    println!(
-        "{:<28} {:>12} {:>12}",
-        "variant", "total size", "time (ms)"
-    );
+    println!("{:<28} {:>12} {:>12}", "variant", "total size", "time (ms)");
     for (label, schedule) in [
         ("window 1, stop 0", Schedule::new(1, 0)),
         ("window 2, stop 1", Schedule::new(2, 1)),

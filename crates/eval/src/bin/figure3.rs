@@ -3,22 +3,25 @@
 //! `restr`, `tsm_td`), the percentage of calls whose result is within x%
 //! of the best (`min`) result. Emits both a CSV block and an ASCII plot.
 //!
-//! Usage: `cargo run --release -p bddmin-eval --bin figure3 [--quick]`
+//! Usage: `cargo run --release -p bddmin-eval --bin figure3
+//!   [--quick] [--jobs N] [--only a,b]`
 
 use bddmin_core::Heuristic;
+use bddmin_eval::par::{parse_eval_args, run_experiment_jobs};
 use bddmin_eval::report::render_figure3;
-use bddmin_eval::runner::{run_experiment, ExperimentConfig, OnsetBucket};
+use bddmin_eval::runner::{ExperimentConfig, OnsetBucket};
 use bddmin_eval::tables::figure3;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args = parse_eval_args();
     let config = ExperimentConfig {
         lower_bound_cubes: 0,
-        max_iterations: if quick { Some(6) } else { None },
+        max_iterations: if args.quick { Some(6) } else { None },
+        only_benchmarks: args.only.clone(),
         ..Default::default()
     };
     eprintln!("running FSM-equivalence experiment...");
-    let results = run_experiment(&config);
+    let results = run_experiment_jobs(&config, args.jobs);
     // The paper's five representative curves.
     let subset = [
         Heuristic::FOrig,

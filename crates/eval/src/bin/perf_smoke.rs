@@ -1,6 +1,6 @@
 //! Dependency-free kernel performance smoke test.
 //!
-//! Exercises the three hot paths of the BDD kernel and reports throughput:
+//! Exercises the hot paths of the BDD kernel and reports throughput:
 //!
 //! 1. **ITE storm** — a pool-based storm of top-level `ite` calls over
 //!    random operands, the workload dominated by unique-table probing and
@@ -10,17 +10,32 @@
 //!    care set `c`).
 //! 3. **GC cycles** — scratch churn followed by explicit mark–sweep
 //!    collections with a dense unique-table rebuild.
+//! 4. **Heuristic storm** — the full minimization registry (all twelve
+//!    paper heuristics plus the scheduler) over random ISFs, driving the
+//!    manager-resident minimization memo.
+//!
+//! The first three phases replay byte-for-byte the workload that produced
+//! `BENCH_1.json` (same seed, same operation order), so the JSON written to
+//! `BENCH_2.json` (`BENCH_2.quick.json` in quick mode, so CI never clobbers
+//! the committed full-mode baseline) carries a same-workload comparison
+//! block. Per-phase cache
+//! deltas, per-operation-class hit rates and adaptive resize counts are
+//! reported alongside the aggregate counters. In full mode a small
+//! parallel-evaluation check (table3 instance stream, 1 vs 4 jobs) is run
+//! and its wall-clocks recorded.
 //!
 //! All randomness comes from the in-tree `XorShift64` generator, so runs
-//! are deterministic and the binary builds offline. Results are printed
-//! and written as JSON to `BENCH_1.json` at the repository root.
+//! are deterministic and the binary builds offline.
 //!
 //! Usage: `cargo run --release -p bddmin-eval --bin perf_smoke [-- --quick]`
 
 use std::time::Instant;
 
-use bddmin_bdd::{Bdd, Edge, Var};
+use bddmin_bdd::{Bdd, BddStats, Edge, Var};
 use bddmin_core::rng::XorShift64;
+use bddmin_core::{Heuristic, Isf};
+use bddmin_eval::par::run_experiment_jobs;
+use bddmin_eval::runner::ExperimentConfig;
 
 const NUM_VARS: u32 = 24;
 
@@ -29,6 +44,9 @@ struct PhaseReport {
     ops: u64,
     secs: f64,
     peak_live: usize,
+    /// Stats snapshot at phase entry, for per-phase deltas.
+    before: BddStats,
+    after: BddStats,
 }
 
 impl PhaseReport {
@@ -38,6 +56,35 @@ impl PhaseReport {
         } else {
             0.0
         }
+    }
+
+    fn cache_hits(&self) -> u64 {
+        self.after.cache_hits - self.before.cache_hits
+    }
+
+    fn cache_misses(&self) -> u64 {
+        self.after.cache_misses - self.before.cache_misses
+    }
+
+    fn hit_rate(&self) -> f64 {
+        rate(self.cache_hits(), self.cache_misses())
+    }
+
+    fn memo_hits(&self) -> u64 {
+        self.after.memo_hits - self.before.memo_hits
+    }
+
+    fn memo_misses(&self) -> u64 {
+        self.after.memo_misses - self.before.memo_misses
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total > 0 {
+        hits as f64 / total as f64
+    } else {
+        0.0
     }
 }
 
@@ -64,6 +111,7 @@ fn ite_storm(bdd: &mut Bdd, rng: &mut XorShift64, ops: u64) -> PhaseReport {
     // composition over 24 variables grows without bound.
     const POOL: usize = 128;
     const MAX_OPERAND_NODES: usize = 250;
+    let before = bdd.stats();
     let mut pool: Vec<Edge> = (0..NUM_VARS).map(|i| bdd.var(Var(i))).collect();
     let mut peak_live = bdd.stats().live_nodes;
     let start = Instant::now();
@@ -93,10 +141,13 @@ fn ite_storm(bdd: &mut Bdd, rng: &mut XorShift64, ops: u64) -> PhaseReport {
         ops,
         secs,
         peak_live,
+        before,
+        after: bdd.stats(),
     }
 }
 
 fn minimize_storm(bdd: &mut Bdd, rng: &mut XorShift64, rounds: u64) -> PhaseReport {
+    let before = bdd.stats();
     let mut peak_live = bdd.stats().live_nodes;
     let mut sink = 0usize;
     let start = Instant::now();
@@ -116,10 +167,13 @@ fn minimize_storm(bdd: &mut Bdd, rng: &mut XorShift64, rounds: u64) -> PhaseRepo
         ops: rounds * 2,
         secs,
         peak_live,
+        before,
+        after: bdd.stats(),
     }
 }
 
 fn gc_storm(bdd: &mut Bdd, rng: &mut XorShift64, cycles: u64) -> PhaseReport {
+    let before = bdd.stats();
     let mut peak_live = bdd.stats().live_nodes;
     let start = Instant::now();
     for _ in 0..cycles {
@@ -136,69 +190,235 @@ fn gc_storm(bdd: &mut Bdd, rng: &mut XorShift64, cycles: u64) -> PhaseReport {
         ops: cycles,
         secs,
         peak_live,
+        before,
+        after: bdd.stats(),
     }
 }
 
-fn json_escape_free(name: &str) -> &str {
-    // Phase names are static identifiers; nothing to escape.
-    name
+/// Runs every registered heuristic (the paper's twelve plus the scheduler)
+/// over random ISFs — the workload the manager-resident minimization memo
+/// exists for. One "op" is one heuristic application.
+fn heuristic_storm(bdd: &mut Bdd, rng: &mut XorShift64, rounds: u64) -> PhaseReport {
+    let before = bdd.stats();
+    let mut peak_live = bdd.stats().live_nodes;
+    let mut sink = 0usize;
+    let mut ops = 0u64;
+    let heuristics: Vec<Heuristic> = Heuristic::ALL
+        .into_iter()
+        .chain([Heuristic::Scheduled])
+        .collect();
+    let start = Instant::now();
+    for round in 0..rounds {
+        let f = random_cover(bdd, rng, 10, 5);
+        let dc = random_cover(bdd, rng, 8, 3);
+        let care = bdd.not(dc);
+        if care.is_zero() || care.is_one() || f.is_constant() {
+            continue;
+        }
+        let isf = Isf::new(f, care);
+        for &h in &heuristics {
+            let g = h.minimize(bdd, isf);
+            sink = sink.wrapping_add(bdd.size(g));
+            ops += 1;
+        }
+        peak_live = peak_live.max(bdd.stats().live_nodes);
+        if round % 16 == 15 {
+            bdd.collect_garbage(&[]);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert!(sink > 0);
+    PhaseReport {
+        name: "heuristic_storm",
+        ops,
+        secs,
+        peak_live,
+        before,
+        after: bdd.stats(),
+    }
+}
+
+/// Pulls `"key": <number>` out of `section` of a hand-rolled JSON file.
+/// Good enough for the files this binary writes; returns `None` on any
+/// surprise.
+fn extract_number(json: &str, section: &str, key: &str) -> Option<f64> {
+    let sec = format!("\"{section}\":");
+    let start = json.find(&sec)? + sec.len();
+    let pat = format!("\"{key}\":");
+    let at = json[start..].find(&pat)? + start + pat.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|ch: char| !(ch.is_ascii_digit() || ch == '.' || ch == '-' || ch == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Timed table3 instance stream at a given job count; returns
+/// (seconds, rendered-table fingerprint length) for the comparison block.
+/// The stream is sized so per-instance measurement (all heuristics plus the
+/// sampled lower bound) dominates the sequential record/transfer prologue —
+/// on a trivially small stream the prologue hides any parallel speedup.
+fn parallel_eval_run(jobs: usize) -> (f64, usize) {
+    let config = ExperimentConfig {
+        lower_bound_cubes: 25,
+        max_iterations: Some(8),
+        only_benchmarks: vec!["tlc".to_owned(), "minmax5".to_owned()],
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let mut results = run_experiment_jobs(&config, jobs);
+    let secs = start.elapsed().as_secs_f64();
+    results.strip_times();
+    let t = bddmin_eval::tables::table3(&results, None);
+    (secs, bddmin_eval::report::render_table3(&t).len())
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (ite_ops, min_rounds, gc_cycles) = if quick {
-        (5_000u64, 60u64, 8u64)
+    let (ite_ops, min_rounds, gc_cycles, heur_rounds) = if quick {
+        (5_000u64, 60u64, 8u64, 12u64)
     } else {
-        (40_000u64, 400u64, 32u64)
+        (40_000u64, 400u64, 32u64, 80u64)
     };
 
     let mut bdd = Bdd::new(NUM_VARS as usize);
     let mut rng = XorShift64::seed_from_u64(0x5EED_CAFE_D00D_1994);
 
     println!(
-        "perf_smoke: {} mode ({} ite ops, {} minimize rounds, {} gc cycles)",
+        "perf_smoke: {} mode ({} ite ops, {} minimize rounds, {} gc cycles, {} heuristic rounds)",
         if quick { "quick" } else { "full" },
         ite_ops,
         min_rounds,
-        gc_cycles
+        gc_cycles,
+        heur_rounds
     );
 
     let phases = [
         ite_storm(&mut bdd, &mut rng, ite_ops),
         minimize_storm(&mut bdd, &mut rng, min_rounds),
         gc_storm(&mut bdd, &mut rng, gc_cycles),
+        heuristic_storm(&mut bdd, &mut rng, heur_rounds),
     ];
 
     let stats = bdd.stats();
-    let lookups = stats.cache_hits + stats.cache_misses;
-    let hit_rate = if lookups > 0 {
-        stats.cache_hits as f64 / lookups as f64
-    } else {
-        0.0
-    };
+    let hit_rate = rate(stats.cache_hits, stats.cache_misses);
 
     for p in &phases {
         println!(
-            "  {:<10} {:>9} ops in {:>8.3} s  ({:>12.0} ops/s, peak live {})",
+            "  {:<15} {:>9} ops in {:>8.3} s  ({:>12.0} ops/s, peak live {}, cache hit {:.1}%)",
             p.name,
             p.ops,
             p.secs,
             p.ops_per_sec(),
-            p.peak_live
+            p.peak_live,
+            p.hit_rate() * 100.0,
         );
     }
     println!(
-        "  cache: {:.1}% hit rate ({} hits / {} misses / {} evictions, capacity {})",
+        "  cache: {:.1}% hit rate ({} hits / {} misses / {} evictions, capacity {}, {} resizes)",
         hit_rate * 100.0,
         stats.cache_hits,
         stats.cache_misses,
         stats.cache_evictions,
-        stats.cache_capacity
+        stats.cache_capacity,
+        stats.cache_resizes,
+    );
+    for (i, name) in BddStats::OP_CLASSES.iter().enumerate() {
+        let (h, m) = (stats.cache_class_hits[i], stats.cache_class_misses[i]);
+        if h + m > 0 {
+            println!(
+                "    {:<9} {:.1}% hit rate ({h} hits / {m} misses)",
+                name,
+                rate(h, m) * 100.0
+            );
+        }
+    }
+    println!(
+        "  min memo: {:.1}% hit rate ({} hits / {} misses / {} evictions, capacity {}, {} resizes)",
+        rate(stats.memo_hits, stats.memo_misses) * 100.0,
+        stats.memo_hits,
+        stats.memo_misses,
+        stats.memo_evictions,
+        stats.memo_capacity,
+        stats.memo_resizes,
     );
     println!(
         "  unique table: {} live nodes, {} slots; gc: {} runs, {} reclaimed",
         stats.live_nodes, stats.unique_capacity, stats.gc_runs, stats.gc_reclaimed
     );
+
+    // Same-workload comparison: the first three phases replay BENCH_1's
+    // exact operation stream (same seed and order) — but only in full
+    // mode; the quick-mode stream is a shorter prefix, so comparing its
+    // rates against the full-mode baseline would be apples-to-oranges.
+    let bench1_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_1.json");
+    let comparison = std::fs::read_to_string(&bench1_path)
+        .ok()
+        .filter(|_| !quick)
+        .and_then(|b1| {
+            let min_b1 = extract_number(&b1, "minimize", "ops_per_sec")?;
+            let ite_b1 = extract_number(&b1, "ite_storm", "ops_per_sec")?;
+            let hit_b1 = extract_number(&b1, "cache", "hit_rate")?;
+            Some((min_b1, ite_b1, hit_b1))
+        });
+    let mut comparison_json = String::new();
+    if let Some((min_b1, ite_b1, hit_b1)) = comparison {
+        let min_now = phases[1].ops_per_sec();
+        let ite_now = phases[0].ops_per_sec();
+        println!(
+            "  vs BENCH_1: minimize {:.0} -> {:.0} ops/s ({:.2}x), ite {:.0} -> {:.0} ops/s ({:.2}x), hit rate {:.1}% -> {:.1}%",
+            min_b1,
+            min_now,
+            min_now / min_b1,
+            ite_b1,
+            ite_now,
+            ite_now / ite_b1,
+            hit_b1 * 100.0,
+            phases[0].hit_rate() * 100.0,
+        );
+        comparison_json = format!(
+            ",\n  \"comparison\": {{\"baseline\": \"BENCH_1.json\", \
+             \"minimize_ops_per_sec_before\": {:.1}, \"minimize_ops_per_sec_after\": {:.1}, \
+             \"minimize_speedup\": {:.4}, \"ite_ops_per_sec_before\": {:.1}, \
+             \"ite_ops_per_sec_after\": {:.1}, \"ite_speedup\": {:.4}, \
+             \"hit_rate_before\": {:.4}, \"ite_hit_rate_after\": {:.4}}}",
+            min_b1,
+            min_now,
+            min_now / min_b1,
+            ite_b1,
+            ite_now,
+            ite_now / ite_b1,
+            hit_b1,
+            phases[0].hit_rate(),
+        );
+    }
+
+    // Parallel-evaluation wall-clock check (full mode only: the quick mode
+    // backs the CI schema check and must stay fast).
+    let mut parallel_json = String::new();
+    if !quick {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let (secs_1, fp_1) = parallel_eval_run(1);
+        let (secs_4, fp_4) = parallel_eval_run(4);
+        println!(
+            "  parallel eval: jobs=1 {:.3} s, jobs=4 {:.3} s ({:.2}x on {} core(s)), \
+             tables identical: {}",
+            secs_1,
+            secs_4,
+            secs_1 / secs_4,
+            cores,
+            fp_1 == fp_4,
+        );
+        parallel_json = format!(
+            ",\n  \"parallel_eval\": {{\"jobs_1_secs\": {:.4}, \"jobs_4_secs\": {:.4}, \
+             \"speedup\": {:.4}, \"cores\": {}, \"tables_identical\": {}}}",
+            secs_1,
+            secs_4,
+            secs_1 / secs_4,
+            cores,
+            fp_1 == fp_4,
+        );
+    }
 
     let mut phase_json = String::new();
     for (i, p) in phases.iter().enumerate() {
@@ -206,19 +426,40 @@ fn main() {
             phase_json.push_str(",\n");
         }
         phase_json.push_str(&format!(
-            "    \"{}\": {{\"ops\": {}, \"secs\": {:.6}, \"ops_per_sec\": {:.1}, \"peak_live_nodes\": {}}}",
-            json_escape_free(p.name),
+            "    \"{}\": {{\"ops\": {}, \"secs\": {:.6}, \"ops_per_sec\": {:.1}, \
+             \"peak_live_nodes\": {}, \"hit_rate\": {:.4}, \"cache_hits\": {}, \
+             \"cache_misses\": {}, \"memo_hits\": {}, \"memo_misses\": {}}}",
+            p.name,
             p.ops,
             p.secs,
             p.ops_per_sec(),
-            p.peak_live
+            p.peak_live,
+            p.hit_rate(),
+            p.cache_hits(),
+            p.cache_misses(),
+            p.memo_hits(),
+            p.memo_misses(),
+        ));
+    }
+    let mut per_op_json = String::new();
+    for (i, name) in BddStats::OP_CLASSES.iter().enumerate() {
+        if i > 0 {
+            per_op_json.push_str(", ");
+        }
+        let (h, m) = (stats.cache_class_hits[i], stats.cache_class_misses[i]);
+        per_op_json.push_str(&format!(
+            "\"{name}\": {{\"hits\": {h}, \"misses\": {m}, \"hit_rate\": {:.4}}}",
+            rate(h, m)
         ));
     }
     let json = format!(
         "{{\n  \"bench\": \"perf_smoke\",\n  \"mode\": \"{}\",\n  \"phases\": {{\n{}\n  }},\n  \
-         \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}, \"capacity\": {}}},\n  \
+         \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}, \
+         \"capacity\": {}, \"resizes\": {},\n    \"per_op\": {{{}}}}},\n  \
+         \"memo\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}, \
+         \"capacity\": {}, \"resizes\": {}}},\n  \
          \"nodes\": {{\"live\": {}, \"allocated\": {}, \"unique_capacity\": {}}},\n  \
-         \"gc\": {{\"runs\": {}, \"reclaimed\": {}}}\n}}\n",
+         \"gc\": {{\"runs\": {}, \"reclaimed\": {}}}{}{}\n}}\n",
         if quick { "quick" } else { "full" },
         phase_json,
         stats.cache_hits,
@@ -226,16 +467,34 @@ fn main() {
         stats.cache_evictions,
         hit_rate,
         stats.cache_capacity,
+        stats.cache_resizes,
+        per_op_json,
+        stats.memo_hits,
+        stats.memo_misses,
+        stats.memo_evictions,
+        rate(stats.memo_hits, stats.memo_misses),
+        stats.memo_capacity,
+        stats.memo_resizes,
         stats.live_nodes,
         stats.allocated_nodes,
         stats.unique_capacity,
         stats.gc_runs,
-        stats.gc_reclaimed
+        stats.gc_reclaimed,
+        comparison_json,
+        parallel_json,
     );
 
-    // Repo root = two levels up from this crate's manifest.
+    // Repo root = two levels up from this crate's manifest. Quick mode
+    // (the CI schema check) writes to a scratch name so it never clobbers
+    // the committed full-mode baseline.
+    let name = if quick {
+        "BENCH_2.quick.json"
+    } else {
+        "BENCH_2.json"
+    };
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../BENCH_1.json");
+        .join("../..")
+        .join(name);
     match std::fs::write(&out, &json) {
         Ok(()) => println!("wrote {}", out.display()),
         Err(e) => eprintln!("could not write {}: {e}", out.display()),

@@ -6,8 +6,8 @@
 //! Usage: `cargo run -p bddmin-eval --bin table1`
 
 use bddmin_bdd::{Bdd, Cube, Edge, Var};
-use bddmin_core::{matches_directed, Isf, MatchCriterion};
 use bddmin_core::rng::XorShift64;
+use bddmin_core::{matches_directed, Isf, MatchCriterion};
 
 const NVARS: usize = 4;
 
@@ -44,7 +44,11 @@ fn main() {
         sample.push(Isf::new(f, Edge::ZERO));
     }
 
-    println!("Table 1 — properties of the matching criteria (checked on {} random ISFs over {} vars)\n", sample.len(), NVARS);
+    println!(
+        "Table 1 — properties of the matching criteria (checked on {} random ISFs over {} vars)\n",
+        sample.len(),
+        NVARS
+    );
     println!(
         "{:<10} {:>10} {:>10} {:>11}",
         "Criterion", "Reflexive", "Symmetric", "Transitive"

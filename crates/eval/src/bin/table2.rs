@@ -7,8 +7,8 @@
 //! Usage: `cargo run -p bddmin-eval --bin table2`
 
 use bddmin_bdd::{Bdd, Cube, Edge, Var};
-use bddmin_core::{generic_td, Isf, MatchCriterion, SiblingConfig};
 use bddmin_core::rng::XorShift64;
+use bddmin_core::{generic_td, Isf, MatchCriterion, SiblingConfig};
 
 const NVARS: usize = 4;
 
@@ -117,12 +117,8 @@ fn main() {
         }
     }
     println!();
-    println!(
-        "row 1 equals the classic constrain operator on every instance: {constrain_agrees}"
-    );
-    println!(
-        "row 2 equals the classic restrict operator on every instance:  {restrict_agrees}"
-    );
+    println!("row 1 equals the classic constrain operator on every instance: {constrain_agrees}");
+    println!("row 2 equals the classic restrict operator on every instance:  {restrict_agrees}");
     let distinct = {
         let mut reps: Vec<&Vec<Edge>> = Vec::new();
         for r in &results {

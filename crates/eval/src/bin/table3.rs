@@ -3,35 +3,40 @@
 //! into the `c_onset_size < 5%` and `> 95%` buckets — plus the §4.2 prose
 //! summary (reduction factor, lower-bound ratio).
 //!
-//! Usage: `cargo run --release -p bddmin-eval --bin table3 [--quick]`
+//! Usage: `cargo run --release -p bddmin-eval --bin table3
+//!   [--quick] [--jobs N] [--only a,b] [--no-times] [--csv <dir>]`
 
+use bddmin_eval::par::{parse_eval_args, run_experiment_jobs};
 use bddmin_eval::report::{render_summary, render_table3, table3_csv};
-use bddmin_eval::runner::{run_experiment, ExperimentConfig, OnsetBucket};
+use bddmin_eval::runner::{ExperimentConfig, OnsetBucket};
 use bddmin_eval::tables::{summary, table3};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    // Optional: --csv <dir> writes one CSV per bucket.
-    let csv_dir = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--csv")
-            .and_then(|i| args.get(i + 1).cloned())
-    };
-    let config = if quick {
+    let args = parse_eval_args();
+    let csv_dir = args.csv_dir.clone();
+    let config = if args.quick {
         ExperimentConfig {
             lower_bound_cubes: 50,
             max_iterations: Some(6),
+            only_benchmarks: args.only.clone(),
             ..Default::default()
         }
     } else {
-        ExperimentConfig::default()
+        ExperimentConfig {
+            only_benchmarks: args.only.clone(),
+            ..Default::default()
+        }
     };
     eprintln!(
-        "running FSM-equivalence experiment over the benchmark suite{}...",
-        if quick { " (quick mode)" } else { "" }
+        "running FSM-equivalence experiment over the benchmark suite{} ({} job{})...",
+        if args.quick { " (quick mode)" } else { "" },
+        args.jobs.max(1),
+        if args.jobs.max(1) == 1 { "" } else { "s" },
     );
-    let results = run_experiment(&config);
+    let mut results = run_experiment_jobs(&config, args.jobs);
+    if args.no_times {
+        results.strip_times();
+    }
     println!(
         "intercepted {} minimization calls ({} filtered: {} cube care, {} c<=f, {} c<=!f)\n",
         results.calls.len() + results.filtered.total(),

@@ -4,29 +4,25 @@
 //! representative subset (`f_orig`, `const`, `restr`, `osm_bt`, `tsm_td`,
 //! `opt_lv`, `min`), for all calls and per bucket.
 //!
-//! Usage: `cargo run --release -p bddmin-eval --bin table4 [--quick]`
+//! Usage: `cargo run --release -p bddmin-eval --bin table4
+//!   [--quick] [--jobs N] [--only a,b]`
 
 use bddmin_core::Heuristic;
+use bddmin_eval::par::{parse_eval_args, run_experiment_jobs};
 use bddmin_eval::report::render_table4;
-use bddmin_eval::runner::{run_experiment, ExperimentConfig, OnsetBucket};
+use bddmin_eval::runner::{ExperimentConfig, OnsetBucket};
 use bddmin_eval::tables::table4;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let config = if quick {
-        ExperimentConfig {
-            lower_bound_cubes: 0,
-            max_iterations: Some(6),
-            ..Default::default()
-        }
-    } else {
-        ExperimentConfig {
-            lower_bound_cubes: 0, // the matrix does not need the bound
-            ..Default::default()
-        }
+    let args = parse_eval_args();
+    let config = ExperimentConfig {
+        lower_bound_cubes: 0, // the matrix does not need the bound
+        max_iterations: if args.quick { Some(6) } else { None },
+        only_benchmarks: args.only.clone(),
+        ..Default::default()
     };
     eprintln!("running FSM-equivalence experiment...");
-    let results = run_experiment(&config);
+    let results = run_experiment_jobs(&config, args.jobs);
     let subset = [
         Heuristic::FOrig,
         Heuristic::Constrain,

@@ -9,6 +9,8 @@
 //! them, filter trivial calls, bucket by `c_onset_size`, and aggregate:
 //!
 //! * [`runner`] — instance interception and measurement,
+//! * [`par`] — the same pipeline with measurement sharded across worker
+//!   threads (`--jobs N`), deterministically merged,
 //! * [`tables`] — Table 3 (cumulative sizes/runtimes/ranks), Table 4
 //!   (head-to-head), Figure 3 (robustness curves), prose summary,
 //! * [`report`] — plain-text and CSV rendering.
@@ -29,6 +31,7 @@
 //! println!("{}", render_table3(&table));
 //! ```
 
+pub mod par;
 pub mod report;
 pub mod runner;
 pub mod tables;

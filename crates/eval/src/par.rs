@@ -1,0 +1,313 @@
+//! Parallel instance-stream evaluation.
+//!
+//! The sequential runner interleaves traversal and measurement: each EBM
+//! instance is measured the moment the product-machine BFS intercepts it.
+//! Measurement (every heuristic on every instance, with cache flushes in
+//! between) dominates wall-clock by orders of magnitude, and the
+//! measurements are mutually independent — so this module splits the
+//! pipeline into **record** and **measure** phases:
+//!
+//! 1. *Record* (sequential): run the BFS exactly as
+//!    [`runner::run_benchmark`] does, but instead of measuring each
+//!    surviving instance, pin it and store it. The traversal still
+//!    continues with the `constrain` results, so the instance stream is
+//!    identical to the sequential run's.
+//! 2. *Measure* (parallel): shard the recorded instances round-robin
+//!    across `jobs` workers. Each worker owns a **private `Bdd` manager**;
+//!    instances are copied in via [`Bdd::transfer`] (a semantic rebuild,
+//!    so every measured quantity is preserved — BDD sizes are canonical
+//!    under a fixed variable order and do not depend on which manager
+//!    holds the function). Workers run on `std::thread` and never share
+//!    mutable state.
+//! 3. *Merge* (deterministic): results are reassembled in recording
+//!    order, so the output tables are byte-identical for every `--jobs`
+//!    value — modulo wall-clock `times`, which are inherently
+//!    nondeterministic; strip them with
+//!    [`ExperimentResults::strip_times`] (the `--no-times` flag) when
+//!    comparing outputs.
+
+use std::time::Duration;
+
+use bddmin_bdd::Bdd;
+use bddmin_core::Isf;
+use bddmin_fsm::{generators, product_circuit, SymbolicFsm};
+
+use crate::runner::{
+    filter_reason, measure_instance, CallRecord, ExperimentConfig, ExperimentResults, FilterReason,
+};
+
+/// One instance intercepted during the record phase.
+struct RecordedInstance {
+    iteration: usize,
+    isf: Isf,
+}
+
+/// The measured payload a worker produces for one instance, keyed by its
+/// position in the recording order.
+struct Measured {
+    index: usize,
+    c_onset_pct: f64,
+    f_size: usize,
+    c_size: usize,
+    sizes: Vec<usize>,
+    times: Vec<Duration>,
+    min_size: usize,
+    lower_bound: usize,
+}
+
+/// [`runner::run_experiment`] with the measurement phase sharded across
+/// `jobs` worker threads (clamped to at least 1).
+///
+/// `jobs == 1` runs the same record-then-measure pipeline on a single
+/// worker, so results are structurally identical across job counts; only
+/// the `times` fields differ (wall clock). Benchmarks are processed in
+/// suite order and instances merge back in recording order.
+pub fn run_experiment_jobs(config: &ExperimentConfig, jobs: usize) -> ExperimentResults {
+    let jobs = jobs.max(1);
+    let mut results = ExperimentResults {
+        heuristics: config.heuristics.clone(),
+        ..Default::default()
+    };
+    for bench in generators::benchmark_suite() {
+        if !config.only_benchmarks.is_empty()
+            && !config.only_benchmarks.iter().any(|n| n == bench.paper_name)
+        {
+            continue;
+        }
+        let (mut fsm, recorded) = record_benchmark(&bench.circuit, config, &mut results);
+        let measured = measure_recorded(fsm.bdd_mut(), &recorded, config, jobs);
+        for m in measured {
+            let inst = &recorded[m.index];
+            results.calls.push(CallRecord {
+                benchmark: bench.paper_name.to_owned(),
+                iteration: inst.iteration,
+                c_onset_pct: m.c_onset_pct,
+                f_size: m.f_size,
+                c_size: m.c_size,
+                sizes: m.sizes,
+                times: m.times,
+                min_size: m.min_size,
+                lower_bound: m.lower_bound,
+            });
+        }
+    }
+    results
+}
+
+/// The BFS of [`runner::run_benchmark`], recording surviving instances
+/// instead of measuring them. Recorded edges are pinned so the
+/// per-iteration garbage collection keeps their cones alive until the
+/// measure phase has copied them out.
+fn record_benchmark(
+    circuit: &bddmin_fsm::Circuit,
+    config: &ExperimentConfig,
+    results: &mut ExperimentResults,
+) -> (SymbolicFsm, Vec<RecordedInstance>) {
+    let product = product_circuit(circuit, &circuit.clone());
+    let mut fsm = SymbolicFsm::new(&product);
+    let mut recorded: Vec<RecordedInstance> = Vec::new();
+    let mut iteration = 0usize;
+    let init = fsm.initial_states();
+    let mut reached = init;
+    let mut frontier = init;
+    while !frontier.is_zero() {
+        if let Some(cap) = config.max_iterations {
+            if iteration >= cap {
+                break;
+            }
+        }
+        let care = {
+            let bdd = fsm.bdd_mut();
+            let not_reached = bdd.not(reached);
+            bdd.or(frontier, not_reached)
+        };
+        let frontier_isf = Isf::new(frontier, care);
+        record_instance(
+            fsm.bdd_mut(),
+            frontier_isf,
+            iteration,
+            results,
+            &mut recorded,
+        );
+        let minimized = {
+            let bdd = fsm.bdd_mut();
+            bdd.clear_caches();
+            bdd.constrain(frontier_isf.f, frontier_isf.c)
+        };
+        let next_fns = fsm.next_fns().to_vec();
+        let mut constrained = Vec::with_capacity(next_fns.len());
+        for &delta in &next_fns {
+            let isf = Isf::new(delta, minimized);
+            record_instance(fsm.bdd_mut(), isf, iteration, results, &mut recorded);
+            let bdd = fsm.bdd_mut();
+            bdd.clear_caches();
+            constrained.push(bdd.constrain(delta, minimized));
+        }
+        let image = fsm.image_of_constrained(&constrained);
+        let new_reached = fsm.bdd_mut().or(reached, image);
+        frontier = {
+            let bdd = fsm.bdd_mut();
+            let not_reached = bdd.not(reached);
+            bdd.and(image, not_reached)
+        };
+        reached = new_reached;
+        iteration += 1;
+        // Recorded instances are pinned, so the collection keeps them.
+        fsm.collect_garbage(&[reached, frontier]);
+    }
+    (fsm, recorded)
+}
+
+fn record_instance(
+    bdd: &mut Bdd,
+    isf: Isf,
+    iteration: usize,
+    results: &mut ExperimentResults,
+    recorded: &mut Vec<RecordedInstance>,
+) {
+    match filter_reason(bdd, isf) {
+        Some(FilterReason::CareIsCube) => results.filtered.cube += 1,
+        Some(FilterReason::CareInsideOnset) => results.filtered.inside_onset += 1,
+        Some(FilterReason::CareInsideOffset) => results.filtered.inside_offset += 1,
+        None => {
+            bdd.pin(isf.f);
+            bdd.pin(isf.c);
+            recorded.push(RecordedInstance { iteration, isf });
+        }
+    }
+}
+
+/// Shards `recorded` round-robin over `jobs` workers, transfers each
+/// worker's share into a private manager, and measures on scoped threads.
+/// Returns one [`Measured`] per instance, sorted by recording index.
+fn measure_recorded(
+    src: &mut Bdd,
+    recorded: &[RecordedInstance],
+    config: &ExperimentConfig,
+    jobs: usize,
+) -> Vec<Measured> {
+    // Transfers happen up front on this thread: `transfer` needs `&mut`
+    // access to the source manager (it memoises through its caches), and
+    // after this loop the workers are fully independent.
+    let mut workers: Vec<(Bdd, Vec<(usize, Isf)>)> = (0..jobs)
+        .map(|_| (Bdd::new(src.num_vars()), Vec::new()))
+        .collect();
+    for (i, inst) in recorded.iter().enumerate() {
+        let (wbdd, share) = &mut workers[i % jobs];
+        let f = src.transfer(inst.isf.f, wbdd, |v| v);
+        let c = src.transfer(inst.isf.c, wbdd, |v| v);
+        share.push((i, Isf::new(f, c)));
+        src.unpin(inst.isf.f);
+        src.unpin(inst.isf.c);
+    }
+    let heuristics = &config.heuristics;
+    let lb_cubes = config.lower_bound_cubes;
+    let mut out: Vec<Measured> = std::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .map(|(mut wbdd, share)| {
+                scope.spawn(move || {
+                    share
+                        .into_iter()
+                        .map(|(index, isf)| {
+                            let c_onset_pct = wbdd.onset_percentage(isf.c);
+                            let f_size = wbdd.size(isf.f);
+                            let c_size = wbdd.size(isf.c);
+                            let (sizes, times, min_size, lower_bound) =
+                                measure_instance(&mut wbdd, isf, heuristics, lb_cubes);
+                            Measured {
+                                index,
+                                c_onset_pct,
+                                f_size,
+                                c_size,
+                                sizes,
+                                times,
+                                min_size,
+                                lower_bound,
+                            }
+                        })
+                        .collect::<Vec<Measured>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("measurement worker panicked"))
+            .collect()
+    });
+    out.sort_by_key(|m| m.index);
+    out
+}
+
+/// Command-line options shared by the table/figure binaries.
+pub struct EvalArgs {
+    /// `--quick`: capped iterations for a fast smoke run.
+    pub quick: bool,
+    /// `--jobs N`: measurement worker threads (default 1).
+    pub jobs: usize,
+    /// `--no-times`: zero out wall-clock columns for deterministic output.
+    pub no_times: bool,
+    /// `--only a,b,c`: restrict to these paper benchmark names.
+    pub only: Vec<String>,
+    /// `--csv <dir>`: CSV output directory (table3 only).
+    pub csv_dir: Option<String>,
+}
+
+/// Parses the shared flags from `std::env::args`. Unknown flags are
+/// ignored so each binary can keep its own extras.
+pub fn parse_eval_args() -> EvalArgs {
+    let args: Vec<String> = std::env::args().collect();
+    let value_of = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    EvalArgs {
+        quick: args.iter().any(|a| a == "--quick"),
+        jobs: value_of("--jobs").and_then(|v| v.parse().ok()).unwrap_or(1),
+        no_times: args.iter().any(|a| a == "--no-times"),
+        only: value_of("--only")
+            .map(|v| {
+                v.split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect()
+            })
+            .unwrap_or_default(),
+        csv_dir: value_of("--csv"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddmin_core::Heuristic;
+
+    fn small_config() -> ExperimentConfig {
+        ExperimentConfig {
+            heuristics: vec![Heuristic::FOrig, Heuristic::Constrain, Heuristic::Restrict],
+            lower_bound_cubes: 10,
+            max_iterations: Some(3),
+            only_benchmarks: vec!["tlc".to_owned()],
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_runner() {
+        let config = small_config();
+        let seq = crate::runner::run_experiment(&config);
+        let par = run_experiment_jobs(&config, 2);
+        assert_eq!(par.filtered, seq.filtered);
+        assert_eq!(par.calls.len(), seq.calls.len());
+        for (a, b) in par.calls.iter().zip(seq.calls.iter()) {
+            assert_eq!(a.benchmark, b.benchmark);
+            assert_eq!(a.iteration, b.iteration);
+            assert_eq!(a.sizes, b.sizes, "sizes are manager-independent");
+            assert_eq!(a.min_size, b.min_size);
+            assert_eq!(a.lower_bound, b.lower_bound);
+            assert_eq!(a.f_size, b.f_size);
+            assert_eq!(a.c_size, b.c_size);
+            assert!((a.c_onset_pct - b.c_onset_pct).abs() < 1e-12);
+        }
+    }
+}

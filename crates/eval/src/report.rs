@@ -7,9 +7,9 @@ use crate::tables::{Figure3, Summary, Table3, Table4};
 /// Renders Table 3 in the paper's layout.
 pub fn render_table3(table: &Table3) -> String {
     let mut out = String::new();
-    let bucket_label = table
-        .bucket
-        .map_or("all calls".to_owned(), |b| format!("c_onset_size {}", b.label()));
+    let bucket_label = table.bucket.map_or("all calls".to_owned(), |b| {
+        format!("c_onset_size {}", b.label())
+    });
     let _ = writeln!(
         out,
         "Table 3 — {} ({} calls)",

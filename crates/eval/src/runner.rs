@@ -154,6 +154,17 @@ impl ExperimentResults {
     pub fn index_of(&self, h: Heuristic) -> Option<usize> {
         self.heuristics.iter().position(|&x| x == h)
     }
+
+    /// Zeroes every recorded runtime. Wall-clock is the one field that is
+    /// not deterministic across runs (or across `--jobs` values); stripping
+    /// it makes rendered tables byte-comparable.
+    pub fn strip_times(&mut self) {
+        for call in &mut self.calls {
+            for t in &mut call.times {
+                *t = Duration::ZERO;
+            }
+        }
+    }
 }
 
 /// Classifies a call against the paper's filters.
@@ -211,10 +222,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResults {
     };
     for bench in generators::benchmark_suite() {
         if !config.only_benchmarks.is_empty()
-            && !config
-                .only_benchmarks
-                .iter()
-                .any(|n| n == bench.paper_name)
+            && !config.only_benchmarks.iter().any(|n| n == bench.paper_name)
         {
             continue;
         }
@@ -264,7 +272,14 @@ pub fn run_benchmark(
             bdd.or(frontier, not_reached)
         };
         let frontier_isf = Isf::new(frontier, care);
-        record_call(fsm.bdd_mut(), frontier_isf, paper_name, iteration, config, results);
+        record_call(
+            fsm.bdd_mut(),
+            frontier_isf,
+            paper_name,
+            iteration,
+            config,
+            results,
+        );
         let minimized = {
             let bdd = fsm.bdd_mut();
             bdd.clear_caches();

@@ -128,7 +128,10 @@ pub fn table4(
         let idx = results
             .index_of(h)
             .unwrap_or_else(|| panic!("heuristic {h} not measured"));
-        columns.push((h.name().to_owned(), Box::new(move |c: &CallRecord| c.sizes[idx])));
+        columns.push((
+            h.name().to_owned(),
+            Box::new(move |c: &CallRecord| c.sizes[idx]),
+        ));
     }
     if include_min {
         columns.push(("min".to_owned(), Box::new(|c: &CallRecord| c.min_size)));
@@ -355,7 +358,13 @@ mod tests {
     #[test]
     fn figure3_monotone_to_100() {
         let r = fake_results();
-        let f = figure3(&r, &[Heuristic::Constrain, Heuristic::Restrict], 10.0, 200.0, None);
+        let f = figure3(
+            &r,
+            &[Heuristic::Constrain, Heuristic::Restrict],
+            10.0,
+            200.0,
+            None,
+        );
         for curve in &f.curves {
             for w in curve.windows(2) {
                 assert!(w[1].1 >= w[0].1, "curves are monotone");

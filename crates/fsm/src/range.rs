@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use bddmin_bdd::{Bdd, Edge, Var};
+use bddmin_bdd::{Bdd, Edge, FastBuild, Var};
 
 use crate::symbolic::SymbolicFsm;
 
@@ -40,7 +40,7 @@ use crate::symbolic::SymbolicFsm;
 /// ```
 pub fn range_of_vector(bdd: &mut Bdd, fs: &[Edge], vars: &[Var]) -> Edge {
     assert_eq!(fs.len(), vars.len(), "one output variable per function");
-    let mut memo: HashMap<Vec<Edge>, Edge> = HashMap::new();
+    let mut memo: HashMap<Vec<Edge>, Edge, FastBuild> = HashMap::default();
     range_rec(bdd, fs, vars, &mut memo)
 }
 
@@ -48,7 +48,7 @@ fn range_rec(
     bdd: &mut Bdd,
     fs: &[Edge],
     vars: &[Var],
-    memo: &mut HashMap<Vec<Edge>, Edge>,
+    memo: &mut HashMap<Vec<Edge>, Edge, FastBuild>,
 ) -> Edge {
     let Some((&f0, rest)) = fs.split_first() else {
         return Edge::ONE;

@@ -14,7 +14,7 @@ use bddmin_core::{minimize_all, Heuristic, Isf};
 /// free), one inverter per complemented edge into a distinct node.
 fn mux_cost(bdd: &Bdd, f: Edge) -> (usize, usize) {
     let muxes = bdd.size(f) - 1; // decision nodes
-    // Count complement edges (each needs an inverter or a folded cell).
+                                 // Count complement edges (each needs an inverter or a folded cell).
     let mut inverters = 0;
     let mut seen = std::collections::HashSet::new();
     let mut stack = vec![f];
@@ -70,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("BCD 7-segment decoder, segment 'a' (codes 10-15 are don't cares)\n");
     let (m0, i0) = mux_cost(&bdd, seg_a);
-    println!("unminimized : {m0} MUX cells + {i0} inverters  (|f| = {})", bdd.size(seg_a));
+    println!(
+        "unminimized : {m0} MUX cells + {i0} inverters  (|f| = {})",
+        bdd.size(seg_a)
+    );
 
     println!("\nafter don't-care minimization:");
     println!(

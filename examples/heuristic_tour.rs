@@ -90,12 +90,7 @@ fn main() {
     // 4. Windowed passes compose (Section 3.4).
     println!("\n== 4. scheduling ==");
     let w = LevelWindow::new(Var(0), Var(2));
-    let mid = windowed_sibling_pass(
-        &mut bdd,
-        isf,
-        SiblingConfig::new(MatchCriterion::Osm),
-        w,
-    );
+    let mid = windowed_sibling_pass(&mut bdd, isf, SiblingConfig::new(MatchCriterion::Osm), w);
     println!(
         "  osm window [x1,x3): care onset {:.1}% -> {:.1}% (DCs partially consumed)",
         bdd.onset_percentage(isf.c),

@@ -20,9 +20,7 @@ fn main() {
             "{:<14} {:>9} {:>9} {:>8}",
             "net", "|f| orig", "|f| min", "ODC %"
         );
-        let report = simplify_report(&circuit, |bdd, isf| {
-            Heuristic::OsmBt.minimize(bdd, isf)
-        });
+        let report = simplify_report(&circuit, |bdd, isf| Heuristic::OsmBt.minimize(bdd, isf));
         let mut total_before = 0usize;
         let mut total_after = 0usize;
         let mut shown = 0;
@@ -31,9 +29,7 @@ fn main() {
             total_after += entry.minimized_size;
             // Show only the interesting rows (something was gained or the
             // net has substantial unobservability).
-            if (entry.minimized_size < entry.original_size || entry.odc_pct > 20.0)
-                && shown < 10
-            {
+            if (entry.minimized_size < entry.original_size || entry.odc_pct > 20.0) && shown < 10 {
                 println!(
                     "{:<14} {:>9} {:>9} {:>7.1}%",
                     entry.name, entry.original_size, entry.minimized_size, entry.odc_pct

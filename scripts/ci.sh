@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Offline CI gate for the bddmin workspace.
 #
-# Runs the tier-1 suite, a zero-warning lint pass, and a quick kernel
-# performance smoke test. Everything here works with no network access:
-# the workspace has no external dependencies (see the workspace Cargo.toml
-# — proptest/criterion suites are feature-gated off by default).
+# Runs the tier-1 suite, a zero-warning lint pass, the cache-size
+# invariance and parallel-determinism suites, a byte-level check that the
+# sharded evaluator matches the sequential one, and a quick kernel
+# performance smoke test with a schema check on its JSON report.
+# Everything here works with no network access: the workspace has no
+# external dependencies (see the workspace Cargo.toml — proptest/criterion
+# suites are feature-gated off by default).
 #
 # Usage: scripts/ci.sh
 
@@ -20,7 +23,32 @@ cargo test -q
 echo "==> lint: cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> perf: perf_smoke --quick (writes BENCH_1.json)"
+echo "==> invariance: cache-size invariance suites (bdd + core)"
+cargo test -q -p bddmin-bdd --test cache_invariance
+cargo test -q -p bddmin-core --test cache_invariance
+
+echo "==> determinism: parallel evaluator vs sequential runner"
+cargo test -q -p bddmin-eval --test parallel_determinism
+
+echo "==> determinism: table3 --jobs 1 vs --jobs 4 byte diff"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+./target/release/table3 --quick --only tlc --no-times --jobs 1 >"$tmpdir/j1.txt"
+./target/release/table3 --quick --only tlc --no-times --jobs 4 >"$tmpdir/j4.txt"
+diff -u "$tmpdir/j1.txt" "$tmpdir/j4.txt"
+echo "    byte-identical at jobs 1 and 4"
+
+echo "==> perf: perf_smoke --quick (writes BENCH_2.quick.json)"
 cargo run --release -q -p bddmin-eval --bin perf_smoke -- --quick
+
+echo "==> perf: BENCH_2.quick.json schema check"
+for key in '"hit_rate"' '"ops_per_sec"' '"resizes"' '"per_op"' \
+           '"ite"' '"constrain"' '"restrict"' '"memo"' '"heuristic_storm"'; do
+    grep -q "$key" BENCH_2.quick.json || {
+        echo "missing $key in BENCH_2.quick.json" >&2
+        exit 1
+    }
+done
+echo "    schema ok"
 
 echo "==> ci.sh: all gates passed"

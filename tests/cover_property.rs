@@ -22,10 +22,7 @@ fn all_heuristics_cover_fsm_instances() {
             .with_hook(|bdd, isf| {
                 for h in Heuristic::ALL {
                     let g = h.minimize(bdd, isf);
-                    assert!(
-                        isf.is_cover(bdd, g),
-                        "{h} returned a non-cover on {name}"
-                    );
+                    assert!(isf.is_cover(bdd, g), "{h} returned a non-cover on {name}");
                 }
                 checked += 1;
                 bdd.constrain(isf.f, isf.c)

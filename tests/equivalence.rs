@@ -18,9 +18,8 @@ fn suite_self_equivalence_under_every_heuristic() {
             &[Heuristic::Restrict]
         };
         for &h in heuristics {
-            let mut hook = move |bdd: &mut bddmin_bdd::Bdd, isf: bddmin_core::Isf| {
-                h.minimize(bdd, isf)
-            };
+            let mut hook =
+                move |bdd: &mut bddmin_bdd::Bdd, isf: bddmin_core::Isf| h.minimize(bdd, isf);
             let hook_ref: &mut MinimizeHook<'_> = &mut hook;
             let verdict =
                 verify_fsm_equivalence(&bench.circuit, &bench.circuit.clone(), Some(hook_ref));
@@ -41,8 +40,7 @@ fn perturbation_detected_at_same_depth() {
     let bad = with_flipped_latch(&a, 1);
     let mut depths = Vec::new();
     for h in [Heuristic::Constrain, Heuristic::OsmBt, Heuristic::TsmTd] {
-        let mut hook =
-            move |bdd: &mut bddmin_bdd::Bdd, isf: bddmin_core::Isf| h.minimize(bdd, isf);
+        let mut hook = move |bdd: &mut bddmin_bdd::Bdd, isf: bddmin_core::Isf| h.minimize(bdd, isf);
         let hook_ref: &mut MinimizeHook<'_> = &mut hook;
         let verdict = verify_fsm_equivalence(&a, &bad, Some(hook_ref));
         let depth = verdict.expect_err("flipped machine must differ");
@@ -90,9 +88,7 @@ fn equivalence_across_different_structures() {
     text = text.replace(&latch_line, &new_latch);
     text = text.replace(
         ".end",
-        &format!(
-            ".names {data_net} inv1\n0 1\n.names inv1 inv2\n0 1\n.end"
-        ),
+        &format!(".names {data_net} inv1\n0 1\n.names inv1 inv2\n0 1\n.end"),
     );
     let b = parse_blif(&text).expect("modified BLIF parses");
     assert!(verify_fsm_equivalence(&a, &b, None).is_ok());
@@ -107,10 +103,7 @@ fn equivalence_across_different_structures() {
     let data_net = parts[1].to_owned();
     let new_latch = format!(".latch inv1 {} {}", parts[2], parts[3]);
     wrong = wrong.replace(&latch_line, &new_latch);
-    wrong = wrong.replace(
-        ".end",
-        &format!(".names {data_net} inv1\n0 1\n.end"),
-    );
+    wrong = wrong.replace(".end", &format!(".names {data_net} inv1\n0 1\n.end"));
     let w = parse_blif(&wrong).expect("modified BLIF parses");
     assert!(verify_fsm_equivalence(&a, &w, None).is_err());
 }

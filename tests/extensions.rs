@@ -51,7 +51,10 @@ fn isop_produces_covers_of_the_interval() {
         // The SOP string parses back to the same function through the
         // expression parser (ASCII-ize the operators first).
         let sop = isop.to_sop_string(&bdd);
-        let ascii = sop.replace('·', " & ").replace('¬', "!").replace(" + ", " | ");
+        let ascii = sop
+            .replace('·', " & ")
+            .replace('¬', "!")
+            .replace(" + ", " | ");
         if ascii != "0" && ascii != "1" {
             let reparsed = bdd.from_expr(&ascii).expect("SOP string parses");
             assert_eq!(reparsed, isop.function, "{spec}");
@@ -66,9 +69,7 @@ fn odc_simplification_is_behaviour_preserving() {
     let circuit = generators::random_fsm("ctrl", 4, 3, 123);
     // The report itself asserts replacement safety in debug builds; here we
     // additionally confirm the claimed ODC percentages are consistent.
-    let report = simplify_report(&circuit, |bdd, isf| {
-        Heuristic::TsmTd.minimize(bdd, isf)
-    });
+    let report = simplify_report(&circuit, |bdd, isf| Heuristic::TsmTd.minimize(bdd, isf));
     let mut analysis = NetAnalysis::new(&circuit);
     for entry in report.iter().take(6) {
         let care = analysis.observability_care(entry.net);

@@ -1,0 +1,98 @@
+//! Parallel evaluation determinism: `--jobs N` must be invisible in every
+//! rendered artifact.
+//!
+//! The parallel runner records the instance stream sequentially, shards
+//! only the (pure) measurements, and merges in recording order — so with
+//! wall-clock columns stripped, the rendered Table 3 / Table 4 / Figure 3
+//! must be **byte-identical** for every job count, and must also match the
+//! legacy interleaved runner.
+
+use bddmin_core::Heuristic;
+use bddmin_eval::par::run_experiment_jobs;
+use bddmin_eval::report::{
+    render_figure3, render_summary, render_table3, render_table4, table3_csv,
+};
+use bddmin_eval::runner::{run_experiment, ExperimentConfig, ExperimentResults, OnsetBucket};
+use bddmin_eval::tables::{figure3, summary, table3, table4};
+
+fn test_config() -> ExperimentConfig {
+    ExperimentConfig {
+        heuristics: Heuristic::ALL.to_vec(),
+        lower_bound_cubes: 25,
+        max_iterations: Some(4),
+        only_benchmarks: vec!["tlc".to_owned(), "minmax5".to_owned()],
+    }
+}
+
+/// Renders every artifact the three binaries emit, concatenated.
+fn render_all(results: &ExperimentResults) -> String {
+    let mut out = String::new();
+    let subset = [
+        Heuristic::FOrig,
+        Heuristic::Constrain,
+        Heuristic::Restrict,
+        Heuristic::OsmBt,
+        Heuristic::TsmTd,
+        Heuristic::OptLv,
+    ];
+    for bucket in [
+        None,
+        Some(OnsetBucket::Small),
+        Some(OnsetBucket::Medium),
+        Some(OnsetBucket::Large),
+    ] {
+        let t3 = table3(results, bucket);
+        if t3.num_calls > 0 {
+            out.push_str(&render_table3(&t3));
+            out.push_str(&table3_csv(&t3));
+        }
+        let t4 = table4(results, &subset, true, bucket);
+        if t4.num_calls > 0 {
+            out.push_str(&render_table4(&t4));
+        }
+        let f3 = figure3(results, &subset[..5], 5.0, 100.0, bucket);
+        if f3.num_calls > 0 {
+            out.push_str(&render_figure3(&f3));
+        }
+        out.push_str(&render_summary("bucket", &summary(results, bucket)));
+    }
+    out
+}
+
+#[test]
+fn jobs_4_is_byte_identical_to_jobs_1() {
+    let config = test_config();
+    let mut one = run_experiment_jobs(&config, 1);
+    let mut four = run_experiment_jobs(&config, 4);
+    one.strip_times();
+    four.strip_times();
+    assert!(!one.calls.is_empty(), "config produced no instances");
+    let render_one = render_all(&one);
+    let render_four = render_all(&four);
+    assert_eq!(render_one, render_four, "job count leaked into the tables");
+}
+
+#[test]
+fn parallel_runner_matches_legacy_interleaved_runner() {
+    let config = test_config();
+    let mut legacy = run_experiment(&config);
+    let mut par = run_experiment_jobs(&config, 3);
+    legacy.strip_times();
+    par.strip_times();
+    assert_eq!(render_all(&legacy), render_all(&par));
+}
+
+#[test]
+fn oversubscribed_jobs_are_harmless() {
+    // More workers than instances: some shards are empty.
+    let config = ExperimentConfig {
+        max_iterations: Some(1),
+        only_benchmarks: vec!["tlc".to_owned()],
+        ..test_config()
+    };
+    let mut one = run_experiment_jobs(&config, 1);
+    let mut many = run_experiment_jobs(&config, 32);
+    one.strip_times();
+    many.strip_times();
+    assert_eq!(render_all(&one), render_all(&many));
+}

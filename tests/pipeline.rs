@@ -79,7 +79,13 @@ fn full_pipeline_produces_consistent_tables() {
     // Figure 3: monotone curves ending at 100%; min's own curve would be
     // flat at 100 (not included), f_orig's y-intercept is the % of calls
     // where f is already minimum.
-    let f3 = figure3(&results, &[Heuristic::FOrig, Heuristic::Restrict], 10.0, 300.0, None);
+    let f3 = figure3(
+        &results,
+        &[Heuristic::FOrig, Heuristic::Restrict],
+        10.0,
+        300.0,
+        None,
+    );
     for curve in &f3.curves {
         assert!(curve.windows(2).all(|w| w[1].1 >= w[0].1));
         assert!((curve.last().unwrap().1 - 100.0).abs() < 1e-9);
