@@ -1,0 +1,192 @@
+//! Command-line front end for the differential verification harness.
+//!
+//! ```text
+//! verify --seed 1..4 --budget-ms 30000                 # CI fuzz-smoke
+//! verify --seed 7 --iters 5000 --oracle cover          # one oracle, one seed
+//! verify --mutant break-cover --expect-failure         # prove the oracle fires
+//! verify --corpus-dir tests/corpus --seed 3            # write reproducers
+//! ```
+//!
+//! Exit status is 0 when no oracle failed, 1 otherwise; `--expect-failure`
+//! inverts that so mutation gates can assert the harness *does* catch an
+//! injected bug. The JSON stats blob on stdout mirrors perf_smoke's
+//! report style so CI can grep for schema keys.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bddmin_verify::oracle::{Mutant, Oracle};
+use bddmin_verify::runner::{run_fuzz, FuzzConfig};
+
+const USAGE: &str = "\
+usage: verify [options]
+
+options:
+  --seed A | --seed A..B   seed, or inclusive seed range, to sweep   [1]
+  --iters N                instances per seed                        [1000]
+  --budget-ms N            wall-clock budget across all seeds        [none]
+  --oracle NAME            run only this oracle (repeatable; default all six:
+                           cover, cube-optimal, osm-level, sandwich,
+                           agreement, invariance)
+  --mutant NAME            inject a deliberate bug (break-cover, ...)
+  --corpus-dir DIR         write shrunk reproducers into DIR
+  --no-write               never write reproducer files
+  --max-failures N         stop after N failures                     [4]
+  --expect-failure         exit 0 iff at least one failure was found
+  -h, --help               show this help
+";
+
+struct Options {
+    config: FuzzConfig,
+    expect_failure: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut config = FuzzConfig {
+        corpus_dir: None,
+        ..FuzzConfig::default()
+    };
+    let mut expect_failure = false;
+    let mut oracles: Vec<Oracle> = Vec::new();
+    let mut no_write = false;
+    let mut saw_iters = false;
+    let mut saw_budget = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--seed" => config.seeds = parse_seed_spec(&value("--seed")?)?,
+            "--iters" => {
+                config.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("bad --iters: {e}"))?;
+                saw_iters = true;
+            }
+            "--budget-ms" => {
+                config.budget_ms = Some(
+                    value("--budget-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --budget-ms: {e}"))?,
+                );
+                saw_budget = true;
+            }
+            "--oracle" => {
+                oracles.push(value("--oracle")?.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--mutant" => {
+                config.mutant = value("--mutant")?.parse()?;
+            }
+            "--corpus-dir" => config.corpus_dir = Some(PathBuf::from(value("--corpus-dir")?)),
+            "--no-write" => no_write = true,
+            "--max-failures" => {
+                config.max_failures = value("--max-failures")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-failures: {e}"))?;
+            }
+            "--expect-failure" => expect_failure = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if !oracles.is_empty() {
+        config.oracles = oracles;
+    }
+    // A budget-driven run should not stop early on the default
+    // iteration bound; an explicit --iters still takes effect.
+    if saw_budget && !saw_iters {
+        config.iters = u64::MAX;
+    }
+    if no_write {
+        config.corpus_dir = None;
+    }
+    Ok(Options {
+        config,
+        expect_failure,
+    })
+}
+
+/// Parses `7` or an inclusive range `1..4`.
+fn parse_seed_spec(spec: &str) -> Result<Vec<u64>, String> {
+    if let Some((lo, hi)) = spec.split_once("..") {
+        let lo: u64 = lo.parse().map_err(|e| format!("bad seed range start: {e}"))?;
+        let hi: u64 = hi.parse().map_err(|e| format!("bad seed range end: {e}"))?;
+        if lo > hi {
+            return Err(format!("empty seed range {spec:?}"));
+        }
+        Ok((lo..=hi).collect())
+    } else {
+        Ok(vec![spec.parse().map_err(|e| format!("bad seed: {e}"))?])
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("verify: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.config.mutant != Mutant::None {
+        eprintln!(
+            "verify: running with injected bug `{}` (target oracle: {})",
+            opts.config.mutant,
+            opts.config
+                .mutant
+                .target_oracle()
+                .map_or("-", Oracle::name)
+        );
+    }
+    let report = match run_fuzz(&opts.config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("verify: corpus write failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for failure in &report.failures {
+        eprintln!(
+            "FAILURE oracle={} seed={} iteration={}: {}",
+            failure.oracle, failure.seed, failure.round, failure.evidence
+        );
+        eprintln!(
+            "  shrunk {} -> {} in {} steps; reproducer:",
+            failure.initial_size, failure.final_size, failure.shrink_steps
+        );
+        for line in failure.reproducer.lines() {
+            eprintln!("  | {line}");
+        }
+        match &failure.corpus_path {
+            Some(path) => eprintln!("  written to {}", path.display()),
+            None => eprintln!("  (corpus writing disabled; commit the lines above)"),
+        }
+    }
+    println!("{}", report.to_json());
+    let failed = !report.failures.is_empty();
+    if opts.expect_failure {
+        if failed {
+            eprintln!(
+                "verify: injected bug was caught and shrunk as expected ({} failure(s))",
+                report.failures.len()
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("verify: expected at least one failure, found none");
+            ExitCode::FAILURE
+        }
+    } else if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,332 @@
+//! The fuzz loop: generate → check → shrink → record.
+//!
+//! [`run_fuzz`] drives the whole harness. For every configured seed it
+//! draws instances from the in-tree [`XorShift64`] stream, runs the
+//! selected oracles on each, and on the first failing verdict hands the
+//! instance to the shrinker and serializes the minimal reproducer into
+//! the corpus directory (unless writing is disabled). The loop is
+//! deterministic up to wall-clock: the *set of instances visited* under
+//! a time budget depends on machine speed, but every `(seed, round)`
+//! pair always denotes the same instance and verdict, so any failure is
+//! replayable from the numbers in the report alone.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bddmin_core::rng::XorShift64;
+
+use crate::corpus;
+use crate::gen::random_instance;
+use crate::oracle::{check, Mutant, Oracle, Verdict};
+use crate::shrink::{instance_size, shrink};
+
+/// Configuration for one fuzzing run.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Seeds to sweep, each an independent instance stream.
+    pub seeds: Vec<u64>,
+    /// Instances to draw per seed.
+    pub iters: u64,
+    /// Overall wall-clock budget across all seeds; `None` means only
+    /// `iters` bounds the run.
+    pub budget_ms: Option<u64>,
+    /// Oracles to run on every instance.
+    pub oracles: Vec<Oracle>,
+    /// Injected bug (always [`Mutant::None`] in CI gates; the breaking
+    /// mutants exist to prove the oracles fire).
+    pub mutant: Mutant,
+    /// Where to write shrunk reproducers; `None` disables writing.
+    pub corpus_dir: Option<PathBuf>,
+    /// Stop fuzzing after this many failures (a broken build fails fast
+    /// instead of shrinking hundreds of duplicates).
+    pub max_failures: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            seeds: vec![1],
+            iters: 1000,
+            budget_ms: None,
+            oracles: Oracle::ALL.to_vec(),
+            mutant: Mutant::None,
+            corpus_dir: None,
+            max_failures: 4,
+        }
+    }
+}
+
+/// Per-oracle verdict tallies.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OracleStats {
+    /// Contract held.
+    pub passes: u64,
+    /// Oracle did not apply (precondition unmet).
+    pub skips: u64,
+    /// Contract violated.
+    pub fails: u64,
+}
+
+/// One shrunk failure, with everything needed to replay it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Seed of the stream that produced the original instance.
+    pub seed: u64,
+    /// Round within the stream.
+    pub round: u64,
+    /// The oracle that failed.
+    pub oracle: Oracle,
+    /// Evidence from the original (pre-shrink) failing verdict.
+    pub evidence: String,
+    /// Shrink statistics: accepted steps and size before/after.
+    pub shrink_steps: usize,
+    /// [`instance_size`] before shrinking.
+    pub initial_size: usize,
+    /// [`instance_size`] of the reproducer.
+    pub final_size: usize,
+    /// The reproducer in corpus format, ready to commit.
+    pub reproducer: String,
+    /// Where the reproducer was written, if writing was enabled.
+    pub corpus_path: Option<PathBuf>,
+}
+
+/// Aggregate result of [`run_fuzz`].
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Instances generated (across all seeds).
+    pub instances: u64,
+    /// Oracle invocations (instances × selected oracles, minus any cut
+    /// short by the failure limit).
+    pub checks: u64,
+    /// Tallies indexed like [`Oracle::ALL`].
+    pub oracle_stats: [OracleStats; 6],
+    /// Shrunk failures, in discovery order.
+    pub failures: Vec<Failure>,
+    /// Wall-clock for the whole run.
+    pub elapsed_ms: u64,
+    /// True when the wall-clock budget, not the iteration count, ended
+    /// the run.
+    pub budget_exhausted: bool,
+}
+
+impl FuzzReport {
+    /// Instances per second over the whole run.
+    pub fn instances_per_sec(&self) -> f64 {
+        if self.elapsed_ms == 0 {
+            return self.instances as f64 * 1000.0;
+        }
+        self.instances as f64 * 1000.0 / self.elapsed_ms as f64
+    }
+
+    /// Total accepted shrink steps across all failures.
+    pub fn total_shrink_steps(&self) -> usize {
+        self.failures.iter().map(|f| f.shrink_steps).sum()
+    }
+
+    /// Renders the perf_smoke-style single-line JSON stats blob for CI
+    /// logs. Hand-rolled like `crates/eval`'s reports — no serde in the
+    /// workspace.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"harness\": \"bddmin-verify\",\n");
+        s.push_str(&format!("  \"instances\": {},\n", self.instances));
+        s.push_str(&format!("  \"checks\": {},\n", self.checks));
+        s.push_str(&format!("  \"elapsed_ms\": {},\n", self.elapsed_ms));
+        s.push_str(&format!(
+            "  \"instances_per_sec\": {:.1},\n",
+            self.instances_per_sec()
+        ));
+        s.push_str(&format!("  \"budget_exhausted\": {},\n", self.budget_exhausted));
+        s.push_str(&format!("  \"failures\": {},\n", self.failures.len()));
+        s.push_str(&format!(
+            "  \"total_shrink_steps\": {},\n",
+            self.total_shrink_steps()
+        ));
+        s.push_str("  \"oracles\": {\n");
+        for (i, oracle) in Oracle::ALL.into_iter().enumerate() {
+            let st = &self.oracle_stats[i];
+            s.push_str(&format!(
+                "    \"{}\": {{\"pass\": {}, \"skip\": {}, \"fail\": {}}}{}\n",
+                oracle,
+                st.passes,
+                st.skips,
+                st.fails,
+                if i + 1 < Oracle::ALL.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  }\n");
+        s.push('}');
+        s
+    }
+}
+
+/// Runs the fuzzer to completion (iteration count, budget, or failure
+/// limit, whichever comes first).
+///
+/// # Errors
+///
+/// Only corpus-file I/O can fail; the fuzzing itself is infallible.
+pub fn run_fuzz(config: &FuzzConfig) -> std::io::Result<FuzzReport> {
+    let start = Instant::now();
+    let mut report = FuzzReport::default();
+    // The budget is split evenly across seeds so every seed's stream
+    // gets visited; seed k stops at its share of the deadline (or
+    // earlier seeds' unused time rolls forward naturally, since the
+    // check is against cumulative elapsed time).
+    let num_seeds = config.seeds.len().max(1) as u64;
+    'outer: for (seed_idx, &seed) in config.seeds.iter().enumerate() {
+        let seed_deadline_ms = config
+            .budget_ms
+            .map(|ms| ms * (seed_idx as u64 + 1) / num_seeds);
+        let mut rng = XorShift64::seed_from_u64(seed);
+        for round in 0..config.iters {
+            if let Some(deadline) = seed_deadline_ms {
+                if start.elapsed().as_millis() as u64 >= deadline {
+                    report.budget_exhausted = true;
+                    break;
+                }
+            }
+            let inst = random_instance(&mut rng, round);
+            report.instances += 1;
+            for oracle in &config.oracles {
+                let oracle = *oracle;
+                let idx = Oracle::ALL.iter().position(|o| *o == oracle).unwrap();
+                report.checks += 1;
+                match check(oracle, &inst, config.mutant) {
+                    Verdict::Pass => report.oracle_stats[idx].passes += 1,
+                    Verdict::Skip(_) => report.oracle_stats[idx].skips += 1,
+                    Verdict::Fail(evidence) => {
+                        report.oracle_stats[idx].fails += 1;
+                        let outcome = shrink(&inst, oracle, config.mutant);
+                        let provenance = format!(
+                            "seed {seed}, iteration {round}, shrunk {} -> {} in {} steps",
+                            outcome.initial_size,
+                            outcome.final_size,
+                            outcome.steps
+                        );
+                        let reproducer =
+                            corpus::serialize(&outcome.instance, oracle, &provenance);
+                        let corpus_path = match &config.corpus_dir {
+                            Some(dir) => {
+                                Some(write_reproducer(dir, oracle, seed, round, &reproducer)?)
+                            }
+                            None => None,
+                        };
+                        report.failures.push(Failure {
+                            seed,
+                            round,
+                            oracle,
+                            evidence,
+                            shrink_steps: outcome.steps,
+                            initial_size: outcome.initial_size,
+                            final_size: instance_size(&outcome.instance),
+                            reproducer,
+                            corpus_path,
+                        });
+                        if report.failures.len() >= config.max_failures {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report.elapsed_ms = start.elapsed().as_millis() as u64;
+    Ok(report)
+}
+
+fn write_reproducer(
+    dir: &std::path::Path,
+    oracle: Oracle,
+    seed: u64,
+    round: u64,
+    text: &str,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("shrunk-{oracle}-s{seed}-i{round}.repro"));
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(text.as_bytes())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_run_reports_no_failures() {
+        let config = FuzzConfig {
+            seeds: vec![1],
+            iters: 20,
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&config).unwrap();
+        assert_eq!(report.instances, 20);
+        assert_eq!(report.checks, 120);
+        assert!(report.failures.is_empty());
+        assert!(!report.budget_exhausted);
+        let passes: u64 = report.oracle_stats.iter().map(|s| s.passes).sum();
+        let skips: u64 = report.oracle_stats.iter().map(|s| s.skips).sum();
+        assert_eq!(passes + skips, 120);
+    }
+
+    #[test]
+    fn mutant_run_finds_shrinks_and_serializes_a_failure() {
+        let config = FuzzConfig {
+            seeds: vec![1],
+            iters: 400,
+            oracles: vec![Oracle::Cover],
+            mutant: Mutant::BreakCover,
+            max_failures: 1,
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&config).unwrap();
+        assert_eq!(report.failures.len(), 1, "break-cover must fire");
+        let failure = &report.failures[0];
+        assert_eq!(failure.oracle, Oracle::Cover);
+        assert!(failure.final_size <= failure.initial_size);
+        // The reproducer round-trips through the corpus parser and still
+        // fails the same oracle under the same mutant.
+        let entry = corpus::parse(&failure.reproducer).unwrap();
+        assert_eq!(entry.oracle, Oracle::Cover);
+        assert!(check(entry.oracle, &entry.instance, Mutant::BreakCover).is_fail());
+    }
+
+    #[test]
+    fn budget_stops_an_unbounded_run() {
+        let config = FuzzConfig {
+            seeds: vec![1],
+            iters: u64::MAX,
+            budget_ms: Some(100),
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&config).unwrap();
+        assert!(report.budget_exhausted);
+        assert!(report.instances > 0);
+    }
+
+    #[test]
+    fn json_report_has_the_ci_grep_keys() {
+        let report = run_fuzz(&FuzzConfig {
+            iters: 5,
+            ..FuzzConfig::default()
+        })
+        .unwrap();
+        let json = report.to_json();
+        for key in [
+            "\"instances\"",
+            "\"instances_per_sec\"",
+            "\"total_shrink_steps\"",
+            "\"cover\"",
+            "\"cube-optimal\"",
+            "\"osm-level\"",
+            "\"sandwich\"",
+            "\"agreement\"",
+            "\"invariance\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in report:\n{json}");
+        }
+    }
+}

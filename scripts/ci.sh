@@ -1,54 +1,151 @@
 #!/usr/bin/env bash
-# Offline CI gate for the bddmin workspace.
+# Offline CI gate for the bddmin workspace, organized as named stages.
 #
-# Runs the tier-1 suite, a zero-warning lint pass, the cache-size
-# invariance and parallel-determinism suites, a byte-level check that the
-# sharded evaluator matches the sequential one, and a quick kernel
-# performance smoke test with a schema check on its JSON report.
-# Everything here works with no network access: the workspace has no
-# external dependencies (see the workspace Cargo.toml — proptest/criterion
-# suites are feature-gated off by default).
+# Stages (in order):
+#   build        tier-1 release build
+#   test         tier-1 cargo test -q (includes the corpus replay and
+#                mutation-gate suites via the verify crate)
+#   lint         zero-warning clippy pass over the whole workspace
+#   invariance   cache-size invariance suites (bdd + core)
+#   determinism  parallel evaluator vs sequential + table3 jobs diff
+#   fuzz-smoke   time-boxed differential fuzz (seeds 1..4) plus one
+#                mutation run per oracle proving each oracle fires
+#   perf         perf_smoke --quick + JSON schema check
 #
-# Usage: scripts/ci.sh
+# Everything works with no network access: the workspace has no external
+# dependencies (proptest/criterion suites are feature-gated off; the
+# randomized suites run on the in-tree xorshift generator).
+#
+# Usage: scripts/ci.sh [--stage <name>]...
+#   With no arguments every stage runs in order. Each --stage selects
+#   one stage; repeat the flag to run several. A per-stage wall-clock
+#   summary is printed at the end either way.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> tier-1: cargo build --release"
-cargo build --release
-
-echo "==> tier-1: cargo test -q"
-cargo test -q
-
-echo "==> lint: cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
-
-echo "==> invariance: cache-size invariance suites (bdd + core)"
-cargo test -q -p bddmin-bdd --test cache_invariance
-cargo test -q -p bddmin-core --test cache_invariance
-
-echo "==> determinism: parallel evaluator vs sequential runner"
-cargo test -q -p bddmin-eval --test parallel_determinism
-
-echo "==> determinism: table3 --jobs 1 vs --jobs 4 byte diff"
-tmpdir="$(mktemp -d)"
-trap 'rm -rf "$tmpdir"' EXIT
-./target/release/table3 --quick --only tlc --no-times --jobs 1 >"$tmpdir/j1.txt"
-./target/release/table3 --quick --only tlc --no-times --jobs 4 >"$tmpdir/j4.txt"
-diff -u "$tmpdir/j1.txt" "$tmpdir/j4.txt"
-echo "    byte-identical at jobs 1 and 4"
-
-echo "==> perf: perf_smoke --quick (writes BENCH_2.quick.json)"
-cargo run --release -q -p bddmin-eval --bin perf_smoke -- --quick
-
-echo "==> perf: BENCH_2.quick.json schema check"
-for key in '"hit_rate"' '"ops_per_sec"' '"resizes"' '"per_op"' \
-           '"ite"' '"constrain"' '"restrict"' '"memo"' '"heuristic_storm"'; do
-    grep -q "$key" BENCH_2.quick.json || {
-        echo "missing $key in BENCH_2.quick.json" >&2
-        exit 1
+# ---------------------------------------------------------------- staging
+ALL_STAGES=(build test lint invariance determinism fuzz-smoke perf)
+SELECTED=()
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --stage)
+            [[ $# -ge 2 ]] || { echo "ci.sh: --stage requires a name" >&2; exit 2; }
+            SELECTED+=("$2")
+            shift 2
+            ;;
+        -h|--help)
+            sed -n '2,24p' "$0" | sed 's/^# \{0,1\}//'
+            exit 0
+            ;;
+        *)
+            echo "ci.sh: unknown argument: $1" >&2
+            exit 2
+            ;;
+    esac
+done
+if [[ ${#SELECTED[@]} -eq 0 ]]; then
+    SELECTED=("${ALL_STAGES[@]}")
+fi
+for stage in "${SELECTED[@]}"; do
+    ok=0
+    for known in "${ALL_STAGES[@]}"; do
+        [[ "$stage" == "$known" ]] && ok=1
+    done
+    [[ $ok -eq 1 ]] || {
+        echo "ci.sh: unknown stage '$stage' (known: ${ALL_STAGES[*]})" >&2
+        exit 2
     }
 done
-echo "    schema ok"
 
-echo "==> ci.sh: all gates passed"
+STAGE_NAMES=()
+STAGE_TIMES_MS=()
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+run_stage() {
+    local name="$1"
+    for want in "${SELECTED[@]}"; do
+        if [[ "$want" == "$name" ]]; then
+            echo "==> stage: $name"
+            local t0 t1
+            t0=$(now_ms)
+            "stage_${name//-/_}"
+            t1=$(now_ms)
+            STAGE_NAMES+=("$name")
+            STAGE_TIMES_MS+=($(( t1 - t0 )))
+            return
+        fi
+    done
+}
+
+# ---------------------------------------------------------------- stages
+stage_build() {
+    cargo build --release
+}
+
+stage_test() {
+    cargo test -q
+}
+
+stage_lint() {
+    cargo clippy --workspace --all-targets -- -D warnings
+}
+
+stage_invariance() {
+    cargo test -q -p bddmin-bdd --test cache_invariance
+    cargo test -q -p bddmin-core --test cache_invariance
+}
+
+stage_determinism() {
+    cargo test -q -p bddmin-eval --test parallel_determinism
+    local tmpdir
+    tmpdir="$(mktemp -d)"
+    ./target/release/table3 --quick --only tlc --no-times --jobs 1 >"$tmpdir/j1.txt"
+    ./target/release/table3 --quick --only tlc --no-times --jobs 4 >"$tmpdir/j4.txt"
+    diff -u "$tmpdir/j1.txt" "$tmpdir/j4.txt"
+    rm -rf "$tmpdir"
+    echo "    table3 byte-identical at jobs 1 and 4"
+}
+
+stage_fuzz_smoke() {
+    # The release binary exists when the build stage ran; build it
+    # quietly otherwise (e.g. `--stage fuzz-smoke` alone).
+    cargo build --release -q -p bddmin-verify
+    echo "    differential fuzz, seeds 1..4, 30 s budget, all six oracles"
+    ./target/release/verify --seed 1..4 --budget-ms 30000 --no-write
+    echo "    mutation gates: every oracle must catch + shrink its injected bug"
+    for mutant in break-cover break-cube-optimal break-osm-level \
+                  break-lower-bound break-agreement break-invariance; do
+        echo "    -- $mutant"
+        ./target/release/verify --seed 1..3 --iters 2000 --budget-ms 20000 \
+            --mutant "$mutant" --max-failures 1 --no-write --expect-failure \
+            >/dev/null
+    done
+    echo "    all six oracles fired and shrank their mutants"
+}
+
+stage_perf() {
+    cargo run --release -q -p bddmin-eval --bin perf_smoke -- --quick
+    for key in '"hit_rate"' '"ops_per_sec"' '"resizes"' '"per_op"' \
+               '"ite"' '"constrain"' '"restrict"' '"memo"' '"heuristic_storm"'; do
+        grep -q "$key" BENCH_2.quick.json || {
+            echo "missing $key in BENCH_2.quick.json" >&2
+            exit 1
+        }
+    done
+    echo "    BENCH_2.quick.json schema ok"
+}
+
+# ---------------------------------------------------------------- driver
+for stage in "${ALL_STAGES[@]}"; do
+    run_stage "$stage"
+done
+
+echo "==> ci.sh: stage timing summary"
+total=0
+for i in "${!STAGE_NAMES[@]}"; do
+    printf '    %-12s %8d ms\n' "${STAGE_NAMES[$i]}" "${STAGE_TIMES_MS[$i]}"
+    total=$(( total + STAGE_TIMES_MS[i] ))
+done
+printf '    %-12s %8d ms\n' total "$total"
+echo "==> ci.sh: all selected stages passed"
