@@ -10,9 +10,10 @@
 //! (`Heuristic::Constrain` / `Heuristic::Restrict`); tests cross-check that
 //! the two formulations agree node-for-node.
 
+use crate::budget::BudgetExceeded;
 use crate::cache::Op;
 use crate::edge::Edge;
-use crate::manager::Bdd;
+use crate::manager::{Bdd, BUDGET_PANIC, MAX_REC_DEPTH};
 
 impl Bdd {
     /// Generalized cofactor `f ↓ c` (the `constrain` operator).
@@ -36,40 +37,59 @@ impl Bdd {
     /// assert_eq!(g, b);
     /// ```
     pub fn constrain(&mut self, f: Edge, c: Edge) -> Edge {
-        assert!(!c.is_zero(), "constrain: care set must be non-empty");
-        self.begin_op();
-        let r = self.constrain_rec(f, c);
-        self.end_op(r)
+        self.try_constrain(f, c).expect(BUDGET_PANIC)
     }
 
-    fn constrain_rec(&mut self, f: Edge, c: Edge) -> Edge {
+    /// Checked [`Bdd::constrain`]: returns [`BudgetExceeded`] instead of
+    /// running past the armed budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is the zero function.
+    pub fn try_constrain(&mut self, f: Edge, c: Edge) -> Result<Edge, BudgetExceeded> {
+        assert!(!c.is_zero(), "constrain: care set must be non-empty");
+        self.begin_op();
+        match self.constrain_rec(f, c, 0) {
+            Ok(r) => Ok(self.end_op(r)),
+            Err(e) => {
+                self.abort_op();
+                Err(e)
+            }
+        }
+    }
+
+    fn constrain_rec(&mut self, f: Edge, c: Edge, depth: u32) -> Result<Edge, BudgetExceeded> {
         debug_assert!(!c.is_zero());
+        self.charge_step()?;
+        if depth > MAX_REC_DEPTH {
+            return Err(BudgetExceeded::DEPTH);
+        }
         if c.is_one() || f.is_constant() {
-            return f;
+            return Ok(f);
         }
         if f == c {
-            return Edge::ONE;
+            return Ok(Edge::ONE);
         }
         if f == c.complement() {
-            return Edge::ZERO;
+            return Ok(Edge::ZERO);
         }
         if let Some(r) = self.cache.get(Op::Constrain, f, c, Edge::ONE) {
-            return r;
+            return Ok(r);
         }
         let top = self.level(f).min(self.level(c));
         let (f1, f0) = self.branches_at(f, top);
         let (c1, c0) = self.branches_at(c, top);
         let r = if c0.is_zero() {
-            self.constrain_rec(f1, c1)
+            self.constrain_rec(f1, c1, depth + 1)?
         } else if c1.is_zero() {
-            self.constrain_rec(f0, c0)
+            self.constrain_rec(f0, c0, depth + 1)?
         } else {
-            let t = self.constrain_rec(f1, c1);
-            let e = self.constrain_rec(f0, c0);
-            self.mk(top, t, e)
+            let t = self.constrain_rec(f1, c1, depth + 1)?;
+            let e = self.constrain_rec(f0, c0, depth + 1)?;
+            self.mk_checked(top, t, e)?
         };
         self.cache.insert(Op::Constrain, f, c, Edge::ONE, r);
-        r
+        Ok(r)
     }
 
     /// The `restrict` operator of Coudert and Madre.
@@ -94,48 +114,67 @@ impl Bdd {
     /// assert!(!bdd.depends_on(g, Var(0)));
     /// ```
     pub fn restrict(&mut self, f: Edge, c: Edge) -> Edge {
-        assert!(!c.is_zero(), "restrict: care set must be non-empty");
-        self.begin_op();
-        let r = self.restrict_rec(f, c);
-        self.end_op(r)
+        self.try_restrict(f, c).expect(BUDGET_PANIC)
     }
 
-    fn restrict_rec(&mut self, f: Edge, c: Edge) -> Edge {
+    /// Checked [`Bdd::restrict`]: returns [`BudgetExceeded`] instead of
+    /// running past the armed budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is the zero function.
+    pub fn try_restrict(&mut self, f: Edge, c: Edge) -> Result<Edge, BudgetExceeded> {
+        assert!(!c.is_zero(), "restrict: care set must be non-empty");
+        self.begin_op();
+        match self.restrict_rec(f, c, 0) {
+            Ok(r) => Ok(self.end_op(r)),
+            Err(e) => {
+                self.abort_op();
+                Err(e)
+            }
+        }
+    }
+
+    fn restrict_rec(&mut self, f: Edge, c: Edge, depth: u32) -> Result<Edge, BudgetExceeded> {
         debug_assert!(!c.is_zero());
+        self.charge_step()?;
+        if depth > MAX_REC_DEPTH {
+            return Err(BudgetExceeded::DEPTH);
+        }
         if c.is_one() || f.is_constant() {
-            return f;
+            return Ok(f);
         }
         if f == c {
-            return Edge::ONE;
+            return Ok(Edge::ONE);
         }
         if f == c.complement() {
-            return Edge::ZERO;
+            return Ok(Edge::ZERO);
         }
         if let Some(r) = self.cache.get(Op::Restrict, f, c, Edge::ONE) {
-            return r;
+            return Ok(r);
         }
         let (fl, cl) = (self.level(f), self.level(c));
         let r = if cl < fl {
             // f is independent of c's top variable: quantify it out of c.
             let (c1, c0) = self.branches(c);
-            let c_next = self.or(c1, c0);
-            self.restrict_rec(f, c_next)
+            let c_next = self.ite_rec(c1, Edge::ONE, c0, depth + 1)?;
+            self.restrict_rec(f, c_next, depth + 1)?
         } else {
             let top = fl;
             let (f1, f0) = self.branches(f);
             let (c1, c0) = self.branches_at(c, top);
             if c0.is_zero() {
-                self.restrict_rec(f1, c1)
+                self.restrict_rec(f1, c1, depth + 1)?
             } else if c1.is_zero() {
-                self.restrict_rec(f0, c0)
+                self.restrict_rec(f0, c0, depth + 1)?
             } else {
-                let t = self.restrict_rec(f1, c1);
-                let e = self.restrict_rec(f0, c0);
-                self.mk(top, t, e)
+                let t = self.restrict_rec(f1, c1, depth + 1)?;
+                let e = self.restrict_rec(f0, c0, depth + 1)?;
+                self.mk_checked(top, t, e)?
             }
         };
         self.cache.insert(Op::Restrict, f, c, Edge::ONE, r);
-        r
+        Ok(r)
     }
 }
 

@@ -1,10 +1,136 @@
 //! Size and satisfaction counting.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use crate::edge::{Edge, NodeId, Var};
 use crate::manager::Bdd;
 use crate::util::{Bitmap, FastBuild};
+
+/// A satisfying-assignment count in exponent-carrying form:
+/// `mantissa × 2^exp2`, with `mantissa` in `[1, 2)` (or exactly `0.0` for
+/// the unsatisfiable function).
+///
+/// Plain `f64` counts overflow to infinity at 1024 variables and lose the
+/// low bits long before that; this representation stays finite and keeps
+/// f64 mantissa precision at any variable count. Convert with
+/// [`SatCount::to_f64`] (saturating) or compare magnitudes with
+/// [`SatCount::log2`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SatCount {
+    /// Significand in `[1, 2)`, or `0.0` when the count is zero.
+    pub mantissa: f64,
+    /// Binary exponent.
+    pub exp2: i64,
+}
+
+/// Exponent gap beyond which the smaller addend (or a `1 - ε`
+/// complement) is below f64 mantissa resolution and is dropped. This is
+/// exactly the precision plain f64 arithmetic would deliver, so the
+/// representation is an *exponent-range* fix, not a precision upgrade.
+const NEGLIGIBLE_EXP_GAP: i64 = 80;
+
+impl SatCount {
+    /// The count zero.
+    pub const ZERO: SatCount = SatCount {
+        mantissa: 0.0,
+        exp2: 0,
+    };
+    /// The count one.
+    pub const ONE: SatCount = SatCount {
+        mantissa: 1.0,
+        exp2: 0,
+    };
+
+    /// True for the zero count.
+    pub fn is_zero(self) -> bool {
+        self.mantissa == 0.0
+    }
+
+    /// Brings an `f64` value into normalized exponent-carrying form.
+    fn normalize(value: f64, exp2: i64) -> SatCount {
+        debug_assert!(value.is_finite() && value >= 0.0);
+        if value == 0.0 {
+            return SatCount::ZERO;
+        }
+        let (mut m, mut e) = (value, exp2);
+        while m >= 2.0 {
+            m /= 2.0;
+            e += 1;
+        }
+        while m < 1.0 {
+            m *= 2.0;
+            e -= 1;
+        }
+        SatCount { mantissa: m, exp2: e }
+    }
+
+    /// The complement probability `1 - self` (valid only for values in
+    /// `[0, 1]`, as produced by the satisfaction recursion).
+    fn one_minus(self) -> SatCount {
+        if self.is_zero() {
+            return SatCount::ONE;
+        }
+        if self == SatCount::ONE {
+            return SatCount::ZERO;
+        }
+        if self.exp2 < -NEGLIGIBLE_EXP_GAP {
+            // 1 - ε rounds to 1 at f64 precision.
+            return SatCount::ONE;
+        }
+        SatCount::normalize(1.0 - self.mantissa * 2f64.powi(self.exp2 as i32), 0)
+    }
+
+    /// The average `(a + b) / 2` of two counts.
+    fn half_sum(a: SatCount, b: SatCount) -> SatCount {
+        if a.is_zero() {
+            return SatCount::normalize(b.mantissa, b.exp2 - 1);
+        }
+        if b.is_zero() {
+            return SatCount::normalize(a.mantissa, a.exp2 - 1);
+        }
+        let (hi, lo) = if a.exp2 >= b.exp2 { (a, b) } else { (b, a) };
+        let gap = hi.exp2 - lo.exp2;
+        if gap > NEGLIGIBLE_EXP_GAP {
+            return SatCount::normalize(hi.mantissa, hi.exp2 - 1);
+        }
+        let sum = hi.mantissa + lo.mantissa * 2f64.powi(-(gap as i32));
+        SatCount::normalize(sum, hi.exp2 - 1)
+    }
+
+    /// Converts to `f64`, saturating to `f64::INFINITY` above `~2^1024`
+    /// and to `0.0` below the subnormal range (never `NaN`).
+    pub fn to_f64(self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        if self.exp2 > f64::MAX_EXP as i64 {
+            return f64::INFINITY;
+        }
+        if self.exp2 < f64::MIN_EXP as i64 - 53 {
+            return 0.0;
+        }
+        self.mantissa * 2f64.powi(self.exp2 as i32)
+    }
+
+    /// Base-2 logarithm of the count (`-inf` for zero).
+    pub fn log2(self) -> f64 {
+        if self.is_zero() {
+            return f64::NEG_INFINITY;
+        }
+        self.mantissa.log2() + self.exp2 as f64
+    }
+}
+
+impl fmt::Display for SatCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            f.write_str("0")
+        } else {
+            write!(f, "{}*2^{}", self.mantissa, self.exp2)
+        }
+    }
+}
 
 impl Bdd {
     /// The size `|f|`: number of nodes in the BDD of `f`, **including the
@@ -102,9 +228,62 @@ impl Bdd {
     }
 
     /// Number of satisfying assignments over all `n` declared variables,
-    /// as `f64` (exact for small spaces, approximate beyond ~2^53).
+    /// as `f64`.
+    ///
+    /// A documented approximation: exact for counts below `~2^53`,
+    /// mantissa-rounded above, and **saturating to `f64::INFINITY`**
+    /// beyond `~2^1024`. It is computed through the exponent-carrying
+    /// [`Bdd::sat_count_scaled`], so — unlike the naive
+    /// `fraction × 2^n` formula — small counts in huge spaces (e.g. the
+    /// single assignment of a 1200-literal cube) come out exact instead
+    /// of degenerating to `0 × inf = NaN`.
     pub fn sat_count(&self, f: Edge) -> f64 {
-        self.sat_fraction(f) * 2f64.powi(self.num_vars() as i32)
+        self.sat_count_scaled(f).to_f64()
+    }
+
+    /// Number of satisfying assignments over all `n` declared variables
+    /// in exponent-carrying form, finite at any variable count.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bddmin_bdd::{Bdd, Var};
+    /// let mut bdd = Bdd::new(2000);
+    /// let a = bdd.var(Var(0));
+    /// let count = bdd.sat_count_scaled(a); // 2^1999 assignments
+    /// assert_eq!((count.mantissa, count.exp2), (1.0, 1999));
+    /// ```
+    pub fn sat_count_scaled(&self, f: Edge) -> SatCount {
+        let mut memo: HashMap<NodeId, SatCount, FastBuild> = HashMap::default();
+        let p = self.prob_rec(f.regular(), &mut memo);
+        let p = if f.is_complemented() { p.one_minus() } else { p };
+        if p.is_zero() {
+            return SatCount::ZERO;
+        }
+        SatCount {
+            mantissa: p.mantissa,
+            exp2: p.exp2 + self.num_vars() as i64,
+        }
+    }
+
+    /// Satisfaction probability of the **regular** function at `e`, in
+    /// exponent-carrying form.
+    fn prob_rec(&self, e: Edge, memo: &mut HashMap<NodeId, SatCount, FastBuild>) -> SatCount {
+        debug_assert!(!e.is_complemented());
+        if e.is_constant() {
+            return SatCount::ONE;
+        }
+        if let Some(&p) = memo.get(&e.node()) {
+            return p;
+        }
+        let n = self.node(e);
+        let ph = self.prob_rec(n.hi.regular(), memo);
+        let ph = if n.hi.is_complemented() { ph.one_minus() } else { ph };
+        let pl = self.prob_rec(n.lo.regular(), memo);
+        let pl = if n.lo.is_complemented() { pl.one_minus() } else { pl };
+        let p = SatCount::half_sum(ph, pl);
+        memo.insert(e.node(), p);
+        p
     }
 
     /// The paper's `c_onset_size`: percentage of onset points of `f` in the
@@ -201,6 +380,53 @@ mod tests {
         let aob = bdd.or(a, b);
         assert_eq!(bdd.sat_fraction(aob), 0.75);
         assert_eq!(bdd.sat_count(ab), 2.0); // 2 of 8 assignments
+    }
+
+    #[test]
+    fn sat_count_survives_huge_variable_spaces() {
+        // Regression: `fraction × 2^n` overflowed to `inf` at ≥1024
+        // variables, and deep cubes degenerated to `0 × inf = NaN`.
+        let mut bdd = Bdd::new(1200);
+        let vars: Vec<Var> = (0..1200).map(Var).collect();
+        let cube = bdd.cube_of_vars(&vars);
+        // The full cube has exactly one satisfying assignment.
+        assert_eq!(bdd.sat_count(cube), 1.0);
+        let one = bdd.sat_count_scaled(cube);
+        assert_eq!((one.mantissa, one.exp2), (1.0, 0));
+        // A single variable is true on half the space: 2^1199 assignments.
+        let a = bdd.var(Var(0));
+        let half = bdd.sat_count_scaled(a);
+        assert_eq!((half.mantissa, half.exp2), (1.0, 1199));
+        assert_eq!(half.log2(), 1199.0);
+        // The f64 view saturates above ~2^1024 (documented), never NaN.
+        assert!(bdd.sat_count(a).is_infinite());
+        assert!(!bdd.sat_count(a).is_nan());
+        // ¬cube has 2^1200 - 1 assignments, which is 2^1200 at f64
+        // mantissa precision.
+        let nc = bdd.not(cube);
+        let big = bdd.sat_count_scaled(nc);
+        assert_eq!((big.mantissa, big.exp2), (1.0, 1200));
+        // Constants behave.
+        assert!(bdd.sat_count_scaled(Edge::ZERO).is_zero());
+        assert_eq!(bdd.sat_count(Edge::ZERO), 0.0);
+        assert_eq!(bdd.sat_count_scaled(Edge::ONE).exp2, 1200);
+    }
+
+    #[test]
+    fn sat_count_scaled_matches_f64_on_small_spaces() {
+        let mut bdd = Bdd::new(6);
+        let a = bdd.var(Var(0));
+        let b = bdd.var(Var(1));
+        let c = bdd.var(Var(2));
+        let ab = bdd.and(a, b);
+        let f = bdd.xor(ab, c);
+        for g in [a, ab, f, bdd.not(f), Edge::ONE, Edge::ZERO] {
+            let scaled = bdd.sat_count_scaled(g).to_f64();
+            let frac = bdd.sat_fraction(g) * 64.0;
+            assert!((scaled - frac).abs() < 1e-9, "{scaled} vs {frac}");
+        }
+        assert_eq!(SatCount::ZERO.to_string(), "0");
+        assert_eq!(bdd.sat_count_scaled(a).to_string(), "1*2^5");
     }
 
     #[test]

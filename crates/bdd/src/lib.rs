@@ -18,6 +18,10 @@
 //!   [`Bdd::restrict`] operators used as baselines by the paper,
 //! * cube utilities (enumeration of the cubes of a function, cube
 //!   construction and tests),
+//! * a resource governor ([`Budget`]): deterministic step budgets, a
+//!   live-node ceiling, optional wall-clock deadlines and a recursion
+//!   depth guard, surfaced through checked `try_*` operation variants
+//!   that return [`BudgetExceeded`] instead of panicking or looping,
 //! * mark–sweep garbage collection with explicit roots,
 //! * a small Boolean [expression parser](Bdd::from_expr) and a parser for the
 //!   paper's [leaf-specification notation](Bdd::from_leaf_spec) such as
@@ -39,6 +43,7 @@
 //! # }
 //! ```
 
+mod budget;
 mod cache;
 mod constrain;
 mod count;
@@ -57,6 +62,8 @@ mod transfer;
 mod unique;
 mod util;
 
+pub use budget::{Budget, BudgetExceeded, BudgetKind};
+pub use count::SatCount;
 pub use cubes::{Cube, CubeIter};
 pub use edge::{Edge, NodeId, Var};
 pub use expr::ParseExprError;

@@ -2,11 +2,17 @@
 
 use std::collections::HashMap;
 
+use crate::budget::{Budget, BudgetExceeded};
 use crate::cache::{ComputedTable, OP_CLASS_COUNT, OP_CLASS_NAMES};
 use crate::edge::{Edge, NodeId, Var};
 use crate::memo::MinMemo;
 use crate::node::Node;
 use crate::unique::UniqueTable;
+
+/// Panic message of the unchecked operation variants when an armed budget
+/// trips mid-recursion.
+pub(crate) const BUDGET_PANIC: &str =
+    "resource budget exceeded in an unchecked operation; use the try_* variants under an armed budget";
 
 /// Counters describing the state of a [`Bdd`] manager.
 ///
@@ -125,7 +131,23 @@ pub struct Bdd {
     pub(crate) op_depth: u32,
     pub(crate) gc_runs: u64,
     pub(crate) gc_reclaimed: u64,
+    /// Armed resource limits (see [`Budget`]); consulted by the checked
+    /// `try_*` operations.
+    pub(crate) budget: Budget,
+    /// Governed recursion steps charged since the budget was last armed
+    /// (or since creation when never armed). Always counted — the counter
+    /// is one add per recursion step — so reports can show work done even
+    /// without limits.
+    pub(crate) steps: u64,
 }
+
+/// Recursion-depth guard: the kernel recursions descend one variable
+/// level per call, so any depth beyond this indicates a pathologically
+/// deep BDD that risks overflowing the thread stack. The guard converts
+/// the overflow into [`BudgetExceeded`] (checked paths) or a clean panic
+/// (unchecked paths) well before the stack actually runs out, including
+/// on the 2 MiB default test-thread stacks of debug builds.
+pub(crate) const MAX_REC_DEPTH: u32 = 1500;
 
 /// Live-node floor below which automatic GC never triggers.
 const MIN_AUTO_GC_THRESHOLD: usize = 1 << 14;
@@ -178,6 +200,8 @@ impl Bdd {
             op_depth: 0,
             gc_runs: 0,
             gc_reclaimed: 0,
+            budget: Budget::UNLIMITED,
+            steps: 0,
         };
         for name in names {
             bdd.add_var(name);
@@ -243,6 +267,26 @@ impl Bdd {
         e
     }
 
+    /// Checked [`Bdd::var`]: the first use of a variable allocates its
+    /// root node, which can trip an armed node ceiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not declared.
+    pub fn try_var(&mut self, var: Var) -> Result<Edge, BudgetExceeded> {
+        assert!(
+            var.index() < self.var_names.len(),
+            "variable {var} not declared (have {})",
+            self.var_names.len()
+        );
+        if let Some(e) = self.var_roots[var.index()] {
+            return Ok(e);
+        }
+        let e = self.mk_checked(var, Edge::ONE, Edge::ZERO)?;
+        self.var_roots[var.index()] = Some(e);
+        Ok(e)
+    }
+
     /// The literal `var` (positive) or `!var` (negative).
     pub fn literal(&mut self, var: Var, positive: bool) -> Edge {
         let v = self.var(var);
@@ -296,12 +340,72 @@ impl Bdd {
         self.nodes.len() - self.free.len()
     }
 
+    /// Arms a resource [`Budget`] and resets the step counter. The limits
+    /// are consulted by the checked `try_*` operations; unchecked
+    /// operations panic (rather than loop or overflow) if a limit trips
+    /// while they run. Arm [`Budget::UNLIMITED`] (or call
+    /// [`Bdd::clear_budget`]) to disarm.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+        self.steps = 0;
+    }
+
+    /// Disarms all resource limits (equivalent to arming
+    /// [`Budget::UNLIMITED`]); the step counter keeps its value.
+    pub fn clear_budget(&mut self) {
+        self.budget = Budget::UNLIMITED;
+    }
+
+    /// The currently armed budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Governed recursion steps charged since the budget was last armed.
+    pub fn steps_used(&self) -> u64 {
+        self.steps
+    }
+
+    /// Charges one governed recursion step against the armed budget.
+    ///
+    /// The kernel recursions call this once per recursive step; layered
+    /// minimization recursions (the `bddmin-core` pipeline) call it so
+    /// their own traversal work counts too. The step count is
+    /// deterministic; the optional deadline is polled only every 1024
+    /// steps to keep the common path cheap.
+    #[inline]
+    pub fn charge_step(&mut self) -> Result<(), BudgetExceeded> {
+        self.steps += 1;
+        if let Some(limit) = self.budget.step_limit {
+            if self.steps > limit {
+                return Err(BudgetExceeded::STEPS);
+            }
+        }
+        if let Some(deadline) = self.budget.deadline {
+            // Poll coarsely: at the first step after arming, then every
+            // 1024th, so the common path never touches the clock.
+            if self.steps & 1023 == 1 && std::time::Instant::now() >= deadline {
+                return Err(BudgetExceeded::TIME);
+            }
+        }
+        Ok(())
+    }
+
     /// Marks the start of a (possibly recursive) operation; paired with
     /// [`Bdd::end_op`]. Automatic GC is deferred while any operation is in
     /// flight so intermediate results cannot be swept.
     #[inline]
     pub(crate) fn begin_op(&mut self) {
         self.op_depth += 1;
+    }
+
+    /// Unwinds [`Bdd::begin_op`] when a checked operation aborts on a
+    /// budget trip. No collection runs (the caller holds no protected
+    /// result); a pending `gc_wanted` stays set for the next quiescent
+    /// point of a completed operation.
+    #[inline]
+    pub(crate) fn abort_op(&mut self) {
+        self.op_depth -= 1;
     }
 
     /// Marks the end of an operation. At depth zero, runs a pending
@@ -336,21 +440,42 @@ impl Bdd {
     /// table) and complement-edge normalisation (the stored high edge is
     /// always regular).
     pub(crate) fn mk(&mut self, var: Var, hi: Edge, lo: Edge) -> Edge {
+        self.mk_checked(var, hi, lo).expect(BUDGET_PANIC)
+    }
+
+    /// [`Bdd::mk`] with the live-node ceiling honored: fails instead of
+    /// allocating past the armed node limit. Find-or-add hits and
+    /// reductions never fail.
+    pub(crate) fn mk_checked(
+        &mut self,
+        var: Var,
+        hi: Edge,
+        lo: Edge,
+    ) -> Result<Edge, BudgetExceeded> {
         debug_assert!(!var.is_terminal());
         debug_assert!(var < self.level(hi) && var < self.level(lo), "order violation");
         if hi == lo {
-            return hi;
+            return Ok(hi);
         }
         if hi.is_complemented() {
-            return self.mk_raw(var, hi.complement(), lo.complement()).complement();
+            return Ok(self
+                .mk_raw(var, hi.complement(), lo.complement())?
+                .complement());
         }
         self.mk_raw(var, hi, lo)
     }
 
-    fn mk_raw(&mut self, var: Var, hi: Edge, lo: Edge) -> Edge {
+    fn mk_raw(&mut self, var: Var, hi: Edge, lo: Edge) -> Result<Edge, BudgetExceeded> {
         debug_assert!(!hi.is_complemented());
         if let Some(id) = self.unique.find(&self.nodes, var, hi, lo) {
-            return Edge::new(id, false);
+            return Ok(Edge::new(id, false));
+        }
+        // The ceiling is checked exactly where the unique table grows:
+        // only a genuinely fresh node can trip it.
+        if let Some(limit) = self.budget.node_limit {
+            if self.live_count() >= limit {
+                return Err(BudgetExceeded::NODES);
+            }
         }
         let id = match self.free.pop() {
             Some(slot) => {
@@ -370,7 +495,7 @@ impl Bdd {
         if self.auto_gc && self.live_count() > self.gc_threshold {
             self.gc_wanted = true;
         }
-        Edge::new(id, false)
+        Ok(Edge::new(id, false))
     }
 
     /// The node an edge points to.

@@ -1,8 +1,17 @@
 //! Boolean operations: ITE and everything derived from it.
+//!
+//! Every recursive operation exists in two forms: the classic infallible
+//! form (`ite`, `and`, …) and a checked `try_*` form returning
+//! [`BudgetExceeded`] when the armed [`crate::Budget`] runs out. Both
+//! share one recursion, so with no budget armed they are byte-identical;
+//! the infallible form panics if a limit trips while it runs. All
+//! recursions also carry a depth guard that converts a would-be stack
+//! overflow on pathologically deep BDDs into [`BudgetExceeded`].
 
+use crate::budget::BudgetExceeded;
 use crate::cache::Op;
 use crate::edge::{Edge, Var};
-use crate::manager::Bdd;
+use crate::manager::{Bdd, BUDGET_PANIC, MAX_REC_DEPTH};
 
 impl Bdd {
     /// If-then-else: `ite(f, g, h) = f·g + ¬f·h`.
@@ -26,27 +35,49 @@ impl Bdd {
     /// assert_eq!(mux, manual);
     /// ```
     pub fn ite(&mut self, f: Edge, g: Edge, h: Edge) -> Edge {
-        self.begin_op();
-        let r = self.ite_rec(f, g, h);
-        self.end_op(r)
+        self.try_ite(f, g, h).expect(BUDGET_PANIC)
     }
 
-    pub(crate) fn ite_rec(&mut self, f: Edge, g: Edge, h: Edge) -> Edge {
+    /// Checked [`Bdd::ite`]: aborts cleanly with [`BudgetExceeded`] when
+    /// the armed budget runs out. The caches never record aborted work,
+    /// so a failed call leaves the manager fully consistent.
+    pub fn try_ite(&mut self, f: Edge, g: Edge, h: Edge) -> Result<Edge, BudgetExceeded> {
+        self.begin_op();
+        match self.ite_rec(f, g, h, 0) {
+            Ok(r) => Ok(self.end_op(r)),
+            Err(e) => {
+                self.abort_op();
+                Err(e)
+            }
+        }
+    }
+
+    pub(crate) fn ite_rec(
+        &mut self,
+        f: Edge,
+        g: Edge,
+        h: Edge,
+        depth: u32,
+    ) -> Result<Edge, BudgetExceeded> {
+        self.charge_step()?;
+        if depth > MAX_REC_DEPTH {
+            return Err(BudgetExceeded::DEPTH);
+        }
         // Terminal cases.
         if f.is_one() {
-            return g;
+            return Ok(g);
         }
         if f.is_zero() {
-            return h;
+            return Ok(h);
         }
         if g == h {
-            return g;
+            return Ok(g);
         }
         if g.is_one() && h.is_zero() {
-            return f;
+            return Ok(f);
         }
         if g.is_zero() && h.is_one() {
-            return f.complement();
+            return Ok(f.complement());
         }
         // Reduce using f where g/h coincide with f or !f.
         let (mut f, mut g, mut h) = (f, g, h);
@@ -61,13 +92,13 @@ impl Bdd {
             h = Edge::ONE;
         }
         if g == h {
-            return g;
+            return Ok(g);
         }
         if g.is_one() && h.is_zero() {
-            return f;
+            return Ok(f);
         }
         if g.is_zero() && h.is_one() {
-            return f.complement();
+            return Ok(f.complement());
         }
         // Canonical triple: standard symmetry rewrites so equivalent calls
         // share cache entries (ite(f,1,h) = ite(h,1,f), etc.).
@@ -99,17 +130,17 @@ impl Bdd {
             h = h.complement();
         }
         if let Some(r) = self.cache.get(Op::Ite, f, g, h) {
-            return r.complement_if(negate);
+            return Ok(r.complement_if(negate));
         }
         let top = self.level(f).min(self.level(g)).min(self.level(h));
         let (f1, f0) = self.branches_at(f, top);
         let (g1, g0) = self.branches_at(g, top);
         let (h1, h0) = self.branches_at(h, top);
-        let t = self.ite_rec(f1, g1, h1);
-        let e = self.ite_rec(f0, g0, h0);
-        let r = self.mk(top, t, e);
+        let t = self.ite_rec(f1, g1, h1, depth + 1)?;
+        let e = self.ite_rec(f0, g0, h0, depth + 1)?;
+        let r = self.mk_checked(top, t, e)?;
         self.cache.insert(Op::Ite, f, g, h, r);
-        r.complement_if(negate)
+        Ok(r.complement_if(negate))
     }
 
     /// True if `a` should precede `b` in canonical-triple ordering
@@ -124,14 +155,29 @@ impl Bdd {
         self.ite(f, g, Edge::ZERO)
     }
 
+    /// Checked [`Bdd::and`].
+    pub fn try_and(&mut self, f: Edge, g: Edge) -> Result<Edge, BudgetExceeded> {
+        self.try_ite(f, g, Edge::ZERO)
+    }
+
     /// Disjunction `f + g`.
     pub fn or(&mut self, f: Edge, g: Edge) -> Edge {
         self.ite(f, Edge::ONE, g)
     }
 
+    /// Checked [`Bdd::or`].
+    pub fn try_or(&mut self, f: Edge, g: Edge) -> Result<Edge, BudgetExceeded> {
+        self.try_ite(f, Edge::ONE, g)
+    }
+
     /// Exclusive or `f ⊕ g`.
     pub fn xor(&mut self, f: Edge, g: Edge) -> Edge {
         self.ite(f, g.complement(), g)
+    }
+
+    /// Checked [`Bdd::xor`].
+    pub fn try_xor(&mut self, f: Edge, g: Edge) -> Result<Edge, BudgetExceeded> {
+        self.try_ite(f, g.complement(), g)
     }
 
     /// Equivalence `f ≡ g` (xnor).
@@ -181,6 +227,11 @@ impl Bdd {
         self.and(f, g.complement()).is_zero()
     }
 
+    /// Checked [`Bdd::implies_holds`].
+    pub fn try_implies_holds(&mut self, f: Edge, g: Edge) -> Result<bool, BudgetExceeded> {
+        Ok(self.try_and(f, g.complement())?.is_zero())
+    }
+
     /// The Shannon cofactor of `f` by the literal `(var = value)`.
     ///
     /// # Example
@@ -194,19 +245,45 @@ impl Bdd {
     /// assert!(bdd.cofactor(f, Var(0), false).is_zero());
     /// ```
     pub fn cofactor(&mut self, f: Edge, var: Var, value: bool) -> Edge {
-        self.begin_op();
-        let r = self.cofactor_rec(f, var, if value { Edge::ONE } else { Edge::ZERO });
-        self.end_op(r)
+        self.try_cofactor(f, var, value).expect(BUDGET_PANIC)
     }
 
-    fn cofactor_rec(&mut self, f: Edge, var: Var, value: Edge) -> Edge {
+    /// Checked [`Bdd::cofactor`].
+    pub fn try_cofactor(
+        &mut self,
+        f: Edge,
+        var: Var,
+        value: bool,
+    ) -> Result<Edge, BudgetExceeded> {
+        self.begin_op();
+        let value = if value { Edge::ONE } else { Edge::ZERO };
+        match self.cofactor_rec(f, var, value, 0) {
+            Ok(r) => Ok(self.end_op(r)),
+            Err(e) => {
+                self.abort_op();
+                Err(e)
+            }
+        }
+    }
+
+    fn cofactor_rec(
+        &mut self,
+        f: Edge,
+        var: Var,
+        value: Edge,
+        depth: u32,
+    ) -> Result<Edge, BudgetExceeded> {
+        self.charge_step()?;
+        if depth > MAX_REC_DEPTH {
+            return Err(BudgetExceeded::DEPTH);
+        }
         let top = self.level(f);
         if top > var {
             // f does not depend on var (ordered BDD).
-            return f;
+            return Ok(f);
         }
         if let Some(r) = self.cache.get(Op::Compose(var.0), f, value, Edge::ONE) {
-            return r;
+            return Ok(r);
         }
         let (f1, f0) = self.branches(f);
         let r = if top == var {
@@ -216,12 +293,12 @@ impl Bdd {
                 f0
             }
         } else {
-            let t = self.cofactor_rec(f1, var, value);
-            let e = self.cofactor_rec(f0, var, value);
-            self.mk(top, t, e)
+            let t = self.cofactor_rec(f1, var, value, depth + 1)?;
+            let e = self.cofactor_rec(f0, var, value, depth + 1)?;
+            self.mk_checked(top, t, e)?
         };
         self.cache.insert(Op::Compose(var.0), f, value, Edge::ONE, r);
-        r
+        Ok(r)
     }
 
     /// Restricts `f` by a positive/negative literal cube: the generalized
@@ -252,37 +329,55 @@ impl Bdd {
     ///
     /// Panics if `vars` is not a positive cube.
     pub fn exists(&mut self, f: Edge, vars: Edge) -> Edge {
-        self.assert_positive_cube(vars);
-        self.begin_op();
-        let r = self.exists_rec(f, vars);
-        self.end_op(r)
+        self.try_exists(f, vars).expect(BUDGET_PANIC)
     }
 
-    fn exists_rec(&mut self, f: Edge, mut cube: Edge) -> Edge {
+    /// Checked [`Bdd::exists`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is not a positive cube.
+    pub fn try_exists(&mut self, f: Edge, vars: Edge) -> Result<Edge, BudgetExceeded> {
+        self.assert_positive_cube(vars);
+        self.begin_op();
+        match self.exists_rec(f, vars, 0) {
+            Ok(r) => Ok(self.end_op(r)),
+            Err(e) => {
+                self.abort_op();
+                Err(e)
+            }
+        }
+    }
+
+    fn exists_rec(&mut self, f: Edge, mut cube: Edge, depth: u32) -> Result<Edge, BudgetExceeded> {
+        self.charge_step()?;
+        if depth > MAX_REC_DEPTH {
+            return Err(BudgetExceeded::DEPTH);
+        }
         // Skip quantified variables above f's level.
         while !cube.is_constant() && self.level(cube) < self.level(f) {
             cube = self.node(cube).hi.complement_if(cube.is_complemented());
         }
         if cube.is_constant() || f.is_constant() {
-            return f;
+            return Ok(f);
         }
         if let Some(r) = self.cache.get(Op::Exists, f, cube, Edge::ONE) {
-            return r;
+            return Ok(r);
         }
         let top = self.level(f);
         let (f1, f0) = self.branches(f);
         let r = if self.level(cube) == top {
             let next = self.node(cube).hi.complement_if(cube.is_complemented());
-            let t = self.exists_rec(f1, next);
-            let e = self.exists_rec(f0, next);
-            self.or(t, e)
+            let t = self.exists_rec(f1, next, depth + 1)?;
+            let e = self.exists_rec(f0, next, depth + 1)?;
+            self.ite_rec(t, Edge::ONE, e, depth + 1)?
         } else {
-            let t = self.exists_rec(f1, cube);
-            let e = self.exists_rec(f0, cube);
-            self.mk(top, t, e)
+            let t = self.exists_rec(f1, cube, depth + 1)?;
+            let e = self.exists_rec(f0, cube, depth + 1)?;
+            self.mk_checked(top, t, e)?
         };
         self.cache.insert(Op::Exists, f, cube, Edge::ONE, r);
-        r
+        Ok(r)
     }
 
     /// Universal quantification `∀ vars . f` over a positive cube of
@@ -292,14 +387,31 @@ impl Bdd {
     ///
     /// Panics if `vars` is not a positive cube.
     pub fn forall(&mut self, f: Edge, vars: Edge) -> Edge {
+        self.try_forall(f, vars).expect(BUDGET_PANIC)
+    }
+
+    /// Checked [`Bdd::forall`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is not a positive cube.
+    pub fn try_forall(&mut self, f: Edge, vars: Edge) -> Result<Edge, BudgetExceeded> {
         self.assert_positive_cube(vars);
         if let Some(r) = self.cache.get(Op::Forall, f, vars, Edge::ONE) {
-            return r;
+            return Ok(r);
         }
         self.begin_op();
-        let r = self.exists_rec(f.complement(), vars).complement();
-        self.cache.insert(Op::Forall, f, vars, Edge::ONE, r);
-        self.end_op(r)
+        match self.exists_rec(f.complement(), vars, 0) {
+            Ok(r) => {
+                let r = r.complement();
+                self.cache.insert(Op::Forall, f, vars, Edge::ONE, r);
+                Ok(self.end_op(r))
+            }
+            Err(e) => {
+                self.abort_op();
+                Err(e)
+            }
+        }
     }
 
     /// Relational product `∃ vars . (f · g)` (the workhorse of image
@@ -338,31 +450,51 @@ impl Bdd {
     /// Substitutes the function `g` for variable `var` in `f` (functional
     /// composition `f[var ← g]`).
     pub fn compose(&mut self, f: Edge, var: Var, g: Edge) -> Edge {
-        self.begin_op();
-        let r = self.compose_rec(f, var, g);
-        self.end_op(r)
+        self.try_compose(f, var, g).expect(BUDGET_PANIC)
     }
 
-    fn compose_rec(&mut self, f: Edge, var: Var, g: Edge) -> Edge {
+    /// Checked [`Bdd::compose`].
+    pub fn try_compose(&mut self, f: Edge, var: Var, g: Edge) -> Result<Edge, BudgetExceeded> {
+        self.begin_op();
+        match self.compose_rec(f, var, g, 0) {
+            Ok(r) => Ok(self.end_op(r)),
+            Err(e) => {
+                self.abort_op();
+                Err(e)
+            }
+        }
+    }
+
+    fn compose_rec(
+        &mut self,
+        f: Edge,
+        var: Var,
+        g: Edge,
+        depth: u32,
+    ) -> Result<Edge, BudgetExceeded> {
+        self.charge_step()?;
+        if depth > MAX_REC_DEPTH {
+            return Err(BudgetExceeded::DEPTH);
+        }
         if self.level(f) > var {
-            return f;
+            return Ok(f);
         }
         if let Some(r) = self.cache.get(Op::Compose(var.0), f, g, Edge::ZERO) {
-            return r;
+            return Ok(r);
         }
         let top = self.level(f);
         let (f1, f0) = self.branches(f);
         let r = if top == var {
-            self.ite(g, f1, f0)
+            self.ite_rec(g, f1, f0, depth + 1)?
         } else {
-            let t = self.compose_rec(f1, var, g);
-            let e = self.compose_rec(f0, var, g);
+            let t = self.compose_rec(f1, var, g, depth + 1)?;
+            let e = self.compose_rec(f0, var, g, depth + 1)?;
             // Cannot use mk: g may have pushed structure above `top`.
             let tv = self.var(top);
-            self.ite(tv, t, e)
+            self.ite_rec(tv, t, e, depth + 1)?
         };
         self.cache.insert(Op::Compose(var.0), f, g, Edge::ZERO, r);
-        r
+        Ok(r)
     }
 
     /// Renames variables: substitutes `to[i]` for `from[i]` simultaneously.

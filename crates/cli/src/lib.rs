@@ -13,12 +13,49 @@
 //! ```
 
 use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 
-use bddmin_bdd::Bdd;
+use bddmin_bdd::{Bdd, Budget};
 use bddmin_core::{
     exact_minimum, lower_bound, minimize_all, ExactConfig, Heuristic, Isf,
 };
 use bddmin_fsm::{generators, parse_blif, simplify_report, verify_fsm_equivalence, SymbolicFsm};
+
+/// Optional resource budget for the minimizing commands. When any field
+/// is armed, minimization runs through the degradation ladder: blown
+/// steps are discarded, completed ones kept, and the reported result is
+/// always a valid cover no larger than `|f|`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BudgetOpts {
+    /// `--step-limit N`: deterministic cap on minimization steps.
+    pub step_limit: Option<u64>,
+    /// `--node-limit N`: live-node ceiling during minimization.
+    pub node_limit: Option<usize>,
+    /// `--time-limit MS`: wall-clock budget per heuristic run.
+    pub time_limit_ms: Option<u64>,
+}
+
+impl BudgetOpts {
+    /// True when any limit is set.
+    pub fn armed(&self) -> bool {
+        self.step_limit.is_some() || self.node_limit.is_some() || self.time_limit_ms.is_some()
+    }
+
+    /// Builds a fresh budget whose wall-clock allowance starts now.
+    fn to_budget(self) -> Budget {
+        let mut budget = Budget::default();
+        if let Some(steps) = self.step_limit {
+            budget = budget.steps(steps);
+        }
+        if let Some(nodes) = self.node_limit {
+            budget = budget.nodes(nodes);
+        }
+        if let Some(ms) = self.time_limit_ms {
+            budget = budget.deadline(Instant::now() + Duration::from_millis(ms));
+        }
+        budget
+    }
+}
 
 /// A parsed command.
 #[derive(Clone, Debug, PartialEq)]
@@ -35,6 +72,8 @@ pub enum Command {
         isop: bool,
         /// Emit Graphviz for the best cover.
         dot: bool,
+        /// Resource budget for every heuristic run.
+        budget: BudgetOpts,
     },
     /// Minimize an expression-defined instance.
     Expr {
@@ -46,6 +85,8 @@ pub enum Command {
         care: String,
         /// Specific heuristic, or `None` for all.
         heuristic: Option<Heuristic>,
+        /// Resource budget for every heuristic run.
+        budget: BudgetOpts,
     },
     /// Check equivalence of two BLIF machines.
     Verify {
@@ -84,11 +125,15 @@ pub const USAGE: &str = "\
 bddmin — heuristic minimization of BDDs using don't cares (Shiple et al., DAC'94)
 
 USAGE:
-  bddmin spec <LEAFSPEC> [--heuristic NAME] [--exact] [--isop] [--dot]
-  bddmin expr --vars a,b,c --function EXPR --care EXPR [--heuristic NAME]
+  bddmin spec <LEAFSPEC> [--heuristic NAME] [--exact] [--isop] [--dot] [BUDGET]
+  bddmin expr --vars a,b,c --function EXPR --care EXPR [--heuristic NAME] [BUDGET]
   bddmin verify <LEFT.blif> <RIGHT.blif> [--heuristic NAME]
   bddmin simplify <CIRCUIT.blif> [--heuristic NAME]
   bddmin bench
+
+BUDGET (spec/expr): [--step-limit N] [--node-limit N] [--time-limit MS]
+  Bounds each heuristic run; blown steps degrade gracefully to a valid
+  cover no larger than the input, and skipped work is reported.
 
 HEURISTICS: f_orig f_and_c f_or_nc const restr osm_td osm_nv osm_cp osm_bt
             tsm_td tsm_cp opt_lv sched (default: run all and report each)
@@ -111,7 +156,15 @@ pub fn parse_args(args: &[String], read_file: impl Fn(&str) -> Result<String, Cl
                 skip = false;
                 continue;
             }
-            if a == "--heuristic" || a == "-H" || a == "--vars" || a == "--function" || a == "--care" {
+            if a == "--heuristic"
+                || a == "-H"
+                || a == "--vars"
+                || a == "--function"
+                || a == "--care"
+                || a == "--step-limit"
+                || a == "--node-limit"
+                || a == "--time-limit"
+            {
                 skip = true;
                 continue;
             }
@@ -135,6 +188,24 @@ pub fn parse_args(args: &[String], read_file: impl Fn(&str) -> Result<String, Cl
             }
         }
     };
+    let budget = |rest: &[String]| -> Result<BudgetOpts, CliError> {
+        let get = |flag: &str| -> Result<Option<u64>, CliError> {
+            match rest.iter().position(|a| a == flag) {
+                None => Ok(None),
+                Some(i) => rest
+                    .get(i + 1)
+                    .ok_or_else(|| CliError(format!("{flag} needs a value")))?
+                    .parse()
+                    .map(Some)
+                    .map_err(|e| CliError(format!("bad {flag}: {e}"))),
+            }
+        };
+        Ok(BudgetOpts {
+            step_limit: get("--step-limit")?,
+            node_limit: get("--node-limit")?.map(|n| n as usize),
+            time_limit_ms: get("--time-limit")?,
+        })
+    };
     match sub.as_str() {
         "spec" => {
             let spec = positionals
@@ -147,6 +218,7 @@ pub fn parse_args(args: &[String], read_file: impl Fn(&str) -> Result<String, Cl
                 exact: rest.iter().any(|a| a == "--exact"),
                 isop: rest.iter().any(|a| a == "--isop"),
                 dot: rest.iter().any(|a| a == "--dot"),
+                budget: budget(&rest)?,
             })
         }
         "expr" => {
@@ -161,6 +233,7 @@ pub fn parse_args(args: &[String], read_file: impl Fn(&str) -> Result<String, Cl
                 function: get("--function")?,
                 care: get("--care")?,
                 heuristic: heuristic(&rest)?,
+                budget: budget(&rest)?,
             })
         }
         "verify" => {
@@ -197,13 +270,15 @@ pub fn run(command: Command) -> Result<String, CliError> {
             exact,
             isop,
             dot,
-        } => run_spec(&spec, heuristic, exact, isop, dot),
+            budget,
+        } => run_spec(&spec, heuristic, exact, isop, dot, budget),
         Command::Expr {
             vars,
             function,
             care,
             heuristic,
-        } => run_expr(&vars, &function, &care, heuristic),
+            budget,
+        } => run_expr(&vars, &function, &care, heuristic, budget),
         Command::Verify {
             left,
             right,
@@ -221,6 +296,7 @@ fn report_instance(
     exact: bool,
     isop: bool,
     dot: bool,
+    budget: BudgetOpts,
 ) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(
@@ -234,11 +310,38 @@ fn report_instance(
         let _ = writeln!(out, "care set empty: any function is a cover; returning 0");
         return Ok(out);
     }
-    let best = match heuristic {
-        Some(h) => {
+    // Budgeted runs go through the degradation ladder and annotate every
+    // run that lost steps; unbudgeted runs keep the historical output.
+    let run_one = |bdd: &mut Bdd, h: Heuristic, out: &mut String| -> bddmin_bdd::Edge {
+        if budget.armed() {
+            let (g, report) = h.minimize_budgeted(bdd, isf, budget.to_budget());
+            let note = if report.skipped() > 0 {
+                format!("  (degraded: {report})")
+            } else {
+                String::new()
+            };
+            let _ = writeln!(out, "{:<8} {:>4} nodes{note}", h.name(), bdd.size(g));
+            g
+        } else {
             let g = h.minimize(bdd, isf);
             let _ = writeln!(out, "{:<8} {:>4} nodes", h.name(), bdd.size(g));
             g
+        }
+    };
+    let best = match heuristic {
+        Some(h) => run_one(bdd, h, &mut out),
+        None if budget.armed() => {
+            let mut best: Option<(usize, bddmin_bdd::Edge)> = None;
+            for h in Heuristic::ALL {
+                let g = run_one(bdd, h, &mut out);
+                let size = bdd.size(g);
+                if best.is_none_or(|(bs, _)| size < bs) {
+                    best = Some((size, g));
+                }
+            }
+            let (size, best_edge) = best.expect("at least one heuristic");
+            let _ = writeln!(out, "{:<8} {size:>4} nodes", "min");
+            best_edge
         }
         None => {
             let (results, best) = minimize_all(bdd, isf);
@@ -284,11 +387,12 @@ fn run_spec(
     exact: bool,
     isop: bool,
     dot: bool,
+    budget: BudgetOpts,
 ) -> Result<String, CliError> {
     let parsed = bddmin_bdd::LeafSpec::parse(spec).map_err(|e| CliError(e.to_string()))?;
     let mut bdd = Bdd::new(parsed.num_vars());
     let (f, c) = parsed.build(&mut bdd);
-    report_instance(&mut bdd, Isf::new(f, c), heuristic, exact, isop, dot)
+    report_instance(&mut bdd, Isf::new(f, c), heuristic, exact, isop, dot, budget)
 }
 
 fn run_expr(
@@ -296,12 +400,13 @@ fn run_expr(
     function: &str,
     care: &str,
     heuristic: Option<Heuristic>,
+    budget: BudgetOpts,
 ) -> Result<String, CliError> {
     let names: Vec<&str> = vars.iter().map(String::as_str).collect();
     let mut bdd = Bdd::with_names(&names);
     let f = bdd.from_expr(function).map_err(|e| CliError(e.to_string()))?;
     let c = bdd.from_expr(care).map_err(|e| CliError(e.to_string()))?;
-    report_instance(&mut bdd, Isf::new(f, c), heuristic, false, true, false)
+    report_instance(&mut bdd, Isf::new(f, c), heuristic, false, true, false, budget)
 }
 
 fn run_verify(
@@ -410,8 +515,41 @@ mod tests {
                 exact: true,
                 isop: false,
                 dot: false,
+                budget: BudgetOpts::default(),
             }
         );
+    }
+
+    #[test]
+    fn parse_budget_flags() {
+        let cmd = parse_args(
+            &strs(&[
+                "spec",
+                "--step-limit",
+                "100",
+                "d1 01",
+                "--node-limit",
+                "64",
+                "--time-limit",
+                "250",
+            ]),
+            no_files,
+        )
+        .unwrap();
+        match cmd {
+            Command::Spec { spec, budget, .. } => {
+                // Flag values must not be swallowed as positionals.
+                assert_eq!(spec, "d1 01");
+                assert_eq!(budget.step_limit, Some(100));
+                assert_eq!(budget.node_limit, Some(64));
+                assert_eq!(budget.time_limit_ms, Some(250));
+                assert!(budget.armed());
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Garbage values are parse errors, not silently unlimited.
+        assert!(parse_args(&strs(&["spec", "d1 01", "--step-limit", "lots"]), no_files).is_err());
+        assert!(parse_args(&strs(&["spec", "d1 01", "--node-limit"]), no_files).is_err());
     }
 
     #[test]
@@ -424,7 +562,7 @@ mod tests {
         )
         .unwrap();
         match cmd {
-            Command::Expr { vars, function, care, heuristic } => {
+            Command::Expr { vars, function, care, heuristic, .. } => {
                 assert_eq!(vars, vec!["a", "b", "c"]);
                 assert_eq!(function, "a&b");
                 assert_eq!(care, "a|c");
@@ -466,12 +604,56 @@ mod tests {
             exact: true,
             isop: true,
             dot: false,
+            budget: BudgetOpts::default(),
         })
         .unwrap();
         assert!(out.contains("min"));
         assert!(out.contains("lower bound"));
         assert!(out.contains("exact optimum: 3 nodes"));
         assert!(out.contains("ISOP:"));
+    }
+
+    #[test]
+    fn run_spec_with_starved_budget_degrades_gracefully() {
+        let starved = BudgetOpts {
+            step_limit: Some(1),
+            ..BudgetOpts::default()
+        };
+        let out = run(Command::Spec {
+            spec: "d1 01 1d 01".into(),
+            heuristic: None,
+            exact: false,
+            isop: false,
+            dot: false,
+            budget: starved,
+        })
+        .unwrap();
+        // Every heuristic still reports a result, something degraded, and
+        // nothing exceeds |f| = 4 nodes.
+        assert!(out.contains("min"), "budgeted run lost the min row: {out}");
+        assert!(out.contains("degraded:"), "1-step budget never bit: {out}");
+        for line in out.lines().filter(|l| l.contains(" nodes")) {
+            let nodes: usize = line
+                .split_whitespace()
+                .nth(1)
+                .and_then(|w| w.parse().ok())
+                .unwrap_or_else(|| panic!("unparsable report line: {line}"));
+            assert!(nodes <= 4, "budgeted result exceeds |f|: {line}");
+        }
+        // An ample budget reports no degradation at all.
+        let out = run(Command::Spec {
+            spec: "d1 01 1d 01".into(),
+            heuristic: Some(Heuristic::Scheduled),
+            exact: false,
+            isop: false,
+            dot: false,
+            budget: BudgetOpts {
+                step_limit: Some(1_000_000),
+                ..BudgetOpts::default()
+            },
+        })
+        .unwrap();
+        assert!(!out.contains("degraded:"), "spurious degradation: {out}");
     }
 
     #[test]
@@ -482,6 +664,7 @@ mod tests {
             exact: false,
             isop: false,
             dot: true,
+            budget: BudgetOpts::default(),
         })
         .unwrap();
         assert!(out.contains("osm_td"));
@@ -495,6 +678,7 @@ mod tests {
             function: "(a&b)|c".into(),
             care: "a|b".into(),
             heuristic: Some(Heuristic::Restrict),
+            budget: BudgetOpts::default(),
         })
         .unwrap();
         assert!(out.contains("restr"));

@@ -7,13 +7,14 @@
 //! `f_or_nc` (the upper bound). The pseudo-heuristic `min` — the best result
 //! over all heuristics — is computed by [`minimize_all`].
 
-use bddmin_bdd::{Bdd, Edge};
+use bddmin_bdd::{Bdd, Budget, Edge, Var};
 
 use crate::isf::Isf;
-use crate::level::{opt_lv, CliqueOptions};
+use crate::level::{minimize_at_level_budgeted, opt_lv, CliqueOptions};
 use crate::matching::MatchCriterion;
+use crate::report::{MinReport, StepKind};
 use crate::schedule::Schedule;
-use crate::sibling::{generic_td, SiblingConfig};
+use crate::sibling::{generic_td, generic_td_budgeted, SiblingConfig};
 
 /// A named BDD minimization heuristic.
 ///
@@ -150,6 +151,106 @@ impl Heuristic {
         }
     }
 
+    /// Runs the heuristic under a resource budget, degrading gracefully.
+    ///
+    /// The budget is armed on entry and cleared before returning. When a
+    /// step blows the budget it is skipped and recorded in the
+    /// [`MinReport`]; the returned edge is **always** a valid cover of
+    /// `[f, c]` no larger than `f` itself (worst case `f`). The
+    /// multi-step heuristics — [`Heuristic::OptLv`] skips individual
+    /// level passes, [`Heuristic::Scheduled`] follows the schedule's
+    /// degradation ladder — keep whatever completed; the single-shot
+    /// heuristics fall back to `f` wholesale.
+    ///
+    /// With [`Budget::UNLIMITED`] the cover equals
+    /// [`Heuristic::minimize`]'s, modulo the final size clamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `isf.c` is the zero function (except for the trivial
+    /// heuristics, which are total).
+    pub fn minimize_budgeted(self, bdd: &mut Bdd, isf: Isf, budget: Budget) -> (Edge, MinReport) {
+        match self {
+            Heuristic::FOrig => {
+                let mut report = MinReport::new();
+                report.push_completed(StepKind::Direct, None);
+                (isf.f, report)
+            }
+            Heuristic::FAndC | Heuristic::FOrNc => {
+                let mut report = MinReport::new();
+                bdd.set_budget(budget);
+                let attempt = if self == Heuristic::FAndC {
+                    isf.try_onset(bdd)
+                } else {
+                    isf.try_upper(bdd)
+                };
+                let candidate = match attempt {
+                    Ok(g) => {
+                        report.push_completed(StepKind::Direct, None);
+                        g
+                    }
+                    Err(e) => {
+                        report.push_skipped(StepKind::Direct, None, e);
+                        isf.f
+                    }
+                };
+                bdd.clear_budget();
+                let g = clamp_to_f(bdd, isf, candidate, &mut report);
+                (g, report)
+            }
+            Heuristic::OptLv => {
+                assert!(!isf.c.is_zero(), "opt_lv: care set must be non-empty");
+                let mut report = MinReport::new();
+                bdd.set_budget(budget);
+                let mut cur = isf;
+                let n = bdd.num_vars() as u32;
+                for lvl in 0..n {
+                    match minimize_at_level_budgeted(
+                        bdd,
+                        cur,
+                        Var(lvl),
+                        MatchCriterion::Tsm,
+                        CliqueOptions::default(),
+                        None,
+                    ) {
+                        Ok(next) => {
+                            report.push_completed(StepKind::TsmLevel, Some(lvl));
+                            cur = next;
+                        }
+                        Err(e) => report.push_skipped(StepKind::TsmLevel, Some(lvl), e),
+                    }
+                    if cur.c.is_one() {
+                        break;
+                    }
+                }
+                bdd.clear_budget();
+                // As in opt_lv, remaining DC points take the
+                // representative's value; cur i-covers isf throughout.
+                let g = clamp_to_f(bdd, isf, cur.f, &mut report);
+                (g, report)
+            }
+            Heuristic::Scheduled => Schedule::default().apply_with_report(bdd, isf, budget),
+            _ => {
+                let cfg = self.sibling_config().expect("sibling heuristic");
+                let mut report = MinReport::new();
+                bdd.set_budget(budget);
+                let candidate = match generic_td_budgeted(bdd, isf, cfg) {
+                    Ok(g) => {
+                        report.push_completed(StepKind::Direct, None);
+                        g
+                    }
+                    Err(e) => {
+                        report.push_skipped(StepKind::Direct, None, e);
+                        isf.f
+                    }
+                };
+                bdd.clear_budget();
+                let g = clamp_to_f(bdd, isf, candidate, &mut report);
+                (g, report)
+            }
+        }
+    }
+
     /// Like [`Heuristic::minimize`] but clamps the result: if the heuristic
     /// *increased* the size over `f` itself, `f` is returned instead
     /// (the practical guard discussed after paper Proposition 6).
@@ -170,6 +271,18 @@ impl Heuristic {
                 fell_back_to_f: false,
             }
         }
+    }
+}
+
+/// The unconditional soundness clamp of the budgeted paths, run with the
+/// budget cleared: accept the candidate only if it is a valid cover
+/// (Definition 1) no larger than `f`; otherwise return `f` itself.
+fn clamp_to_f(bdd: &mut Bdd, isf: Isf, candidate: Edge, report: &mut MinReport) -> Edge {
+    if isf.is_cover(bdd, candidate) && bdd.size(candidate) <= bdd.size(isf.f) {
+        candidate
+    } else {
+        report.fell_back_to_f = true;
+        isf.f
     }
 }
 

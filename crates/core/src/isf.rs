@@ -1,6 +1,6 @@
 //! Incompletely specified functions.
 
-use bddmin_bdd::{Bdd, Edge};
+use bddmin_bdd::{Bdd, BudgetExceeded, Edge};
 
 /// An incompletely specified function `[f, c]` (paper Section 2).
 ///
@@ -43,6 +43,22 @@ impl Isf {
     /// The onset `f·c`.
     pub fn onset(self, bdd: &mut Bdd) -> Edge {
         bdd.and(self.f, self.c)
+    }
+
+    /// Checked [`Isf::onset`]: returns [`BudgetExceeded`] instead of
+    /// running past an armed budget.
+    pub fn try_onset(self, bdd: &mut Bdd) -> Result<Edge, BudgetExceeded> {
+        bdd.try_and(self.f, self.c)
+    }
+
+    /// Checked [`Isf::upper`].
+    pub fn try_upper(self, bdd: &mut Bdd) -> Result<Edge, BudgetExceeded> {
+        bdd.try_or(self.f, self.c.complement())
+    }
+
+    /// Checked [`Isf::canonical_key`].
+    pub fn try_canonical_key(self, bdd: &mut Bdd) -> Result<(Edge, Edge), BudgetExceeded> {
+        Ok((self.try_onset(bdd)?, self.c))
     }
 
     /// The offset `¬f·c`.

@@ -21,11 +21,12 @@
 
 use std::collections::{HashMap, HashSet};
 
-use bddmin_bdd::{Bdd, Edge, FastBuild, Var};
+use bddmin_bdd::{Bdd, BudgetExceeded, Edge, FastBuild, Var};
 
 use crate::isf::Isf;
-use crate::matching::{matches_directed, merge_tsm_many, MatchCriterion};
+use crate::matching::{matches_directed_budgeted, merge_tsm_many_budgeted, MatchCriterion};
 use crate::memo_tags::subst_tag;
+use crate::{BUDGET_PANIC, MAX_REC_DEPTH};
 
 /// A sub-function gathered below the target level, together with the
 /// variable-assignment path used to reach it (for the distance weight).
@@ -146,13 +147,22 @@ fn gather_rec(
 /// sink construction (paper Proposition 10). Returns, for each input index,
 /// the i-cover that replaces it.
 pub fn solve_fmm_osm(bdd: &mut Bdd, functions: &[Isf]) -> Vec<Isf> {
+    solve_fmm_osm_budgeted(bdd, functions).expect(BUDGET_PANIC)
+}
+
+/// Checked [`solve_fmm_osm`]: returns [`BudgetExceeded`] instead of
+/// running past an armed budget.
+pub(crate) fn solve_fmm_osm_budgeted(
+    bdd: &mut Bdd,
+    functions: &[Isf],
+) -> Result<Vec<Isf>, BudgetExceeded> {
     let n = functions.len();
     // Canonicalize to ISF semantics so that mutually-osm-matching pairs
     // (equal ISFs with different representatives) collapse to one vertex,
     // keeping the graph acyclic as in the paper's Proposition 10.
     let mut canon: Vec<(Edge, Edge)> = Vec::with_capacity(n);
     for isf in functions {
-        canon.push(isf.canonical_key(bdd));
+        canon.push(isf.try_canonical_key(bdd)?);
     }
     let mut vertex_of: HashMap<(Edge, Edge), usize, FastBuild> = HashMap::default();
     let mut vertices: Vec<Isf> = Vec::new();
@@ -169,7 +179,9 @@ pub fn solve_fmm_osm(bdd: &mut Bdd, functions: &[Isf]) -> Vec<Isf> {
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); m];
     for j in 0..m {
         for k in 0..m {
-            if j != k && matches_directed(bdd, MatchCriterion::Osm, vertices[j], vertices[k]) {
+            if j != k
+                && matches_directed_budgeted(bdd, MatchCriterion::Osm, vertices[j], vertices[k])?
+            {
                 adj[j].push(k);
             }
         }
@@ -199,10 +211,10 @@ pub fn solve_fmm_osm(bdd: &mut Bdd, functions: &[Isf]) -> Vec<Isf> {
             }
         };
     }
-    vertex_idx
+    Ok(vertex_idx
         .into_iter()
         .map(|v| vertices[target[v]])
-        .collect()
+        .collect())
 }
 
 /// Controls for the greedy clique cover used by tsm level matching.
@@ -233,17 +245,29 @@ pub fn solve_fmm_tsm(
     functions: &[GatheredFunction],
     options: CliqueOptions,
 ) -> Vec<Isf> {
+    solve_fmm_tsm_budgeted(bdd, functions, options).expect(BUDGET_PANIC)
+}
+
+/// Checked [`solve_fmm_tsm`]: returns [`BudgetExceeded`] instead of
+/// running past an armed budget. This is the schedule's most expensive
+/// step (quadratic matching graph + greedy clique cover), so it is the
+/// step budgets most often interrupt.
+pub(crate) fn solve_fmm_tsm_budgeted(
+    bdd: &mut Bdd,
+    functions: &[GatheredFunction],
+    options: CliqueOptions,
+) -> Result<Vec<Isf>, BudgetExceeded> {
     let n = functions.len();
     // Undirected matching graph.
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
     for j in 0..n {
         for k in (j + 1)..n {
-            if matches_directed(
+            if matches_directed_budgeted(
                 bdd,
                 MatchCriterion::Tsm,
                 functions[j].isf,
                 functions[k].isf,
-            ) {
+            )? {
                 adj[j].push(k);
                 adj[k].push(j);
             }
@@ -302,16 +326,14 @@ pub fn solve_fmm_tsm(
         cliques.push(members);
     }
     // Merge each clique into its common i-cover.
-    let merged: Vec<Isf> = cliques
-        .iter()
-        .map(|members| {
-            let isfs: Vec<Isf> = members.iter().map(|&j| functions[j].isf).collect();
-            merge_tsm_many(bdd, &isfs)
-        })
-        .collect();
-    (0..n)
+    let mut merged: Vec<Isf> = Vec::with_capacity(cliques.len());
+    for members in &cliques {
+        let isfs: Vec<Isf> = members.iter().map(|&j| functions[j].isf).collect();
+        merged.push(merge_tsm_many_budgeted(bdd, &isfs)?);
+    }
+    Ok((0..n)
         .map(|j| merged[clique_of[j].expect("all vertices covered")])
-        .collect()
+        .collect())
 }
 
 /// Rewrites `[f, c]`, substituting `replacements[j]` for the `j`-th gathered
@@ -324,6 +346,17 @@ pub fn substitute_below_level(
     gathered: &[GatheredFunction],
     replacements: &[Isf],
 ) -> Isf {
+    substitute_below_level_budgeted(bdd, isf, level, gathered, replacements).expect(BUDGET_PANIC)
+}
+
+/// Checked [`substitute_below_level`].
+pub(crate) fn substitute_below_level_budgeted(
+    bdd: &mut Bdd,
+    isf: Isf,
+    level: Var,
+    gathered: &[GatheredFunction],
+    replacements: &[Isf],
+) -> Result<Isf, BudgetExceeded> {
     assert_eq!(gathered.len(), replacements.len());
     let map: HashMap<(Edge, Edge), Isf, FastBuild> = gathered
         .iter()
@@ -334,7 +367,7 @@ pub fn substitute_below_level(
     // manager-resident memo is used under a fresh salt: entries can never
     // leak into another substitution.
     let tag = subst_tag(bdd.memo_salt());
-    subst_rec(bdd, isf, level, &map, tag)
+    subst_rec(bdd, isf, level, &map, tag, 0)
 }
 
 fn subst_rec(
@@ -343,27 +376,31 @@ fn subst_rec(
     level: Var,
     map: &HashMap<(Edge, Edge), Isf, FastBuild>,
     tag: u64,
-) -> Isf {
+    depth: u32,
+) -> Result<Isf, BudgetExceeded> {
+    if depth > MAX_REC_DEPTH {
+        return Err(BudgetExceeded::DEPTH);
+    }
     let fl = bdd.level(isf.f);
     let cl = bdd.level(isf.c);
     if fl > level && cl > level {
         // Frontier pair: replace if matched, else keep.
-        return map.get(&(isf.f, isf.c)).copied().unwrap_or(isf);
+        return Ok(map.get(&(isf.f, isf.c)).copied().unwrap_or(isf));
     }
     if let Some((rf, rc)) = bdd.memo_get(tag, isf.f, isf.c) {
-        return Isf { f: rf, c: rc };
+        return Ok(Isf { f: rf, c: rc });
     }
     let top = fl.min(cl);
     let (f_t, f_e) = bdd.branches_at(isf.f, top);
     let (c_t, c_e) = bdd.branches_at(isf.c, top);
-    let then_r = subst_rec(bdd, Isf::new(f_t, c_t), level, map, tag);
-    let else_r = subst_rec(bdd, Isf::new(f_e, c_e), level, map, tag);
-    let v = bdd.var(top);
-    let nf = bdd.ite(v, then_r.f, else_r.f);
-    let nc = bdd.ite(v, then_r.c, else_r.c);
+    let then_r = subst_rec(bdd, Isf::new(f_t, c_t), level, map, tag, depth + 1)?;
+    let else_r = subst_rec(bdd, Isf::new(f_e, c_e), level, map, tag, depth + 1)?;
+    let v = bdd.try_var(top)?;
+    let nf = bdd.try_ite(v, then_r.f, else_r.f)?;
+    let nc = bdd.try_ite(v, then_r.c, else_r.c)?;
     let r = Isf::new(nf, nc);
     bdd.memo_insert(tag, isf.f, isf.c, (r.f, r.c));
-    r
+    Ok(r)
 }
 
 /// One minimization pass at `level` with the given criterion: gather, solve
@@ -390,18 +427,49 @@ pub fn minimize_at_level_mode(
     limit: Option<usize>,
     mode: GatherMode,
 ) -> Isf {
+    minimize_at_level_mode_budgeted(bdd, isf, level, criterion, options, limit, mode)
+        .expect(BUDGET_PANIC)
+}
+
+/// Checked [`minimize_at_level`]: returns [`BudgetExceeded`] instead of
+/// running past an armed budget. On error the pass's partial work is
+/// discarded; the input ISF remains the valid state to continue from, so
+/// a scheduler can skip the step and move on (the Theorem 12 degradation
+/// ladder).
+pub fn minimize_at_level_budgeted(
+    bdd: &mut Bdd,
+    isf: Isf,
+    level: Var,
+    criterion: MatchCriterion,
+    options: CliqueOptions,
+    limit: Option<usize>,
+) -> Result<Isf, BudgetExceeded> {
+    minimize_at_level_mode_budgeted(bdd, isf, level, criterion, options, limit, GatherMode::All)
+}
+
+/// Checked [`minimize_at_level_mode`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn minimize_at_level_mode_budgeted(
+    bdd: &mut Bdd,
+    isf: Isf,
+    level: Var,
+    criterion: MatchCriterion,
+    options: CliqueOptions,
+    limit: Option<usize>,
+    mode: GatherMode,
+) -> Result<Isf, BudgetExceeded> {
     let gathered = gather_below_level_mode(bdd, isf, level, limit, mode);
     if gathered.len() < 2 {
-        return isf;
+        return Ok(isf);
     }
     let replacements = match criterion {
-        MatchCriterion::Tsm => solve_fmm_tsm(bdd, &gathered, options),
+        MatchCriterion::Tsm => solve_fmm_tsm_budgeted(bdd, &gathered, options)?,
         MatchCriterion::Osm | MatchCriterion::Osdm => {
             let isfs: Vec<Isf> = gathered.iter().map(|g| g.isf).collect();
-            solve_fmm_osm(bdd, &isfs)
+            solve_fmm_osm_budgeted(bdd, &isfs)?
         }
     };
-    substitute_below_level(bdd, isf, level, &gathered, &replacements)
+    substitute_below_level_budgeted(bdd, isf, level, &gathered, &replacements)
 }
 
 /// The paper's `opt_lv` heuristic: visit the levels in increasing order and

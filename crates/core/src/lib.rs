@@ -53,26 +53,37 @@ mod level;
 mod lower_bound;
 mod matching;
 mod memo_tags;
+mod report;
 pub mod rng;
 mod schedule;
 mod sibling;
 mod vector;
 mod windowed;
 
+/// Panic message of the unchecked wrappers when a budget trips underneath
+/// them; mirrors the kernel's message.
+pub(crate) const BUDGET_PANIC: &str = "resource budget exceeded in an unchecked operation; \
+     use the *_budgeted variants under an armed budget";
+
+/// Depth cap for the crate's own recursions (they descend one BDD level
+/// per frame, so this also bounds stack use); matches the kernel's guard.
+pub(crate) const MAX_REC_DEPTH: u32 = 1500;
+
 pub use exact::{exact_minimum, ExactConfig, ExactLimit, ExactResult};
 pub use heuristics::{minimize_all, Heuristic, MinimizeOutcome, ParseHeuristicError};
 pub use isf::Isf;
 pub use level::{
-    gather_below_level, gather_below_level_mode, minimize_at_level, minimize_at_level_mode,
-    opt_lv, path_distance, solve_fmm_osm, solve_fmm_tsm, substitute_below_level, CliqueOptions,
-    GatherMode, GatheredFunction,
+    gather_below_level, gather_below_level_mode, minimize_at_level, minimize_at_level_budgeted,
+    minimize_at_level_mode, opt_lv, path_distance, solve_fmm_osm, solve_fmm_tsm,
+    substitute_below_level, CliqueOptions, GatherMode, GatheredFunction,
 };
 pub use lower_bound::{lower_bound, LowerBound};
 pub use matching::{matches_directed, merge_tsm, merge_tsm_many, try_match, MatchCriterion};
+pub use report::{MinReport, StepKind, StepReport, StepStatus};
 pub use schedule::Schedule;
 pub use vector::{minimize_vector, VectorMinimization};
-pub use sibling::{generic_td, generic_td_stats, SiblingConfig, SiblingStats};
-pub use windowed::{windowed_sibling_pass, LevelWindow};
+pub use sibling::{generic_td, generic_td_budgeted, generic_td_stats, SiblingConfig, SiblingStats};
+pub use windowed::{windowed_sibling_pass, windowed_sibling_pass_budgeted, LevelWindow};
 
 // Property-based suite: needs the external `proptest` crate, which the
 // offline build cannot resolve. Enable with `--features proptest` after

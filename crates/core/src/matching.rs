@@ -17,9 +17,10 @@
 //! * `osdm`, `osm` → `[f2, c2]` (the second function, unchanged),
 //! * `tsm` → `[f1·c1 + f2·c2, c1 + c2]`.
 
-use bddmin_bdd::{Bdd, Edge};
+use bddmin_bdd::{Bdd, BudgetExceeded, Edge};
 
 use crate::isf::Isf;
+use crate::BUDGET_PANIC;
 
 /// One of the paper's three matching criteria.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -59,21 +60,32 @@ impl std::fmt::Display for MatchCriterion {
 /// Note `osdm` and `osm` are directional; [`try_match`] tries both
 /// directions.
 pub fn matches_directed(bdd: &mut Bdd, criterion: MatchCriterion, a: Isf, b: Isf) -> bool {
+    matches_directed_budgeted(bdd, criterion, a, b).expect(BUDGET_PANIC)
+}
+
+/// Checked [`matches_directed`]: returns [`BudgetExceeded`] instead of
+/// running past an armed budget.
+pub(crate) fn matches_directed_budgeted(
+    bdd: &mut Bdd,
+    criterion: MatchCriterion,
+    a: Isf,
+    b: Isf,
+) -> Result<bool, BudgetExceeded> {
     match criterion {
-        MatchCriterion::Osdm => a.c.is_zero(),
+        MatchCriterion::Osdm => Ok(a.c.is_zero()),
         MatchCriterion::Osm => {
             // f1 ⊕ f2 ≤ ¬c1  and  c1 ≤ c2.
-            if !bdd.implies_holds(a.c, b.c) {
-                return false;
+            if !bdd.try_implies_holds(a.c, b.c)? {
+                return Ok(false);
             }
-            let diff = bdd.xor(a.f, b.f);
-            bdd.and(diff, a.c).is_zero()
+            let diff = bdd.try_xor(a.f, b.f)?;
+            Ok(bdd.try_and(diff, a.c)?.is_zero())
         }
         MatchCriterion::Tsm => {
             // f1 ⊕ f2 ≤ ¬c1 + ¬c2  ⟺  (f1 ⊕ f2)·c1·c2 = 0.
-            let diff = bdd.xor(a.f, b.f);
-            let dc = bdd.and(a.c, b.c);
-            bdd.and(diff, dc).is_zero()
+            let diff = bdd.try_xor(a.f, b.f)?;
+            let dc = bdd.try_and(a.c, b.c)?;
+            Ok(bdd.try_and(diff, dc)?.is_zero())
         }
     }
 }
@@ -84,21 +96,32 @@ pub fn matches_directed(bdd: &mut Bdd, criterion: MatchCriterion, a: Isf, b: Isf
 /// For the directional criteria (`osdm`, `osm`) both directions are tried,
 /// mirroring the paper's `is_match`.
 pub fn try_match(bdd: &mut Bdd, criterion: MatchCriterion, a: Isf, b: Isf) -> Option<Isf> {
+    try_match_budgeted(bdd, criterion, a, b).expect(BUDGET_PANIC)
+}
+
+/// Checked [`try_match`]: returns [`BudgetExceeded`] instead of running
+/// past an armed budget.
+pub(crate) fn try_match_budgeted(
+    bdd: &mut Bdd,
+    criterion: MatchCriterion,
+    a: Isf,
+    b: Isf,
+) -> Result<Option<Isf>, BudgetExceeded> {
     match criterion {
         MatchCriterion::Osdm | MatchCriterion::Osm => {
-            if matches_directed(bdd, criterion, a, b) {
-                Some(b)
-            } else if matches_directed(bdd, criterion, b, a) {
-                Some(a)
+            if matches_directed_budgeted(bdd, criterion, a, b)? {
+                Ok(Some(b))
+            } else if matches_directed_budgeted(bdd, criterion, b, a)? {
+                Ok(Some(a))
             } else {
-                None
+                Ok(None)
             }
         }
         MatchCriterion::Tsm => {
-            if matches_directed(bdd, criterion, a, b) {
-                Some(merge_tsm(bdd, a, b))
+            if matches_directed_budgeted(bdd, criterion, a, b)? {
+                Ok(Some(merge_tsm_budgeted(bdd, a, b)?))
             } else {
-                None
+                Ok(None)
             }
         }
     }
@@ -111,30 +134,43 @@ pub fn try_match(bdd: &mut Bdd, criterion: MatchCriterion, a: Isf, b: Isf) -> Op
 /// instance with tsm literally insensitive to the no-new-vars flag (paper
 /// Table 2: rows 10 and 12 equal rows 9 and 11).
 pub fn merge_tsm(bdd: &mut Bdd, a: Isf, b: Isf) -> Isf {
-    let c = bdd.or(a.c, b.c);
+    merge_tsm_budgeted(bdd, a, b).expect(BUDGET_PANIC)
+}
+
+/// Checked [`merge_tsm`].
+pub(crate) fn merge_tsm_budgeted(bdd: &mut Bdd, a: Isf, b: Isf) -> Result<Isf, BudgetExceeded> {
+    let c = bdd.try_or(a.c, b.c)?;
     if a.f == b.f {
-        return Isf { f: a.f, c };
+        return Ok(Isf { f: a.f, c });
     }
-    let on_a = a.onset(bdd);
-    let on_b = b.onset(bdd);
-    Isf {
-        f: bdd.or(on_a, on_b),
+    let on_a = a.try_onset(bdd)?;
+    let on_b = b.try_onset(bdd)?;
+    Ok(Isf {
+        f: bdd.try_or(on_a, on_b)?,
         c,
-    }
+    })
 }
 
 /// Merges a whole set of pairwise tsm-matching ISFs into their common
 /// i-cover `[Σ fj·cj, Σ cj]` (paper Lemma 14 guarantees a common cover
 /// exists exactly when they match pairwise).
 pub fn merge_tsm_many(bdd: &mut Bdd, isfs: &[Isf]) -> Isf {
+    merge_tsm_many_budgeted(bdd, isfs).expect(BUDGET_PANIC)
+}
+
+/// Checked [`merge_tsm_many`].
+pub(crate) fn merge_tsm_many_budgeted(
+    bdd: &mut Bdd,
+    isfs: &[Isf],
+) -> Result<Isf, BudgetExceeded> {
     let mut f = Edge::ZERO;
     let mut c = Edge::ZERO;
     for isf in isfs {
-        let on = isf.onset(bdd);
-        f = bdd.or(f, on);
-        c = bdd.or(c, isf.c);
+        let on = isf.try_onset(bdd)?;
+        f = bdd.try_or(f, on)?;
+        c = bdd.try_or(c, isf.c)?;
     }
-    Isf { f, c }
+    Ok(Isf { f, c })
 }
 
 #[cfg(test)]

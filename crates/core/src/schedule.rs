@@ -13,13 +13,14 @@
 //! 5. once fewer than `stop_top_down` levels remain, finish with
 //!    `constrain` to assign the remaining don't cares locally.
 
-use bddmin_bdd::{Bdd, Edge, Var};
+use bddmin_bdd::{Bdd, Budget, Edge, Var};
 
 use crate::isf::Isf;
-use crate::level::{minimize_at_level, CliqueOptions};
+use crate::level::{minimize_at_level, minimize_at_level_budgeted, CliqueOptions};
 use crate::matching::MatchCriterion;
+use crate::report::{MinReport, StepKind};
 use crate::sibling::SiblingConfig;
-use crate::windowed::{windowed_sibling_pass, LevelWindow};
+use crate::windowed::{windowed_sibling_pass, windowed_sibling_pass_budgeted, LevelWindow};
 
 /// Parameters of the windowed schedule.
 ///
@@ -150,6 +151,142 @@ impl Schedule {
             cur.f
         } else {
             bdd.constrain(cur.f, cur.c)
+        }
+    }
+
+    /// Runs the schedule under a resource budget, degrading gracefully:
+    /// any step that blows the budget is discarded and the schedule
+    /// continues from the pre-step state (sound because every step
+    /// rewrites the ISF into one that i-covers it; in particular a blown
+    /// tsm/UMG clique-cover step at a level falls back to the level's osm
+    /// result, which by Theorem 12 never loses the optimum below the
+    /// level). Always returns a valid cover of `[f, c]` no larger than
+    /// `f` itself, together with a [`MinReport`] of what completed.
+    ///
+    /// The budget is armed on entry and cleared before returning; with
+    /// [`Budget::UNLIMITED`] every step completes and the cover equals
+    /// [`Schedule::apply`]'s (modulo the final size clamp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `isf.c` is the zero function.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bddmin_bdd::{Bdd, Budget};
+    /// use bddmin_core::{Isf, Schedule};
+    ///
+    /// let mut bdd = Bdd::new(3);
+    /// let (f, c) = bdd.from_leaf_spec("d1 01 1d 01").unwrap();
+    /// let isf = Isf::new(f, c);
+    /// // A one-step budget cannot complete anything, yet the result is
+    /// // still a cover no larger than f.
+    /// let (g, report) = Schedule::new(2, 1)
+    ///     .apply_with_report(&mut bdd, isf, Budget::default().steps(1));
+    /// assert!(isf.is_cover(&mut bdd, g));
+    /// assert!(bdd.size(g) <= bdd.size(f));
+    /// assert!(report.degraded());
+    /// ```
+    pub fn apply_with_report(&self, bdd: &mut Bdd, isf: Isf, budget: Budget) -> (Edge, MinReport) {
+        assert!(!isf.c.is_zero(), "schedule: care set must be non-empty");
+        let mut report = MinReport::new();
+        bdd.set_budget(budget);
+        let n = bdd.num_vars() as u32;
+        let mut cur = isf;
+        let mut level = 0u32;
+        let mut finished: Option<Edge> = None;
+        while level < n {
+            if cur.c.is_one() {
+                finished = Some(cur.f);
+                break;
+            }
+            let remaining = n - level;
+            if remaining < self.stop_top_down {
+                // Few levels left: assign the rest of the DCs locally. If
+                // even that blows the budget, the current representative is
+                // itself a cover of the current ISF (and hence of the
+                // original, which it i-covers).
+                match bdd.try_constrain(cur.f, cur.c) {
+                    Ok(g) => {
+                        report.push_completed(StepKind::ConstrainTail, None);
+                        finished = Some(g);
+                    }
+                    Err(e) => {
+                        report.push_skipped(StepKind::ConstrainTail, None, e);
+                        finished = Some(cur.f);
+                    }
+                }
+                break;
+            }
+            let hi = (level + self.window_size).min(n);
+            let window = LevelWindow::new(Var(level), Var(hi));
+            let osm_cfg = SiblingConfig::new(MatchCriterion::Osm)
+                .match_complement(true)
+                .no_new_vars(true);
+            match windowed_sibling_pass_budgeted(bdd, cur, osm_cfg, window) {
+                Ok(next) => {
+                    report.push_completed(StepKind::OsmSiblings, Some(level));
+                    cur = next;
+                }
+                Err(e) => report.push_skipped(StepKind::OsmSiblings, Some(level), e),
+            }
+            let tsm_cfg = SiblingConfig::new(MatchCriterion::Tsm);
+            match windowed_sibling_pass_budgeted(bdd, cur, tsm_cfg, window) {
+                Ok(next) => {
+                    report.push_completed(StepKind::TsmSiblings, Some(level));
+                    cur = next;
+                }
+                Err(e) => report.push_skipped(StepKind::TsmSiblings, Some(level), e),
+            }
+            if self.use_level_passes {
+                for (criterion, kind) in [
+                    (MatchCriterion::Osm, StepKind::OsmLevel),
+                    (MatchCriterion::Tsm, StepKind::TsmLevel),
+                ] {
+                    for lvl in level..hi {
+                        match minimize_at_level_budgeted(
+                            bdd,
+                            cur,
+                            Var(lvl),
+                            criterion,
+                            self.clique_options,
+                            None,
+                        ) {
+                            Ok(next) => {
+                                report.push_completed(kind, Some(lvl));
+                                cur = next;
+                            }
+                            Err(e) => report.push_skipped(kind, Some(lvl), e),
+                        }
+                    }
+                }
+            }
+            level = hi;
+        }
+        let candidate = match finished {
+            Some(g) => g,
+            None if cur.c.is_one() => cur.f,
+            None => match bdd.try_constrain(cur.f, cur.c) {
+                Ok(g) => {
+                    report.push_completed(StepKind::ConstrainTail, None);
+                    g
+                }
+                Err(e) => {
+                    report.push_skipped(StepKind::ConstrainTail, None, e);
+                    cur.f
+                }
+            },
+        };
+        bdd.clear_budget();
+        // Unconditional soundness clamp, run unbudgeted: whatever the
+        // degradation path produced, the returned cover is valid and no
+        // larger than f (worst case f itself).
+        if isf.is_cover(bdd, candidate) && bdd.size(candidate) <= bdd.size(isf.f) {
+            (candidate, report)
+        } else {
+            report.fell_back_to_f = true;
+            (isf.f, report)
         }
     }
 }

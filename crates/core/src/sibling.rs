@@ -15,11 +15,12 @@
 //! including the classic `constrain` (osdm) and `restrict` (osdm +
 //! no-new-vars) operators.
 
-use bddmin_bdd::{Bdd, Edge};
+use bddmin_bdd::{Bdd, BudgetExceeded, Edge};
 
 use crate::isf::Isf;
-use crate::matching::{try_match, MatchCriterion};
+use crate::matching::{try_match_budgeted, MatchCriterion};
 use crate::memo_tags::sibling_tag;
+use crate::{BUDGET_PANIC, MAX_REC_DEPTH};
 
 /// Parameters of the generic sibling matcher (paper Table 2 columns).
 ///
@@ -123,13 +124,29 @@ pub struct SiblingStats {
 /// assert!(Isf::new(f, c).is_cover(&mut bdd, g));
 /// ```
 pub fn generic_td(bdd: &mut Bdd, isf: Isf, config: SiblingConfig) -> Edge {
+    generic_td_budgeted(bdd, isf, config).expect(BUDGET_PANIC)
+}
+
+/// Checked [`generic_td`]: returns [`BudgetExceeded`](bddmin_bdd::BudgetExceeded)
+/// instead of running past an armed budget. On error the traversal's
+/// partial work is discarded (the memo keeps only completed sub-results,
+/// which remain correct).
+///
+/// # Panics
+///
+/// Panics if `isf.c` is the zero function (empty care set).
+pub fn generic_td_budgeted(
+    bdd: &mut Bdd,
+    isf: Isf,
+    config: SiblingConfig,
+) -> Result<Edge, BudgetExceeded> {
     assert!(!isf.c.is_zero(), "generic_td: care set must be non-empty");
     // Sibling results are pure in (f, c, config): salt 0 shares the
     // manager-resident memo across invocations, so repeated calls on
     // overlapping instances cost nothing until the next cache flush.
     let tag = sibling_tag(config, 0);
     let mut stats = SiblingStats::default();
-    td_rec(bdd, isf, config, tag, &mut stats)
+    td_rec(bdd, isf, config, tag, &mut stats, 0)
 }
 
 /// Like [`generic_td`], additionally returning traversal statistics.
@@ -145,7 +162,7 @@ pub fn generic_td_stats(bdd: &mut Bdd, isf: Isf, config: SiblingConfig) -> (Edge
     assert!(!isf.c.is_zero(), "generic_td: care set must be non-empty");
     let tag = sibling_tag(config, bdd.memo_salt());
     let mut stats = SiblingStats::default();
-    let g = td_rec(bdd, isf, config, tag, &mut stats);
+    let g = td_rec(bdd, isf, config, tag, &mut stats, 0).expect(BUDGET_PANIC);
     (g, stats)
 }
 
@@ -155,14 +172,18 @@ fn td_rec(
     config: SiblingConfig,
     tag: u64,
     stats: &mut SiblingStats,
-) -> Edge {
+    depth: u32,
+) -> Result<Edge, BudgetExceeded> {
     let Isf { f, c } = isf;
     debug_assert!(!c.is_zero());
+    if depth > MAX_REC_DEPTH {
+        return Err(BudgetExceeded::DEPTH);
+    }
     if c.is_one() || f.is_constant() {
-        return f;
+        return Ok(f);
     }
     if let Some((r, _)) = bdd.memo_get(tag, f, c) {
-        return r;
+        return Ok(r);
     }
     stats.visited += 1;
     let f_level = bdd.level(f);
@@ -177,30 +198,33 @@ fn td_rec(
         // f is independent of the top care variable: keep it that way by
         // quantifying the variable out of the care function.
         stats.no_new_vars_steps += 1;
-        let c_next = bdd.or(c_t, c_e);
-        td_rec(bdd, Isf::new(f, c_next), config, tag, stats)
-    } else if let Some(m) = try_match(bdd, config.criterion, then_isf, else_isf) {
+        let c_next = bdd.try_or(c_t, c_e)?;
+        td_rec(bdd, Isf::new(f, c_next), config, tag, stats, depth + 1)?
+    } else if let Some(m) = try_match_budgeted(bdd, config.criterion, then_isf, else_isf)? {
         // Parent and one child eliminated.
         stats.matches += 1;
-        td_rec(bdd, m, config, tag, stats)
+        td_rec(bdd, m, config, tag, stats, depth + 1)?
     } else if config.match_complement {
-        if let Some(m) = try_match(bdd, config.criterion, then_isf, else_isf.complement()) {
+        if let Some(m) =
+            try_match_budgeted(bdd, config.criterion, then_isf, else_isf.complement())?
+        {
             // Parent kept, but only one recursion: then-branch is covered by
             // the i-cover's cover, else-branch by its complement.
             stats.complement_matches += 1;
-            let temp = td_rec(bdd, m, config, tag, stats);
-            let top_var = bdd.var(top);
-            bdd.ite(top_var, temp, temp.complement())
+            let temp = td_rec(bdd, m, config, tag, stats, depth + 1)?;
+            let top_var = bdd.try_var(top)?;
+            bdd.try_ite(top_var, temp, temp.complement())?
         } else {
-            td_split(bdd, top, then_isf, else_isf, config, tag, stats)
+            td_split(bdd, top, then_isf, else_isf, config, tag, stats, depth)?
         }
     } else {
-        td_split(bdd, top, then_isf, else_isf, config, tag, stats)
+        td_split(bdd, top, then_isf, else_isf, config, tag, stats, depth)?
     };
     bdd.memo_insert(tag, f, c, (ret, ret));
-    ret
+    Ok(ret)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn td_split(
     bdd: &mut Bdd,
     top: bddmin_bdd::Var,
@@ -209,15 +233,16 @@ fn td_split(
     config: SiblingConfig,
     tag: u64,
     stats: &mut SiblingStats,
-) -> Edge {
+    depth: u32,
+) -> Result<Edge, BudgetExceeded> {
     // No match was possible, so neither branch care is zero (a zero care on
     // either side always matches, for every criterion).
     debug_assert!(!then_isf.c.is_zero() && !else_isf.c.is_zero());
     stats.splits += 1;
-    let t = td_rec(bdd, then_isf, config, tag, stats);
-    let e = td_rec(bdd, else_isf, config, tag, stats);
-    let top_var = bdd.var(top);
-    bdd.ite(top_var, t, e)
+    let t = td_rec(bdd, then_isf, config, tag, stats, depth + 1)?;
+    let e = td_rec(bdd, else_isf, config, tag, stats, depth + 1)?;
+    let top_var = bdd.try_var(top)?;
+    bdd.try_ite(top_var, t, e)
 }
 
 #[cfg(test)]

@@ -8,12 +8,13 @@
 //! whose care set contains the original's. Passes therefore compose: the
 //! scheduler chains osm and tsm windows before finishing with `constrain`.
 
-use bddmin_bdd::{Bdd, Var};
+use bddmin_bdd::{Bdd, BudgetExceeded, Var};
 
 use crate::isf::Isf;
-use crate::matching::try_match;
+use crate::matching::try_match_budgeted;
 use crate::memo_tags::window_tag;
 use crate::sibling::SiblingConfig;
+use crate::{BUDGET_PANIC, MAX_REC_DEPTH};
 
 /// A half-open band of levels `[top, bottom)` in which matching is allowed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,11 +76,24 @@ pub fn windowed_sibling_pass(
     config: SiblingConfig,
     window: LevelWindow,
 ) -> Isf {
+    windowed_sibling_pass_budgeted(bdd, isf, config, window).expect(BUDGET_PANIC)
+}
+
+/// Checked [`windowed_sibling_pass`]: returns
+/// [`BudgetExceeded`](bddmin_bdd::BudgetExceeded) instead of running past
+/// an armed budget. On error the pass's partial work is discarded; the
+/// input ISF remains the valid state to continue from.
+pub fn windowed_sibling_pass_budgeted(
+    bdd: &mut Bdd,
+    isf: Isf,
+    config: SiblingConfig,
+    window: LevelWindow,
+) -> Result<Isf, BudgetExceeded> {
     // Pass results are pure in (f, c, config, window); the window bounds
     // are folded into the manager-resident memo tag, so the scheduler's
     // repeated passes over shifting windows never cross-contaminate.
     let tag = window_tag(config, window);
-    pass_rec(bdd, isf, config, window, tag)
+    pass_rec(bdd, isf, config, window, tag, 0)
 }
 
 fn pass_rec(
@@ -88,20 +102,24 @@ fn pass_rec(
     config: SiblingConfig,
     window: LevelWindow,
     tag: u64,
-) -> Isf {
+    depth: u32,
+) -> Result<Isf, BudgetExceeded> {
     let Isf { f, c } = isf;
+    if depth > MAX_REC_DEPTH {
+        return Err(BudgetExceeded::DEPTH);
+    }
     // All-DC and total ISFs have nothing to match; constants likewise.
     if c.is_zero() || c.is_one() || f.is_constant() {
-        return isf;
+        return Ok(isf);
     }
     if let Some((rf, rc)) = bdd.memo_get(tag, f, c) {
-        return Isf { f: rf, c: rc };
+        return Ok(Isf { f: rf, c: rc });
     }
     let f_level = bdd.level(f);
     let c_level = bdd.level(c);
     let top = f_level.min(c_level);
     if top >= window.bottom {
-        return isf;
+        return Ok(isf);
     }
     let (f_t, f_e) = bdd.branches_at(f, top);
     let (c_t, c_e) = bdd.branches_at(c, top);
@@ -110,29 +128,32 @@ fn pass_rec(
     let in_window = window.contains(top);
 
     let ret = if in_window && config.no_new_vars && c_level < f_level {
-        let c_next = bdd.or(c_t, c_e);
-        pass_rec(bdd, Isf::new(f, c_next), config, window, tag)
+        let c_next = bdd.try_or(c_t, c_e)?;
+        pass_rec(bdd, Isf::new(f, c_next), config, window, tag, depth + 1)?
     } else if in_window {
-        if let Some(m) = try_match(bdd, config.criterion, then_isf, else_isf) {
-            pass_rec(bdd, m, config, window, tag)
+        if let Some(m) = try_match_budgeted(bdd, config.criterion, then_isf, else_isf)? {
+            pass_rec(bdd, m, config, window, tag, depth + 1)?
         } else if config.match_complement {
-            if let Some(m) = try_match(bdd, config.criterion, then_isf, else_isf.complement()) {
-                let t = pass_rec(bdd, m, config, window, tag);
-                rebuild_complement(bdd, top, t)
+            if let Some(m) =
+                try_match_budgeted(bdd, config.criterion, then_isf, else_isf.complement())?
+            {
+                let t = pass_rec(bdd, m, config, window, tag, depth + 1)?;
+                rebuild_complement(bdd, top, t)?
             } else {
-                rebuild_split(bdd, top, then_isf, else_isf, config, window, tag)
+                rebuild_split(bdd, top, then_isf, else_isf, config, window, tag, depth)?
             }
         } else {
-            rebuild_split(bdd, top, then_isf, else_isf, config, window, tag)
+            rebuild_split(bdd, top, then_isf, else_isf, config, window, tag, depth)?
         }
     } else {
         // Above the window: descend without matching.
-        rebuild_split(bdd, top, then_isf, else_isf, config, window, tag)
+        rebuild_split(bdd, top, then_isf, else_isf, config, window, tag, depth)?
     };
     bdd.memo_insert(tag, f, c, (ret.f, ret.c));
-    ret
+    Ok(ret)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn rebuild_split(
     bdd: &mut Bdd,
     top: Var,
@@ -141,22 +162,23 @@ fn rebuild_split(
     config: SiblingConfig,
     window: LevelWindow,
     tag: u64,
-) -> Isf {
-    let t = pass_rec(bdd, then_isf, config, window, tag);
-    let e = pass_rec(bdd, else_isf, config, window, tag);
-    let v = bdd.var(top);
-    Isf {
-        f: bdd.ite(v, t.f, e.f),
-        c: bdd.ite(v, t.c, e.c),
-    }
+    depth: u32,
+) -> Result<Isf, BudgetExceeded> {
+    let t = pass_rec(bdd, then_isf, config, window, tag, depth + 1)?;
+    let e = pass_rec(bdd, else_isf, config, window, tag, depth + 1)?;
+    let v = bdd.try_var(top)?;
+    Ok(Isf {
+        f: bdd.try_ite(v, t.f, e.f)?,
+        c: bdd.try_ite(v, t.c, e.c)?,
+    })
 }
 
-fn rebuild_complement(bdd: &mut Bdd, top: Var, t: Isf) -> Isf {
-    let v = bdd.var(top);
-    Isf {
-        f: bdd.ite(v, t.f, t.f.complement()),
+fn rebuild_complement(bdd: &mut Bdd, top: Var, t: Isf) -> Result<Isf, BudgetExceeded> {
+    let v = bdd.try_var(top)?;
+    Ok(Isf {
+        f: bdd.try_ite(v, t.f, t.f.complement())?,
         c: t.c,
-    }
+    })
 }
 
 #[cfg(test)]

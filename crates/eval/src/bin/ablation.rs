@@ -29,6 +29,7 @@ fn main() {
             "s820".into(),
             "mult16b".into(),
         ],
+        ..Default::default()
     };
     eprintln!("collecting instance stream...");
     let stream = run_experiment(&config);

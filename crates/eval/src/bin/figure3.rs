@@ -4,7 +4,8 @@
 //! of the best (`min`) result. Emits both a CSV block and an ASCII plot.
 //!
 //! Usage: `cargo run --release -p bddmin-eval --bin figure3
-//!   [--quick] [--jobs N] [--only a,b]`
+//!   [--quick] [--jobs N] [--only a,b]
+//!   [--step-limit N] [--node-limit N] [--time-limit MS]`
 
 use bddmin_core::Heuristic;
 use bddmin_eval::par::{parse_eval_args, run_experiment_jobs};
@@ -18,10 +19,14 @@ fn main() {
         lower_bound_cubes: 0,
         max_iterations: if args.quick { Some(6) } else { None },
         only_benchmarks: args.only.clone(),
+        limits: args.limits(),
         ..Default::default()
     };
     eprintln!("running FSM-equivalence experiment...");
     let results = run_experiment_jobs(&config, args.jobs);
+    if config.limits.armed() {
+        println!("{}\n", results.budget_summary());
+    }
     // The paper's five representative curves.
     let subset = [
         Heuristic::FOrig,

@@ -4,7 +4,11 @@
 //! summary (reduction factor, lower-bound ratio).
 //!
 //! Usage: `cargo run --release -p bddmin-eval --bin table3
-//!   [--quick] [--jobs N] [--only a,b] [--no-times] [--csv <dir>]`
+//!   [--quick] [--jobs N] [--only a,b] [--no-times] [--csv <dir>]
+//!   [--step-limit N] [--node-limit N] [--time-limit MS]`
+//!
+//! The budget flags bound every heuristic invocation; blown runs degrade
+//! to a valid cover and are counted in a skip-accounting line.
 
 use bddmin_eval::par::{parse_eval_args, run_experiment_jobs};
 use bddmin_eval::report::{render_summary, render_table3, table3_csv};
@@ -19,11 +23,13 @@ fn main() {
             lower_bound_cubes: 50,
             max_iterations: Some(6),
             only_benchmarks: args.only.clone(),
+            limits: args.limits(),
             ..Default::default()
         }
     } else {
         ExperimentConfig {
             only_benchmarks: args.only.clone(),
+            limits: args.limits(),
             ..Default::default()
         }
     };
@@ -45,6 +51,9 @@ fn main() {
         results.filtered.inside_onset,
         results.filtered.inside_offset,
     );
+    if config.limits.armed() {
+        println!("{}\n", results.budget_summary());
+    }
     for bucket in [
         None,
         Some(OnsetBucket::Small),

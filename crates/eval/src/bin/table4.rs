@@ -5,7 +5,8 @@
 //! `opt_lv`, `min`), for all calls and per bucket.
 //!
 //! Usage: `cargo run --release -p bddmin-eval --bin table4
-//!   [--quick] [--jobs N] [--only a,b]`
+//!   [--quick] [--jobs N] [--only a,b]
+//!   [--step-limit N] [--node-limit N] [--time-limit MS]`
 
 use bddmin_core::Heuristic;
 use bddmin_eval::par::{parse_eval_args, run_experiment_jobs};
@@ -19,10 +20,14 @@ fn main() {
         lower_bound_cubes: 0, // the matrix does not need the bound
         max_iterations: if args.quick { Some(6) } else { None },
         only_benchmarks: args.only.clone(),
+        limits: args.limits(),
         ..Default::default()
     };
     eprintln!("running FSM-equivalence experiment...");
     let results = run_experiment_jobs(&config, args.jobs);
+    if config.limits.armed() {
+        println!("{}\n", results.budget_summary());
+    }
     let subset = [
         Heuristic::FOrig,
         Heuristic::Constrain,

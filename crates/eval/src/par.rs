@@ -33,7 +33,8 @@ use bddmin_core::Isf;
 use bddmin_fsm::{generators, product_circuit, SymbolicFsm};
 
 use crate::runner::{
-    filter_reason, measure_instance, CallRecord, ExperimentConfig, ExperimentResults, FilterReason,
+    filter_reason, measure_instance, BudgetLimits, CallRecord, ExperimentConfig,
+    ExperimentResults, FilterReason,
 };
 
 /// One instance intercepted during the record phase.
@@ -53,6 +54,7 @@ struct Measured {
     times: Vec<Duration>,
     min_size: usize,
     lower_bound: usize,
+    skipped: Vec<usize>,
 }
 
 /// [`runner::run_experiment`] with the measurement phase sharded across
@@ -88,6 +90,7 @@ pub fn run_experiment_jobs(config: &ExperimentConfig, jobs: usize) -> Experiment
                 times: m.times,
                 min_size: m.min_size,
                 lower_bound: m.lower_bound,
+                skipped: m.skipped,
             });
         }
     }
@@ -202,6 +205,7 @@ fn measure_recorded(
     }
     let heuristics = &config.heuristics;
     let lb_cubes = config.lower_bound_cubes;
+    let limits = config.limits;
     let mut out: Vec<Measured> = std::thread::scope(|scope| {
         let handles: Vec<_> = workers
             .into_iter()
@@ -213,8 +217,8 @@ fn measure_recorded(
                             let c_onset_pct = wbdd.onset_percentage(isf.c);
                             let f_size = wbdd.size(isf.f);
                             let c_size = wbdd.size(isf.c);
-                            let (sizes, times, min_size, lower_bound) =
-                                measure_instance(&mut wbdd, isf, heuristics, lb_cubes);
+                            let (sizes, times, min_size, lower_bound, skipped) =
+                                measure_instance(&mut wbdd, isf, heuristics, lb_cubes, limits);
                             Measured {
                                 index,
                                 c_onset_pct,
@@ -224,6 +228,7 @@ fn measure_recorded(
                                 times,
                                 min_size,
                                 lower_bound,
+                                skipped,
                             }
                         })
                         .collect::<Vec<Measured>>()
@@ -251,6 +256,23 @@ pub struct EvalArgs {
     pub only: Vec<String>,
     /// `--csv <dir>`: CSV output directory (table3 only).
     pub csv_dir: Option<String>,
+    /// `--step-limit N`: deterministic per-heuristic step budget.
+    pub step_limit: Option<u64>,
+    /// `--node-limit N`: live-node ceiling per heuristic invocation.
+    pub node_limit: Option<usize>,
+    /// `--time-limit MS`: wall-clock budget per heuristic invocation.
+    pub time_limit_ms: Option<u64>,
+}
+
+impl EvalArgs {
+    /// The budget limits requested on the command line.
+    pub fn limits(&self) -> BudgetLimits {
+        BudgetLimits {
+            step_limit: self.step_limit,
+            node_limit: self.node_limit,
+            time_limit_ms: self.time_limit_ms,
+        }
+    }
 }
 
 /// Parses the shared flags from `std::env::args`. Unknown flags are
@@ -275,6 +297,9 @@ pub fn parse_eval_args() -> EvalArgs {
             })
             .unwrap_or_default(),
         csv_dir: value_of("--csv"),
+        step_limit: value_of("--step-limit").and_then(|v| v.parse().ok()),
+        node_limit: value_of("--node-limit").and_then(|v| v.parse().ok()),
+        time_limit_ms: value_of("--time-limit").and_then(|v| v.parse().ok()),
     }
 }
 
@@ -289,6 +314,7 @@ mod tests {
             lower_bound_cubes: 10,
             max_iterations: Some(3),
             only_benchmarks: vec!["tlc".to_owned()],
+            ..Default::default()
         }
     }
 
@@ -308,6 +334,33 @@ mod tests {
             assert_eq!(a.f_size, b.f_size);
             assert_eq!(a.c_size, b.c_size);
             assert!((a.c_onset_pct - b.c_onset_pct).abs() < 1e-12);
+            assert_eq!(a.skipped, b.skipped, "no budget: nothing skipped");
         }
+    }
+
+    #[test]
+    fn budgeted_runs_are_deterministic_across_job_counts() {
+        // Step budgets count deterministic recursion steps, so skip
+        // accounting must merge identically for every --jobs value.
+        let config = ExperimentConfig {
+            limits: BudgetLimits {
+                step_limit: Some(3),
+                ..BudgetLimits::default()
+            },
+            ..small_config()
+        };
+        let seq = crate::runner::run_experiment(&config);
+        let par = run_experiment_jobs(&config, 3);
+        assert_eq!(par.calls.len(), seq.calls.len());
+        assert!(
+            seq.total_skipped_steps() > 0,
+            "a 3-step budget should bite on tlc"
+        );
+        for (a, b) in par.calls.iter().zip(seq.calls.iter()) {
+            assert_eq!(a.sizes, b.sizes);
+            assert_eq!(a.skipped, b.skipped);
+        }
+        assert_eq!(par.degraded_calls(), seq.degraded_calls());
+        assert_eq!(par.skipped_runs(), seq.skipped_runs());
     }
 }

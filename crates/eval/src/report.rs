@@ -179,6 +179,7 @@ mod tests {
                 times: vec![Duration::from_micros(5), Duration::from_micros(7)],
                 min_size: 5,
                 lower_bound: 3,
+                skipped: vec![0, 0],
             }],
             filtered: Default::default(),
         }

@@ -10,7 +10,7 @@
 
 use std::time::{Duration, Instant};
 
-use bddmin_bdd::Bdd;
+use bddmin_bdd::{Bdd, Budget};
 use bddmin_core::{lower_bound, Heuristic, Isf};
 use bddmin_fsm::{generators, product_circuit, SymbolicFsm};
 
@@ -79,12 +79,64 @@ pub struct CallRecord {
     pub min_size: usize,
     /// Cube lower bound (0 if not computed).
     pub lower_bound: usize,
+    /// Per-heuristic count of minimization steps skipped because a
+    /// resource budget tripped (parallel to `sizes`; all zero when no
+    /// budget is armed). The reported size is still a valid cover —
+    /// blown steps degrade to the best earlier result, never to garbage.
+    pub skipped: Vec<usize>,
 }
 
 impl CallRecord {
     /// The bucket this call falls into.
     pub fn bucket(&self) -> OnsetBucket {
         OnsetBucket::of(self.c_onset_pct)
+    }
+
+    /// True when at least one heuristic run on this call lost a step to
+    /// the budget.
+    pub fn degraded(&self) -> bool {
+        self.skipped.iter().any(|&s| s > 0)
+    }
+}
+
+/// Per-heuristic-invocation resource limits (`None` = unlimited).
+///
+/// Each armed limit applies to every *individual* heuristic run: the
+/// step/node ceilings are deterministic, the wall-clock limit is rebuilt
+/// from `Instant::now()` at each invocation so one slow heuristic cannot
+/// starve the rest of the sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BudgetLimits {
+    /// `--step-limit`: deterministic cap on minimization steps.
+    pub step_limit: Option<u64>,
+    /// `--node-limit`: ceiling on live BDD nodes during minimization.
+    pub node_limit: Option<usize>,
+    /// `--time-limit`: wall-clock milliseconds per heuristic invocation.
+    /// Nondeterministic — keep it out of byte-comparison CI paths.
+    pub time_limit_ms: Option<u64>,
+}
+
+impl BudgetLimits {
+    /// True when any limit is armed. When false, the measurement path is
+    /// byte-identical to the historical unbudgeted runner.
+    pub fn armed(&self) -> bool {
+        self.step_limit.is_some() || self.node_limit.is_some() || self.time_limit_ms.is_some()
+    }
+
+    /// Builds a fresh budget; the wall-clock allowance starts counting
+    /// from the moment of this call.
+    pub fn to_budget(&self) -> Budget {
+        let mut budget = Budget::default();
+        if let Some(steps) = self.step_limit {
+            budget = budget.steps(steps);
+        }
+        if let Some(nodes) = self.node_limit {
+            budget = budget.nodes(nodes);
+        }
+        if let Some(ms) = self.time_limit_ms {
+            budget = budget.deadline(Instant::now() + Duration::from_millis(ms));
+        }
+        budget
     }
 }
 
@@ -99,6 +151,9 @@ pub struct ExperimentConfig {
     pub max_iterations: Option<usize>,
     /// Restrict to these paper benchmark names (empty = all).
     pub only_benchmarks: Vec<String>,
+    /// Resource budgets applied to each heuristic invocation (default:
+    /// everything unlimited, which reproduces the paper's setup).
+    pub limits: BudgetLimits,
 }
 
 impl Default for ExperimentConfig {
@@ -108,6 +163,7 @@ impl Default for ExperimentConfig {
             lower_bound_cubes: 1000,
             max_iterations: None,
             only_benchmarks: Vec::new(),
+            limits: BudgetLimits::default(),
         }
     }
 }
@@ -165,6 +221,38 @@ impl ExperimentResults {
             }
         }
     }
+
+    /// Calls where at least one heuristic run lost steps to the budget.
+    pub fn degraded_calls(&self) -> usize {
+        self.calls.iter().filter(|c| c.degraded()).count()
+    }
+
+    /// Heuristic runs (call × heuristic pairs) that skipped ≥ 1 step.
+    pub fn skipped_runs(&self) -> usize {
+        self.calls
+            .iter()
+            .flat_map(|c| &c.skipped)
+            .filter(|&&s| s > 0)
+            .count()
+    }
+
+    /// Total minimization steps discarded across all calls.
+    pub fn total_skipped_steps(&self) -> usize {
+        self.calls.iter().flat_map(|c| &c.skipped).sum()
+    }
+
+    /// One-line skip accounting for budgeted runs: every degraded call
+    /// kept a valid (possibly unminimized) cover, this line says how many.
+    pub fn budget_summary(&self) -> String {
+        format!(
+            "budget: {} of {} calls degraded; {} of {} heuristic runs skipped {} step(s); all results remain valid covers",
+            self.degraded_calls(),
+            self.calls.len(),
+            self.skipped_runs(),
+            self.calls.len() * self.heuristics.len(),
+            self.total_skipped_steps(),
+        )
+    }
 }
 
 /// Classifies a call against the paper's filters.
@@ -183,25 +271,40 @@ pub fn filter_reason(bdd: &mut Bdd, isf: Isf) -> Option<FilterReason> {
 }
 
 /// Measures all heuristics on one instance, flushing caches before each.
+///
+/// When `limits` is armed, every heuristic runs through the budgeted
+/// degradation path and the final vector reports how many minimization
+/// steps each one skipped; when not armed, the historical infallible path
+/// runs unchanged and the skip vector is all zeros.
 pub fn measure_instance(
     bdd: &mut Bdd,
     isf: Isf,
     heuristics: &[Heuristic],
     lower_bound_cubes: usize,
-) -> (Vec<usize>, Vec<Duration>, usize, usize) {
+    limits: BudgetLimits,
+) -> (Vec<usize>, Vec<Duration>, usize, usize, Vec<usize>) {
     let mut sizes = Vec::with_capacity(heuristics.len());
     let mut times = Vec::with_capacity(heuristics.len());
+    let mut skipped = Vec::with_capacity(heuristics.len());
     let mut min_size = usize::MAX;
     for &h in heuristics {
         // The paper invokes the garbage collector before each heuristic "to
         // flush the caches of computations from earlier heuristics".
         bdd.clear_caches();
         let start = Instant::now();
-        let g = h.minimize(bdd, isf);
+        let (size, skips) = if limits.armed() {
+            // The budget (and its wall-clock deadline) restarts per
+            // heuristic, so a blown run cannot starve its successors.
+            let (g, report) = h.minimize_budgeted(bdd, isf, limits.to_budget());
+            (bdd.size(g), report.skipped())
+        } else {
+            let g = h.minimize(bdd, isf);
+            (bdd.size(g), 0)
+        };
         let elapsed = start.elapsed();
-        let size = bdd.size(g);
         sizes.push(size);
         times.push(elapsed);
+        skipped.push(skips);
         min_size = min_size.min(size);
     }
     let lb = if lower_bound_cubes > 0 {
@@ -210,7 +313,7 @@ pub fn measure_instance(
     } else {
         0
     };
-    (sizes, times, min_size, lb)
+    (sizes, times, min_size, lb, skipped)
 }
 
 /// Runs the full experiment over the benchmark suite (machine vs. itself,
@@ -323,8 +426,13 @@ fn record_call(
         Some(FilterReason::CareInsideOffset) => results.filtered.inside_offset += 1,
         None => {
             let pct = bdd.onset_percentage(isf.c);
-            let (sizes, times, min_size, lb) =
-                measure_instance(bdd, isf, &config.heuristics, config.lower_bound_cubes);
+            let (sizes, times, min_size, lb, skipped) = measure_instance(
+                bdd,
+                isf,
+                &config.heuristics,
+                config.lower_bound_cubes,
+                config.limits,
+            );
             results.calls.push(CallRecord {
                 benchmark: paper_name.to_owned(),
                 iteration,
@@ -335,6 +443,7 @@ fn record_call(
                 times,
                 min_size,
                 lower_bound: lb,
+                skipped,
             });
         }
     }
@@ -393,11 +502,53 @@ mod tests {
         let (f, c) = bdd.from_leaf_spec("d1 01 1d 01").unwrap();
         let isf = Isf::new(f, c);
         let hs = Heuristic::ALL.to_vec();
-        let (sizes, times, min_size, lb) = measure_instance(&mut bdd, isf, &hs, 100);
+        let (sizes, times, min_size, lb, skipped) =
+            measure_instance(&mut bdd, isf, &hs, 100, BudgetLimits::default());
         assert_eq!(sizes.len(), hs.len());
         assert_eq!(times.len(), hs.len());
         assert_eq!(min_size, *sizes.iter().min().unwrap());
         assert!(lb >= 1 && lb <= min_size);
+        // No budget armed: nothing may be reported as skipped.
+        assert!(skipped.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn budgeted_measurement_degrades_but_stays_sound() {
+        let mut bdd = Bdd::new(3);
+        let (f, c) = bdd.from_leaf_spec("d1 01 1d 01").unwrap();
+        let isf = Isf::new(f, c);
+        let hs = Heuristic::ALL.to_vec();
+        let starved = BudgetLimits {
+            step_limit: Some(1),
+            ..BudgetLimits::default()
+        };
+        assert!(starved.armed());
+        let (sizes, _, _, _, skipped) = measure_instance(&mut bdd, isf, &hs, 0, starved);
+        let f_size = bdd.size(isf.f);
+        for (&size, &skips) in sizes.iter().zip(&skipped) {
+            // Degradation never inflates the result past |f|.
+            assert!(size <= f_size, "budgeted size {size} exceeds |f| = {f_size}");
+            let _ = skips;
+        }
+        assert!(
+            skipped.iter().any(|&s| s > 0),
+            "a one-step budget must skip work somewhere: {skipped:?}"
+        );
+        // An ample budget skips nothing and matches the unbudgeted path
+        // modulo the soundness clamp (budgeted results never exceed |f|,
+        // the raw heuristic output may).
+        let ample = BudgetLimits {
+            step_limit: Some(u64::MAX),
+            node_limit: Some(usize::MAX),
+            ..BudgetLimits::default()
+        };
+        let (budgeted_sizes, _, _, _, skipped) = measure_instance(&mut bdd, isf, &hs, 0, ample);
+        let (plain_sizes, _, _, _, _) =
+            measure_instance(&mut bdd, isf, &hs, 0, BudgetLimits::default());
+        for (&b, &p) in budgeted_sizes.iter().zip(&plain_sizes) {
+            assert_eq!(b, p.min(f_size));
+        }
+        assert!(skipped.iter().all(|&s| s == 0));
     }
 
     #[test]
@@ -407,6 +558,7 @@ mod tests {
             lower_bound_cubes: 10,
             max_iterations: Some(4),
             only_benchmarks: vec!["tlc".to_owned(), "minmax5".to_owned()],
+            ..Default::default()
         };
         let results = run_experiment(&config);
         let total = results.calls.len() + results.filtered.total();
@@ -436,6 +588,7 @@ mod tests {
                 times: vec![Duration::ZERO],
                 min_size: 5,
                 lower_bound: 1,
+                skipped: vec![0],
             });
         }
         assert_eq!(results.calls_in(None).len(), 3);

@@ -287,6 +287,7 @@ mod tests {
             ],
             min_size: *sizes.iter().min().unwrap(),
             lower_bound: lb,
+            skipped: vec![0; 3],
         };
         ExperimentResults {
             heuristics,

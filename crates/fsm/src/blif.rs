@@ -58,6 +58,7 @@ struct LatchDecl {
     input: String,
     output: String,
     init: bool,
+    line: usize,
 }
 
 /// Parses a BLIF model into a [`Circuit`].
@@ -120,6 +121,7 @@ pub fn parse_blif(source: &str) -> Result<Circuit, ParseBlifError> {
     let mut latches: Vec<LatchDecl> = Vec::new();
     let mut names_nodes: Vec<NamesNode> = Vec::new();
 
+    let mut saw_end = false;
     let mut i = 0;
     while i < logical_lines.len() {
         let (line, lineno) = &logical_lines[i];
@@ -154,6 +156,7 @@ pub fn parse_blif(source: &str) -> Result<Circuit, ParseBlifError> {
                     input: rest[0].to_owned(),
                     output: rest[1].to_owned(),
                     init,
+                    line: lineno,
                 });
             }
             ".names" => {
@@ -207,7 +210,10 @@ pub fn parse_blif(source: &str) -> Result<Circuit, ParseBlifError> {
                     line: lineno,
                 });
             }
-            ".end" => break,
+            ".end" => {
+                saw_end = true;
+                break;
+            }
             other => {
                 return Err(ParseBlifError::new(
                     format!("unsupported construct {other:?}"),
@@ -215,6 +221,11 @@ pub fn parse_blif(source: &str) -> Result<Circuit, ParseBlifError> {
                 ))
             }
         }
+    }
+
+    if !saw_end {
+        let last = logical_lines.last().map(|&(_, l)| l).unwrap_or(0);
+        return Err(ParseBlifError::new("missing .end", last));
     }
 
     elaborate(model_name, inputs, outputs, latches, names_nodes)
@@ -243,6 +254,12 @@ fn elaborate(
         env.insert(name.clone(), b.input(name));
     }
     for latch in &latches {
+        if env.contains_key(latch.output.as_str()) {
+            return Err(ParseBlifError::new(
+                format!("signal {:?} multiply defined", latch.output),
+                latch.line,
+            ));
+        }
         let q = b.latch(&latch.output, latch.init);
         env.insert(latch.output.clone(), q);
     }
@@ -250,7 +267,12 @@ fn elaborate(
     // outputs; inputs and latch outputs are already defined).
     let mut by_output: HashMap<&str, usize> = HashMap::new();
     for (idx, node) in names_nodes.iter().enumerate() {
-        if by_output.insert(node.output.as_str(), idx).is_some() {
+        // Both a second `.names` for the same target and a `.names` whose
+        // target is a primary input or latch output would silently shadow
+        // the earlier driver; reject them all.
+        if env.contains_key(node.output.as_str())
+            || by_output.insert(node.output.as_str(), idx).is_some()
+        {
             return Err(ParseBlifError::new(
                 format!("signal {:?} multiply defined", node.output),
                 node.line,
@@ -341,7 +363,7 @@ fn elaborate(
         let Some(&data) = env.get(latch.input.as_str()) else {
             return Err(ParseBlifError::new(
                 format!("latch input {:?} undefined", latch.input),
-                0,
+                latch.line,
             ));
         };
         b.connect_latch(q, data);
@@ -706,6 +728,95 @@ mod tests {
 .end
 ";
         assert!(parse_blif(src).is_err());
+    }
+
+    #[test]
+    fn reject_duplicate_names_target() {
+        let src = "\
+.model m
+.inputs a b
+.outputs y
+.names a y
+1 1
+.names b y
+1 1
+.end
+";
+        let err = parse_blif(src).unwrap_err();
+        assert!(err.to_string().contains("multiply defined"), "{err}");
+        assert_eq!(err.line(), 6);
+    }
+
+    #[test]
+    fn reject_names_shadowing_input_or_latch() {
+        // A .names whose target is a primary input.
+        let src = "\
+.model m
+.inputs a
+.outputs y
+.names a
+1
+.names a y
+1 1
+.end
+";
+        let err = parse_blif(src).unwrap_err();
+        assert!(err.to_string().contains("multiply defined"), "{err}");
+        // A .names whose target is a latch output.
+        let src = "\
+.model m
+.inputs d
+.outputs q
+.latch d q 0
+.names d q
+1 1
+.end
+";
+        let err = parse_blif(src).unwrap_err();
+        assert!(err.to_string().contains("multiply defined"), "{err}");
+    }
+
+    #[test]
+    fn reject_missing_end() {
+        let src = "\
+.model m
+.inputs a
+.outputs y
+.names a y
+1 1
+";
+        let err = parse_blif(src).unwrap_err();
+        assert!(err.to_string().contains("missing .end"), "{err}");
+        assert_eq!(err.line(), 5);
+    }
+
+    #[test]
+    fn reject_dangling_latch_input() {
+        let src = "\
+.model m
+.inputs a
+.outputs q
+.latch ghost q 0
+.end
+";
+        let err = parse_blif(src).unwrap_err();
+        assert!(err.to_string().contains("latch input"), "{err}");
+        assert_eq!(err.line(), 4);
+    }
+
+    #[test]
+    fn reject_duplicate_latch_output() {
+        let src = "\
+.model m
+.inputs a b
+.outputs q
+.latch a q 0
+.latch b q 0
+.end
+";
+        let err = parse_blif(src).unwrap_err();
+        assert!(err.to_string().contains("multiply defined"), "{err}");
+        assert_eq!(err.line(), 5);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! leaf-spec notation plus the oracle it tripped and the chaos plan it
 //! needs, and appended to `tests/corpus/` at the repository root. The
 //! `corpus_replay` tier-1 test parses every file in that directory and
-//! re-runs **all six** oracles on each instance forever — a corpus entry
+//! re-runs **all seven** oracles on each instance forever — a corpus entry
 //! records a bug that once existed, so after the fix it must pass
 //! everything, and any future regression that resurrects the bug fails
 //! the replay immediately.
@@ -73,10 +73,19 @@ pub fn serialize(inst: &Instance, oracle: Oracle, provenance: &str) -> String {
     out.push_str(&format!("oracle: {oracle}\n"));
     out.push_str(&format!("spec: {}\n", inst.spec_string()));
     out.push_str(&format!(
-        "chaos: flush={} gc={}\n",
+        "chaos: flush={} gc={}",
         u8::from(inst.chaos.flush_between),
         u8::from(inst.chaos.gc_between)
     ));
+    // Budget fields are emitted only when armed, so entries from before
+    // the budget oracle stay byte-identical.
+    if let Some(steps) = inst.chaos.step_budget {
+        out.push_str(&format!(" steps={steps}"));
+    }
+    if let Some(nodes) = inst.chaos.node_budget {
+        out.push_str(&format!(" nodes={nodes}"));
+    }
+    out.push('\n');
     out
 }
 
@@ -142,14 +151,24 @@ fn parse_chaos(value: &str) -> Result<ChaosPlan, CorpusError> {
         let (key, v) = part
             .split_once('=')
             .ok_or_else(|| CorpusError::new(format!("bad chaos field {part:?}")))?;
-        let flag = match v {
-            "0" => false,
-            "1" => true,
-            _ => return Err(CorpusError::new(format!("bad chaos value {v:?} (want 0/1)"))),
+        let flag = || match v {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            _ => Err(CorpusError::new(format!("bad chaos value {v:?} (want 0/1)"))),
         };
         match key {
-            "flush" => plan.flush_between = flag,
-            "gc" => plan.gc_between = flag,
+            "flush" => plan.flush_between = flag()?,
+            "gc" => plan.gc_between = flag()?,
+            "steps" => {
+                plan.step_budget = Some(v.parse().map_err(|e| {
+                    CorpusError::new(format!("bad chaos steps value {v:?}: {e}"))
+                })?);
+            }
+            "nodes" => {
+                plan.node_budget = Some(v.parse().map_err(|e| {
+                    CorpusError::new(format!("bad chaos nodes value {v:?}: {e}"))
+                })?);
+            }
             _ => return Err(CorpusError::new(format!("unknown chaos field {key:?}"))),
         }
     }
@@ -212,7 +231,28 @@ mod tests {
         let entry = parse("oracle: invariance\nspec: (d1 01)\nchaos: flush=1 gc=1\n").unwrap();
         assert!(entry.instance.chaos.flush_between);
         assert!(entry.instance.chaos.gc_between);
+        assert_eq!(entry.instance.chaos.step_budget, None);
+        assert_eq!(entry.instance.chaos.node_budget, None);
         let entry = parse("oracle: invariance\nspec: (d1 01)\n").unwrap();
         assert_eq!(entry.instance.chaos, ChaosPlan::NONE);
+    }
+
+    #[test]
+    fn chaos_budget_fields_round_trip_and_reject_garbage() {
+        let entry =
+            parse("oracle: budget\nspec: (d1 01)\nchaos: flush=0 gc=0 steps=7 nodes=32\n").unwrap();
+        assert_eq!(entry.oracle, Oracle::Budget);
+        assert_eq!(entry.instance.chaos.step_budget, Some(7));
+        assert_eq!(entry.instance.chaos.node_budget, Some(32));
+        // Serialization omits unarmed budgets (old entries stay stable)
+        // and re-emits armed ones.
+        let text = serialize(&entry.instance, entry.oracle, "");
+        assert!(text.contains("chaos: flush=0 gc=0 steps=7 nodes=32"));
+        assert_eq!(parse(&text).unwrap(), entry);
+        let plain = Instance::new(vec![None, Some(true), Some(false), Some(true)], ChaosPlan::NONE);
+        assert!(serialize(&plain, Oracle::Budget, "").contains("chaos: flush=0 gc=0\n"));
+        // Garbage budget values are hard errors.
+        assert!(parse("oracle: budget\nspec: (d1 01)\nchaos: steps=abc\n").is_err());
+        assert!(parse("oracle: budget\nspec: (d1 01)\nchaos: nodes=-1\n").is_err());
     }
 }

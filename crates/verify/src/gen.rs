@@ -15,7 +15,8 @@
 //! * variable count (2–6, biased small so the exhaustive oracles apply),
 //! * specification density (how many leaves are cares),
 //! * care-set shape (general vs. cube, the Theorem 7 precondition),
-//! * GC/cache-flush interleaving (the [`ChaosPlan`]).
+//! * GC/cache-flush interleaving plus optional step/node budgets
+//!   (the [`ChaosPlan`]).
 
 use bddmin_bdd::{Bdd, LeafSpec};
 use bddmin_core::rng::XorShift64;
@@ -35,6 +36,11 @@ pub struct ChaosPlan {
     /// Run a mark–sweep collection (rooted at the instance and all
     /// results so far) between heuristic invocations.
     pub gc_between: bool,
+    /// Arm a deterministic recursion-step budget for the budget oracle
+    /// (small values force graceful degradation).
+    pub step_budget: Option<u64>,
+    /// Arm a live-node ceiling for the budget oracle.
+    pub node_budget: Option<usize>,
 }
 
 impl ChaosPlan {
@@ -42,12 +48,17 @@ impl ChaosPlan {
     pub const NONE: ChaosPlan = ChaosPlan {
         flush_between: false,
         gc_between: false,
+        step_budget: None,
+        node_budget: None,
     };
 
     /// Contribution to the shrinker's size measure: disabling chaos is a
     /// strictly size-decreasing step.
     pub fn weight(self) -> usize {
-        usize::from(self.flush_between) + usize::from(self.gc_between)
+        usize::from(self.flush_between)
+            + usize::from(self.gc_between)
+            + usize::from(self.step_budget.is_some())
+            + usize::from(self.node_budget.is_some())
     }
 }
 
@@ -178,6 +189,11 @@ pub fn random_instance(rng: &mut XorShift64, round: u64) -> Instance {
     let chaos = ChaosPlan {
         flush_between: rng.gen_bool(0.3),
         gc_between: rng.gen_bool(0.3),
+        // Small budgets so the budget oracle regularly exercises the
+        // degradation ladder; both limits are deterministic clocks, so
+        // verdicts stay replayable from (seed, round) alone.
+        step_budget: rng.gen_bool(0.3).then(|| rng.gen_range(1..64) as u64),
+        node_budget: rng.gen_bool(0.3).then(|| rng.gen_range(1..48)),
     };
     Instance::new(leaves, chaos)
 }

@@ -3,11 +3,12 @@
 //! This crate closes the loop between the paper's theorems and the
 //! implementation in `bddmin-core`/`bddmin-bdd`: it generates random
 //! incompletely specified functions `[f, c]`, runs the entire heuristic
-//! registry on each, and checks six independent oracles — cover
+//! registry on each, and checks seven independent oracles — cover
 //! validity, Theorem 7 cube-optimality, Theorem 12 level safety, the
 //! `lower_bound ≤ exact ≤ heuristic` sandwich, Table 2 agreement with
-//! the classic constrain/restrict operators, and invariance under
-//! GC/cache-flush injection. Failures are shrunk to minimal reproducers
+//! the classic constrain/restrict operators, invariance under
+//! GC/cache-flush injection, and graceful degradation under resource
+//! budgets. Failures are shrunk to minimal reproducers
 //! in the paper's `(d1 01)` leaf notation and appended to the committed
 //! corpus under `tests/corpus/`, which tier-1 replays forever.
 //!
@@ -18,8 +19,8 @@
 //! Layout:
 //!
 //! * [`gen`] — instance representation and the sweep generator,
-//! * [`oracle`] — the six oracles plus the mutation harness that proves
-//!   they fire,
+//! * [`oracle`] — the seven oracles plus the mutation harness that
+//!   proves they fire,
 //! * [`shrink`] — greedy, deterministic failure minimization,
 //! * [`corpus`] — reproducer serialization and strict parsing,
 //! * [`runner`] — the fuzz loop and its JSON stats report.

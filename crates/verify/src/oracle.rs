@@ -1,4 +1,4 @@
-//! The six theorem oracles.
+//! The seven theorem oracles.
 //!
 //! Each oracle is an independent judge of one correctness contract from
 //! the paper (or from the kernel's own documentation), checked against a
@@ -12,13 +12,14 @@
 //! | `sandwich`     | `lower_bound ≤ exact ≤ every heuristic`               | §4.1.1, Prop. 4  |
 //! | `agreement`    | generic matcher instances ≡ classic constrain/restrict| Table 2          |
 //! | `invariance`   | results unchanged under GC / cache-flush injection    | kernel contract  |
+//! | `budget`       | budget-exceeded paths still return a valid cover ≤ \|f\|| degradation ladder|
 //!
 //! The [`Mutant`] enum injects one deliberate bug per oracle (used by CI
 //! and the `mutants` integration suite to prove each oracle actually
 //! fires and shrinks — a fuzzer whose failure path is never exercised is
 //! scaffolding, not a safety net).
 
-use bddmin_bdd::{Bdd, Cube, Edge, Var};
+use bddmin_bdd::{Bdd, Budget, Cube, Edge, Var};
 use bddmin_core::{
     exact_minimum, generic_td, lower_bound, minimize_at_level, CliqueOptions, ExactConfig,
     Heuristic, Isf, MatchCriterion, SiblingConfig,
@@ -47,17 +48,22 @@ pub enum Oracle {
     /// Heuristic results are invariant under cache flushes and garbage
     /// collections injected between invocations.
     Invariance,
+    /// Every budget-exceeded path degrades gracefully: under any step or
+    /// node budget the registry still returns a valid cover no larger
+    /// than `f`, and an ample budget reproduces the unbudgeted result.
+    Budget,
 }
 
 impl Oracle {
-    /// All six oracles, in checking order.
-    pub const ALL: [Oracle; 6] = [
+    /// All seven oracles, in checking order.
+    pub const ALL: [Oracle; 7] = [
         Oracle::Cover,
         Oracle::CubeOptimal,
         Oracle::OsmLevel,
         Oracle::Sandwich,
         Oracle::Agreement,
         Oracle::Invariance,
+        Oracle::Budget,
     ];
 
     /// Stable name used on the command line and in corpus files.
@@ -69,6 +75,7 @@ impl Oracle {
             Oracle::Sandwich => "sandwich",
             Oracle::Agreement => "agreement",
             Oracle::Invariance => "invariance",
+            Oracle::Budget => "budget",
         }
     }
 
@@ -81,6 +88,7 @@ impl Oracle {
             Oracle::Sandwich => "Section 4.1.1 (lower bound) + Proposition 4 (exact)",
             Oracle::Agreement => "Table 2 (constrain/restrict instantiations)",
             Oracle::Invariance => "kernel cache/GC transparency contract",
+            Oracle::Budget => "Definition 1 under resource budgets (degradation ladder)",
         }
     }
 }
@@ -149,17 +157,22 @@ pub enum Mutant {
     /// Make results depend on how many collections the manager has run
     /// — breaks `invariance`.
     BreakInvariance,
+    /// Corrupt the result whenever a budget actually tripped, simulating
+    /// a degradation path that forgets the soundness clamp — breaks
+    /// `budget`.
+    BreakDegradation,
 }
 
 impl Mutant {
-    /// The six injectable bugs (everything except [`Mutant::None`]).
-    pub const BREAKING: [Mutant; 6] = [
+    /// The seven injectable bugs (everything except [`Mutant::None`]).
+    pub const BREAKING: [Mutant; 7] = [
         Mutant::BreakCover,
         Mutant::BreakCubeOptimal,
         Mutant::BreakOsmLevel,
         Mutant::BreakLowerBound,
         Mutant::BreakAgreement,
         Mutant::BreakInvariance,
+        Mutant::BreakDegradation,
     ];
 
     /// Stable command-line name.
@@ -172,6 +185,7 @@ impl Mutant {
             Mutant::BreakLowerBound => "break-lower-bound",
             Mutant::BreakAgreement => "break-agreement",
             Mutant::BreakInvariance => "break-invariance",
+            Mutant::BreakDegradation => "break-degradation",
         }
     }
 
@@ -185,6 +199,7 @@ impl Mutant {
             Mutant::BreakLowerBound => Some(Oracle::Sandwich),
             Mutant::BreakAgreement => Some(Oracle::Agreement),
             Mutant::BreakInvariance => Some(Oracle::Invariance),
+            Mutant::BreakDegradation => Some(Oracle::Budget),
         }
     }
 }
@@ -301,6 +316,7 @@ pub fn check(oracle: Oracle, inst: &Instance, mutant: Mutant) -> Verdict {
         Oracle::Sandwich => check_sandwich(inst, mutant),
         Oracle::Agreement => check_agreement(inst, mutant),
         Oracle::Invariance => check_invariance(inst, mutant),
+        Oracle::Budget => check_budget(inst, mutant),
     }
 }
 
@@ -529,6 +545,69 @@ fn check_invariance(inst: &Instance, mutant: Mutant) -> Verdict {
     Verdict::Pass
 }
 
+fn check_budget(inst: &Instance, mutant: Mutant) -> Verdict {
+    if inst.is_all_dc() {
+        return Verdict::Skip("all-don't-care instance");
+    }
+    // The tight budget under test comes from the chaos plan; without one
+    // the default is ample, so degradation is driven by the generator's
+    // budget sweep and stays replayable (both limits are deterministic
+    // clocks — no wall-time here).
+    let mut tight = Budget::default().steps(inst.chaos.step_budget.unwrap_or(1_000_000));
+    if let Some(nodes) = inst.chaos.node_budget {
+        tight = tight.nodes(nodes);
+    }
+    let mut bdd = inst.fresh_manager();
+    let isf = inst.build(&mut bdd);
+    for h in registry() {
+        let (mut g, report) = h.minimize_budgeted(&mut bdd, isf, tight);
+        if mutant == Mutant::BreakDegradation && report.skipped() > 0 {
+            // Simulate a degradation path that forgets the soundness
+            // clamp: corrupt the result only when a budget tripped.
+            let cube = bdd
+                .shortest_cube(isf.c)
+                .expect("care set is non-empty")
+                .to_edge(&mut bdd);
+            g = bdd.xor(g, cube);
+        }
+        if !isf.is_cover(&mut bdd, g) {
+            return Verdict::Fail(format!(
+                "{h} under budget violated f·c ≤ g ≤ f+¬c on {} ({})",
+                inst.spec_string(),
+                report
+            ));
+        }
+        if bdd.size(g) > bdd.size(isf.f) {
+            return Verdict::Fail(format!(
+                "{h} under budget returned {} nodes, larger than |f| = {} on {}",
+                bdd.size(g),
+                bdd.size(isf.f),
+                inst.spec_string()
+            ));
+        }
+    }
+    // An ample budget must reproduce the unbudgeted (clamped) result
+    // bit for bit, with nothing skipped.
+    for h in registry() {
+        let plain = h.minimize_checked(&mut bdd, isf);
+        let (g, report) = h.minimize_budgeted(&mut bdd, isf, Budget::default().steps(50_000_000));
+        if report.skipped() > 0 {
+            return Verdict::Fail(format!(
+                "{h} skipped steps under an ample budget on {} ({})",
+                inst.spec_string(),
+                report
+            ));
+        }
+        if g != plain.cover {
+            return Verdict::Fail(format!(
+                "{h} under an ample budget diverged from the unbudgeted result on {}",
+                inst.spec_string()
+            ));
+        }
+    }
+    Verdict::Pass
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -583,6 +662,7 @@ mod tests {
             inst.chaos = ChaosPlan {
                 flush_between: true,
                 gc_between: true,
+                ..ChaosPlan::NONE
             };
             for oracle in [Oracle::Cover, Oracle::Invariance] {
                 let v = check(oracle, &inst, Mutant::None);

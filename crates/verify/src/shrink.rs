@@ -8,8 +8,9 @@
 //! 1. **Drop a variable** — replace the instance by one of its two
 //!    cofactors (keep only the leaves where the variable is 0, or only
 //!    those where it is 1), halving the leaf table.
-//! 2. **Disable the chaos plan** — a failure that survives without
-//!    GC/flush injection is easier to replay.
+//! 2. **Disable the chaos plan** — wholesale, or one component (flush,
+//!    gc, step budget, node budget) at a time; a failure that survives
+//!    with less injected disturbance is easier to replay.
 //! 3. **Erase a leaf** — turn one specified leaf into a don't care,
 //!    simplifying the care set.
 //!
@@ -64,11 +65,28 @@ fn candidates(inst: &Instance) -> Vec<Instance> {
             }
         }
     }
-    // 2. Chaos removal.
-    if inst.chaos != ChaosPlan::NONE {
+    // 2. Chaos removal, one component at a time so a failure that needs
+    // (say) only the step budget sheds the rest of the plan.
+    let mut chaos_drops: Vec<ChaosPlan> = Vec::new();
+    if inst.chaos.weight() > 1 {
+        chaos_drops.push(ChaosPlan::NONE);
+    }
+    if inst.chaos.flush_between {
+        chaos_drops.push(ChaosPlan { flush_between: false, ..inst.chaos });
+    }
+    if inst.chaos.gc_between {
+        chaos_drops.push(ChaosPlan { gc_between: false, ..inst.chaos });
+    }
+    if inst.chaos.step_budget.is_some() {
+        chaos_drops.push(ChaosPlan { step_budget: None, ..inst.chaos });
+    }
+    if inst.chaos.node_budget.is_some() {
+        chaos_drops.push(ChaosPlan { node_budget: None, ..inst.chaos });
+    }
+    for chaos in chaos_drops {
         out.push(Instance {
             leaves: inst.leaves.clone(),
-            chaos: ChaosPlan::NONE,
+            chaos,
         });
     }
     // 3. Leaf erasure.

@@ -10,6 +10,8 @@
 #   determinism  parallel evaluator vs sequential + table3 jobs diff
 #   fuzz-smoke   time-boxed differential fuzz (seeds 1..4) plus one
 #                mutation run per oracle proving each oracle fires
+#   degradation  budget-oracle fuzz gate + tiny-budget smoke suite
+#                (every heuristic at a 1-step budget still covers)
 #   perf         perf_smoke --quick + JSON schema check
 #
 # Everything works with no network access: the workspace has no external
@@ -20,12 +22,13 @@
 #   With no arguments every stage runs in order. Each --stage selects
 #   one stage; repeat the flag to run several. A per-stage wall-clock
 #   summary is printed at the end either way.
+#
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # ---------------------------------------------------------------- staging
-ALL_STAGES=(build test lint invariance determinism fuzz-smoke perf)
+ALL_STAGES=(build test lint invariance determinism fuzz-smoke degradation perf)
 SELECTED=()
 while [[ $# -gt 0 ]]; do
     case "$1" in
@@ -35,7 +38,7 @@ while [[ $# -gt 0 ]]; do
             shift 2
             ;;
         -h|--help)
-            sed -n '2,24p' "$0" | sed 's/^# \{0,1\}//'
+            sed -n '2,26p' "$0" | sed 's/^# \{0,1\}//'
             exit 0
             ;;
         *)
@@ -111,17 +114,28 @@ stage_fuzz_smoke() {
     # The release binary exists when the build stage ran; build it
     # quietly otherwise (e.g. `--stage fuzz-smoke` alone).
     cargo build --release -q -p bddmin-verify
-    echo "    differential fuzz, seeds 1..4, 30 s budget, all six oracles"
+    echo "    differential fuzz, seeds 1..4, 30 s budget, all seven oracles"
     ./target/release/verify --seed 1..4 --budget-ms 30000 --no-write
     echo "    mutation gates: every oracle must catch + shrink its injected bug"
     for mutant in break-cover break-cube-optimal break-osm-level \
-                  break-lower-bound break-agreement break-invariance; do
+                  break-lower-bound break-agreement break-invariance \
+                  break-degradation; do
         echo "    -- $mutant"
         ./target/release/verify --seed 1..3 --iters 2000 --budget-ms 20000 \
             --mutant "$mutant" --max-failures 1 --no-write --expect-failure \
             >/dev/null
     done
-    echo "    all six oracles fired and shrank their mutants"
+    echo "    all seven oracles fired and shrank their mutants"
+}
+
+stage_degradation() {
+    cargo build --release -q -p bddmin-verify
+    echo "    budget-oracle fuzz gate, seeds 5..8, 20 s budget"
+    ./target/release/verify --seed 5..8 --budget-ms 20000 --oracle budget \
+        --no-write
+    echo "    tiny-budget smoke: every heuristic at starvation budgets"
+    cargo test -q -p bddmin-core --test degradation
+    echo "    degradation ladder holds: every blown budget still covered"
 }
 
 stage_perf() {

@@ -21,6 +21,7 @@ fn test_config() -> ExperimentConfig {
         lower_bound_cubes: 25,
         max_iterations: Some(4),
         only_benchmarks: vec!["tlc".to_owned(), "minmax5".to_owned()],
+        ..Default::default()
     }
 }
 

@@ -13,6 +13,7 @@ fn small_config() -> ExperimentConfig {
         lower_bound_cubes: 20,
         max_iterations: Some(3),
         only_benchmarks: vec!["tlc".into(), "s386".into(), "minmax5".into()],
+        ..Default::default()
     }
 }
 
@@ -127,6 +128,7 @@ fn both_instance_classes_appear() {
         lower_bound_cubes: 0,
         max_iterations: Some(5),
         only_benchmarks: vec!["s386".into(), "s820".into(), "mult16b".into()],
+        ..Default::default()
     });
     let small = results.calls_in(Some(OnsetBucket::Small)).len();
     let large = results.calls_in(Some(OnsetBucket::Large)).len();
