@@ -43,6 +43,11 @@ pub enum BudgetKind {
     /// The recursion-depth guard tripped (stack-overflow protection on
     /// pathologically deep BDDs).
     Depth,
+    /// An internal invariant was violated (a logic bug, not resource
+    /// exhaustion). Surfaced through the same error channel so schedulers
+    /// degrade — skip the step, keep the last sound state — instead of
+    /// aborting the whole pipeline on an assertion.
+    Internal,
 }
 
 impl BudgetKind {
@@ -54,6 +59,7 @@ impl BudgetKind {
             BudgetKind::Nodes => "nodes",
             BudgetKind::Time => "time",
             BudgetKind::Depth => "depth",
+            BudgetKind::Internal => "internal",
         }
     }
 }
@@ -93,6 +99,10 @@ impl BudgetExceeded {
     /// Depth guard tripped.
     pub const DEPTH: BudgetExceeded = BudgetExceeded {
         kind: BudgetKind::Depth,
+    };
+    /// Internal invariant violated.
+    pub const INTERNAL: BudgetExceeded = BudgetExceeded {
+        kind: BudgetKind::Internal,
     };
 }
 
@@ -176,6 +186,7 @@ mod tests {
         assert_eq!(BudgetKind::Nodes.name(), "nodes");
         assert_eq!(BudgetKind::Time.to_string(), "time");
         assert_eq!(BudgetKind::Depth.name(), "depth");
+        assert_eq!(BudgetExceeded::INTERNAL.kind.name(), "internal");
     }
 
     #[test]

@@ -58,6 +58,7 @@ mod manager;
 mod memo;
 mod node;
 mod ops;
+mod sig;
 mod transfer;
 mod unique;
 mod util;
@@ -71,6 +72,7 @@ pub use isop::Isop;
 pub use leafspec::{LeafSpec, ParseLeafSpecError};
 pub use manager::{Bdd, BddStats};
 pub use node::Node;
+pub use sig::{SigEvaluator, SIG_LANES, SIG_SEED};
 pub use util::{FastBuild, FastHasher};
 
 // Property-based suite: needs the external `proptest` crate, which the

@@ -50,6 +50,13 @@ const DEAD: MemoEntry = MemoEntry {
     _pad: 0,
 };
 
+/// Internal discriminator separating **predicate-pair** entries (a boolean
+/// verdict about a 4-edge key, see [`MinMemo::get_pred`]) from ordinary
+/// result entries. Stored tags carry this bit; caller tags must leave it
+/// clear (the `memo_tags` layout reserves bits 61..=63 for the class and
+/// keeps bit 60 free for exactly this purpose).
+const PRED_BIT: u64 = 1 << 60;
+
 /// Default starting capacity: 2^15 entries = 1 MiB.
 pub(crate) const DEFAULT_LOG2_CAPACITY: u32 = 15;
 
@@ -143,6 +150,7 @@ impl MinMemo {
 
     #[inline]
     pub(crate) fn get(&mut self, tag: u64, a: Edge, b: Edge) -> Option<(Edge, Edge)> {
+        debug_assert_eq!(tag & PRED_BIT, 0, "bit 60 is reserved for pair entries");
         let (a, b) = (a.to_bits(), b.to_bits());
         let i = self.bucket(tag, a, b);
         for way in 0..2 {
@@ -162,6 +170,7 @@ impl MinMemo {
 
     #[inline]
     pub(crate) fn insert(&mut self, tag: u64, a: Edge, b: Edge, result: (Edge, Edge)) {
+        debug_assert_eq!(tag & PRED_BIT, 0, "bit 60 is reserved for pair entries");
         let (a, b) = (a.to_bits(), b.to_bits());
         let i = self.bucket(tag, a, b);
         let fresh = MemoEntry {
@@ -181,6 +190,76 @@ impl MinMemo {
                 return;
             }
             if e.tag == tag && e.a == a && e.b == b {
+                self.entries[i + way] = fresh;
+                return;
+            }
+        }
+        self.entries[i + 1] = self.entries[i];
+        self.entries[i] = fresh;
+        self.evictions += 1;
+        self.epoch_evictions += 1;
+    }
+
+    /// Looks up a memoized boolean predicate over the 4-edge key
+    /// `(a, b, p, q)`. Pair entries reuse the ordinary entry layout: the
+    /// bucket is chosen by `(tag, a, b)` alone (so `grow` rehashes them
+    /// unchanged), `(p, q)` live in the result slots and are compared at
+    /// lookup, and the verdict sits in the padding word. `scrub_dead`
+    /// already checks all four edge slots, so GC exactness carries over.
+    #[inline]
+    pub(crate) fn get_pred(&mut self, tag: u64, a: Edge, b: Edge, p: Edge, q: Edge) -> Option<bool> {
+        debug_assert_eq!(tag & PRED_BIT, 0, "bit 60 is reserved for pair entries");
+        let tag = tag | PRED_BIT;
+        let (a, b) = (a.to_bits(), b.to_bits());
+        let (p, q) = (p.to_bits(), q.to_bits());
+        let i = self.bucket(tag, a, b);
+        for way in 0..2 {
+            let e = self.entries[i + way];
+            if e.generation == self.generation
+                && e.tag == tag
+                && e.a == a
+                && e.b == b
+                && e.r0 == p
+                && e.r1 == q
+            {
+                self.hits += 1;
+                self.epoch_hits += 1;
+                if way == 1 {
+                    self.entries.swap(i, i + 1);
+                }
+                return Some(self.entries[i]._pad != 0);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Records a predicate verdict for the 4-edge key (see
+    /// [`MinMemo::get_pred`]).
+    #[inline]
+    pub(crate) fn insert_pred(&mut self, tag: u64, a: Edge, b: Edge, p: Edge, q: Edge, result: bool) {
+        debug_assert_eq!(tag & PRED_BIT, 0, "bit 60 is reserved for pair entries");
+        let tag = tag | PRED_BIT;
+        let (a, b) = (a.to_bits(), b.to_bits());
+        let (p, q) = (p.to_bits(), q.to_bits());
+        let fresh = MemoEntry {
+            tag,
+            a,
+            b,
+            r0: p,
+            r1: q,
+            generation: self.generation,
+            _pad: result as u32,
+        };
+        let i = self.bucket(tag, a, b);
+        for way in 0..2 {
+            let e = self.entries[i + way];
+            if e.generation != self.generation {
+                self.entries[i + way] = fresh;
+                self.occupied += 1;
+                return;
+            }
+            if e.tag == tag && e.a == a && e.b == b && e.r0 == p && e.r1 == q {
                 self.entries[i + way] = fresh;
                 return;
             }
@@ -335,6 +414,49 @@ mod tests {
         for i in 0..200u32 {
             if let Some(r) = m.get(3, e(i), e(i + 1)) {
                 assert_eq!(r, (e(i), e(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn pred_entries_round_trip_and_do_not_alias_results() {
+        let mut m = MinMemo::default();
+        let tag = 4u64 << 61;
+        assert_eq!(m.get_pred(tag, e(2), e(4), e(6), e(8)), None);
+        m.insert_pred(tag, e(2), e(4), e(6), e(8), true);
+        m.insert_pred(tag, e(2), e(4), e(10), e(12), false);
+        assert_eq!(m.get_pred(tag, e(2), e(4), e(6), e(8)), Some(true));
+        assert_eq!(m.get_pred(tag, e(2), e(4), e(10), e(12)), Some(false));
+        // A different partner pair is a different key.
+        assert_eq!(m.get_pred(tag, e(2), e(4), e(6), e(10)), None);
+        // Same (tag, a, b) through the result API finds nothing: pair
+        // entries are discriminated from result entries.
+        assert_eq!(m.get(tag, e(2), e(4)), None);
+        m.insert(tag, e(2), e(4), (e(6), e(8)));
+        assert_eq!(m.get(tag, e(2), e(4)), Some((e(6), e(8))));
+        assert_eq!(m.get_pred(tag, e(2), e(4), e(6), e(8)), Some(true));
+        m.clear();
+        assert_eq!(m.get_pred(tag, e(2), e(4), e(6), e(8)), None);
+    }
+
+    #[test]
+    fn pred_entries_survive_growth() {
+        let mut m = MinMemo::with_log2_capacity(2);
+        let tag = 4u64 << 61;
+        for _ in 0..64 {
+            for i in 0..64u32 {
+                if m.get_pred(tag, e(i), e(i), e(i + 1), e(i + 2)).is_none() {
+                    m.insert_pred(tag, e(i), e(i), e(i + 1), e(i + 2), i % 3 == 0);
+                    let _ = m.get_pred(tag, e(i), e(i), e(i + 1), e(i + 2));
+                }
+            }
+            m.maybe_grow(1 << 20);
+        }
+        assert!(m.resizes() > 0);
+        // Whatever survived the lossy growth is still exact.
+        for i in 0..64u32 {
+            if let Some(r) = m.get_pred(tag, e(i), e(i), e(i + 1), e(i + 2)) {
+                assert_eq!(r, i % 3 == 0);
             }
         }
     }

@@ -1,0 +1,158 @@
+//! Benchmarks for the PR-5 performance surfaces: the matching-graph
+//! acceleration layer behind the level solvers — semantic-signature
+//! refutation, the manager-owned tsm pair memo, and the bitset clique
+//! cover — measured against the unfiltered reference path at parity.
+//!
+//! Opt-in like the other Criterion suites (see `bddmin-bench`'s crate
+//! docs); for an offline check use `perf_smoke`'s `level_storm` phase in
+//! `bddmin-eval`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bddmin_bdd::{Bdd, Edge, Var};
+use bddmin_core::rng::XorShift64;
+use bddmin_core::{
+    gather_below_level, solve_fmm_osm_with, solve_fmm_tsm_with, CliqueOptions, GatheredFunction,
+    Isf, LevelAccel,
+};
+
+const NUM_VARS: usize = 20;
+
+/// A pseudo-random cover built from random cubes.
+fn random_cover(bdd: &mut Bdd, rng: &mut XorShift64, cubes: usize, lits: usize) -> Edge {
+    let mut f = Edge::ZERO;
+    for _ in 0..cubes {
+        let mut cube = Edge::ONE;
+        for _ in 0..lits {
+            let v = bdd.var(Var(rng.gen_range(0..NUM_VARS) as u32));
+            let lit = if rng.gen_bool(0.5) { v } else { v.complement() };
+            cube = bdd.and(cube, lit);
+        }
+        f = bdd.or(f, cube);
+    }
+    f
+}
+
+/// A manager plus a gathered set of at least `want` sub-functions.
+fn gathered_workload(want: usize, seed: u64) -> (Bdd, Vec<GatheredFunction>) {
+    let mut bdd = Bdd::new(NUM_VARS);
+    let mut rng = XorShift64::seed_from_u64(seed);
+    let f = random_cover(&mut bdd, &mut rng, 40, 7);
+    let dc = random_cover(&mut bdd, &mut rng, 20, 4);
+    let care = bdd.not(dc);
+    let isf = Isf::new(f, care);
+    let mut gathered = Vec::new();
+    for lvl in 2..NUM_VARS as u32 {
+        gathered = gather_below_level(&bdd, isf, Var(lvl), Some(want + want / 2));
+        if gathered.len() >= want {
+            break;
+        }
+    }
+    assert!(gathered.len() >= want, "workload too narrow");
+    (bdd, gathered)
+}
+
+/// The partial configurations worth distinguishing (named for reports).
+fn configs() -> [(&'static str, LevelAccel); 4] {
+    [
+        ("unfiltered", LevelAccel::UNFILTERED),
+        (
+            "sig_only",
+            LevelAccel {
+                pair_memo: false,
+                ..LevelAccel::default()
+            },
+        ),
+        (
+            "memo_only",
+            LevelAccel {
+                sig_filter: false,
+                ..LevelAccel::default()
+            },
+        ),
+        ("full", LevelAccel::default()),
+    ]
+}
+
+/// The tsm clique-cover solve (graph construction dominates) at several
+/// gathered-set sizes, one series per acceleration configuration. Caches
+/// are cleared before every solve so each iteration pays the full
+/// matching-graph construction — the quantity the filter attacks.
+fn bench_tsm_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("level/tsm_solve");
+    group.sample_size(10);
+    for n in [32usize, 64, 96] {
+        let (mut bdd, gathered) = gathered_workload(n, 0xBDD5 + n as u64);
+        for (name, accel) in configs() {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &gathered,
+                |b, gathered| {
+                    b.iter(|| {
+                        bdd.clear_caches();
+                        black_box(solve_fmm_tsm_with(
+                            &mut bdd,
+                            gathered,
+                            CliqueOptions::default(),
+                            accel,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The osm sink solve with signature-bucketed vertex dedup against the
+/// canonical-key reference.
+fn bench_osm_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("level/osm_solve");
+    group.sample_size(10);
+    let (mut bdd, gathered) = gathered_workload(64, 0x5157);
+    let isfs: Vec<Isf> = gathered.iter().map(|g| g.isf).collect();
+    for (name, accel) in configs() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                bdd.clear_caches();
+                black_box(solve_fmm_osm_with(&mut bdd, &isfs, accel))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The regathered-level scenario the pair memo exists for: the same
+/// gathered set solved twice without clearing the manager's memo in
+/// between — the second solve should be nearly free of exact checks.
+fn bench_pair_memo_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("level/tsm_regather");
+    group.sample_size(10);
+    let (mut bdd, gathered) = gathered_workload(64, 0xCAFE);
+    for (name, accel) in [
+        ("cold_each", LevelAccel::UNFILTERED),
+        ("memo_warm", LevelAccel::default()),
+    ] {
+        group.bench_function(name, |b| {
+            // One priming solve outside the timing loop for the warm case.
+            let _ = solve_fmm_tsm_with(&mut bdd, &gathered, CliqueOptions::default(), accel);
+            b.iter(|| {
+                if accel.pair_memo {
+                    // Keep the memo: this measures the regather path.
+                } else {
+                    bdd.clear_caches();
+                }
+                black_box(solve_fmm_tsm_with(
+                    &mut bdd,
+                    &gathered,
+                    CliqueOptions::default(),
+                    accel,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tsm_solve, bench_osm_solve, bench_pair_memo_warm);
+criterion_main!(benches);

@@ -18,14 +18,30 @@
 //!
 //! The driver [`opt_lv`] visits levels top-down with tsm, which is the
 //! heuristic evaluated in the paper's experiments.
+//!
+//! Building the matching graph is the schedule's most expensive step —
+//! Θ(n²) exact BDD matching checks over the gathered set — so the solvers
+//! run behind a **refutation-only acceleration layer** ([`LevelAccel`]):
+//! 64-lane semantic signatures cheaply disprove most non-matching pairs
+//! before any BDD work (see [`crate::sigfilter`]), symmetric tsm verdicts
+//! are memoized in the manager so regathered levels never re-prove a
+//! pair, and the graph itself is a dense bitset whose clique-cover
+//! operations are word-parallel. None of it changes results: every
+//! filter is a proof of non-matching, so the accelerated solvers are
+//! byte-identical to the plain ones (asserted by the differential suite
+//! and the `sig-invariance` verify oracle).
 
 use std::collections::{HashMap, HashSet};
 
-use bddmin_bdd::{Bdd, BudgetExceeded, Edge, FastBuild, Var};
+use bddmin_bdd::{Bdd, BudgetExceeded, Edge, FastBuild, SigEvaluator, Var};
 
+use crate::bitset::{BitMatrix, Bitset};
 use crate::isf::Isf;
-use crate::matching::{matches_directed_budgeted, merge_tsm_many_budgeted, MatchCriterion};
+use crate::matching::{
+    matches_directed_budgeted, matches_tsm_pair_memoized, merge_tsm_many_budgeted, MatchCriterion,
+};
 use crate::memo_tags::subst_tag;
+use crate::sigfilter::{isf_sig, refutes_osm, refutes_tsm, IsfSig};
 use crate::{BUDGET_PANIC, MAX_REC_DEPTH};
 
 /// A sub-function gathered below the target level, together with the
@@ -143,11 +159,71 @@ fn gather_rec(
     path[top.index()] = 2;
 }
 
+/// Toggles for the matching-graph acceleration layer. The default is
+/// everything on; [`LevelAccel::UNFILTERED`] is the plain path the
+/// differential suite and the parity benchmarks replay against. Every
+/// setting is refutation-only or a pure memo, so results are identical
+/// across all configurations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LevelAccel {
+    /// Refute non-matching pairs with 64-lane semantic signatures before
+    /// the exact BDD check (and bucket osm vertex dedup by signature).
+    pub sig_filter: bool,
+    /// Memoize symmetric tsm verdicts in the manager-owned memo, keyed
+    /// on the order-canonicalized ISF pair.
+    pub pair_memo: bool,
+    /// Testing hook for the `sig-invariance` oracle's mutation gate:
+    /// deterministically over-refute surviving pairs, modelling a filter
+    /// that drops real matching edges. Never set outside the harness.
+    #[doc(hidden)]
+    pub sabotage_overrefute: bool,
+}
+
+impl Default for LevelAccel {
+    fn default() -> Self {
+        LevelAccel {
+            sig_filter: true,
+            pair_memo: true,
+            sabotage_overrefute: false,
+        }
+    }
+}
+
+impl LevelAccel {
+    /// The unaccelerated reference path: every pair runs the exact check.
+    pub const UNFILTERED: LevelAccel = LevelAccel {
+        sig_filter: false,
+        pair_memo: false,
+        sabotage_overrefute: false,
+    };
+}
+
+/// Signature pairs of a batch of ISFs, computed through one transient
+/// evaluator **before** any BDD mutation (the per-node memo inside the
+/// evaluator must not survive an allocation or collection).
+fn batch_sigs<'a>(bdd: &Bdd, isfs: impl Iterator<Item = &'a Isf>) -> Vec<IsfSig> {
+    let mut ev = SigEvaluator::for_bdd(bdd);
+    isfs.map(|&isf| isf_sig(&mut ev, bdd, isf)).collect()
+}
+
+/// The injected over-refutation of the `BreakSigFilter` mutant: drops the
+/// pair (j, k) from the graph whenever the indices have opposite parity.
+#[inline]
+fn sabotaged(accel: LevelAccel, j: usize, k: usize) -> bool {
+    accel.sabotage_overrefute && (j + k) % 2 == 1
+}
+
 /// Solves FMM on the gathered set with the **osm** criterion via the DMG
 /// sink construction (paper Proposition 10). Returns, for each input index,
 /// the i-cover that replaces it.
 pub fn solve_fmm_osm(bdd: &mut Bdd, functions: &[Isf]) -> Vec<Isf> {
-    solve_fmm_osm_budgeted(bdd, functions).expect(BUDGET_PANIC)
+    solve_fmm_osm_budgeted(bdd, functions, LevelAccel::default()).expect(BUDGET_PANIC)
+}
+
+/// [`solve_fmm_osm`] with an explicit [`LevelAccel`] (the unfiltered
+/// reference path is `LevelAccel::UNFILTERED`).
+pub fn solve_fmm_osm_with(bdd: &mut Bdd, functions: &[Isf], accel: LevelAccel) -> Vec<Isf> {
+    solve_fmm_osm_budgeted(bdd, functions, accel).expect(BUDGET_PANIC)
 }
 
 /// Checked [`solve_fmm_osm`]: returns [`BudgetExceeded`] instead of
@@ -155,11 +231,62 @@ pub fn solve_fmm_osm(bdd: &mut Bdd, functions: &[Isf]) -> Vec<Isf> {
 pub(crate) fn solve_fmm_osm_budgeted(
     bdd: &mut Bdd,
     functions: &[Isf],
+    accel: LevelAccel,
 ) -> Result<Vec<Isf>, BudgetExceeded> {
+    // Collapse equal ISFs (different representatives) to one vertex, so
+    // mutually-osm-matching pairs cannot form a 2-cycle and the graph
+    // stays acyclic as in the paper's Proposition 10.
+    let (vertices, vertex_idx, vsigs) = if accel.sig_filter {
+        let sigs = batch_sigs(bdd, functions.iter());
+        dedup_by_signature(bdd, functions, &sigs)?
+    } else {
+        let (v, idx) = dedup_by_canonical_key(bdd, functions)?;
+        (v, idx, Vec::new())
+    };
+    let adj = build_osm_graph_budgeted(bdd, &vertices, &vsigs, accel)?;
+    let m = vertices.len();
+    let is_sink: Vec<bool> = (0..m).map(|j| adj.row_is_empty(j)).collect();
+    // Map every vertex to a sink it can reach; by transitivity a direct
+    // edge to some sink exists for every non-sink vertex.
+    let mut target: Vec<usize> = (0..m).collect();
+    for j in 0..m {
+        if is_sink[j] {
+            continue;
+        }
+        let direct = adj.row_indices(j).find(|&k| is_sink[k]);
+        target[j] = match direct {
+            Some(k) => k,
+            None => {
+                // Walk edges until a sink is found (cannot cycle: the
+                // graph on distinct ISFs is acyclic). A cycle would mean
+                // a logic bug upstream; degrade through the structured
+                // error channel rather than aborting the whole schedule.
+                let mut cur = j;
+                let mut steps = 0;
+                while !is_sink[cur] {
+                    cur = adj.row_first(cur).ok_or(BudgetExceeded::INTERNAL)?;
+                    steps += 1;
+                    if steps > m {
+                        return Err(BudgetExceeded::INTERNAL);
+                    }
+                }
+                cur
+            }
+        };
+    }
+    Ok(vertex_idx
+        .into_iter()
+        .map(|v| vertices[target[v]])
+        .collect())
+}
+
+/// The plain vertex dedup: compute every canonical key `(f·c, c)` with
+/// BDD operations and group through a hash map.
+fn dedup_by_canonical_key(
+    bdd: &mut Bdd,
+    functions: &[Isf],
+) -> Result<(Vec<Isf>, Vec<usize>), BudgetExceeded> {
     let n = functions.len();
-    // Canonicalize to ISF semantics so that mutually-osm-matching pairs
-    // (equal ISFs with different representatives) collapse to one vertex,
-    // keeping the graph acyclic as in the paper's Proposition 10.
     let mut canon: Vec<(Edge, Edge)> = Vec::with_capacity(n);
     for isf in functions {
         canon.push(isf.try_canonical_key(bdd)?);
@@ -174,47 +301,89 @@ pub(crate) fn solve_fmm_osm_budgeted(
         });
         vertex_idx.push(v);
     }
+    Ok((vertices, vertex_idx))
+}
+
+/// Deduplicated vertex set: the distinct ISFs, the vertex index each input
+/// function maps to, and the signature of each distinct vertex.
+type DedupedVertices = (Vec<Isf>, Vec<usize>, Vec<IsfSig>);
+
+/// Signature-bucketed vertex dedup: equal ISFs have equal signature pairs
+/// (signatures are exact and representative-independent), so buckets by
+/// signature partition coarser than canonical-key classes. The exact
+/// canonical key — the only BDD work here — is computed lazily, and only
+/// inside buckets that actually collide; singleton buckets never touch
+/// the manager at all. First-occurrence vertex order is preserved, so the
+/// result is identical to [`dedup_by_canonical_key`].
+fn dedup_by_signature(
+    bdd: &mut Bdd,
+    functions: &[Isf],
+    sigs: &[IsfSig],
+) -> Result<DedupedVertices, BudgetExceeded> {
+    let n = functions.len();
+    let mut buckets: HashMap<(u64, u64), Vec<usize>, FastBuild> = HashMap::default();
+    let mut vertices: Vec<Isf> = Vec::new();
+    let mut vsigs: Vec<IsfSig> = Vec::new();
+    let mut canon: Vec<Option<(Edge, Edge)>> = Vec::new();
+    let mut vertex_idx: Vec<usize> = Vec::with_capacity(n);
+    for (i, &isf) in functions.iter().enumerate() {
+        let s = sigs[i];
+        let bucket = buckets.entry((s.on, s.c)).or_default();
+        let mut found = None;
+        let mut my_key = None;
+        if !bucket.is_empty() {
+            let key = isf.try_canonical_key(bdd)?;
+            my_key = Some(key);
+            for &v in bucket.iter() {
+                if canon[v].is_none() {
+                    canon[v] = Some(vertices[v].try_canonical_key(bdd)?);
+                }
+                if canon[v] == Some(key) {
+                    found = Some(v);
+                    break;
+                }
+            }
+        }
+        match found {
+            Some(v) => vertex_idx.push(v),
+            None => {
+                let v = vertices.len();
+                vertices.push(isf);
+                vsigs.push(s);
+                canon.push(my_key);
+                bucket.push(v);
+                vertex_idx.push(v);
+            }
+        }
+    }
+    Ok((vertices, vertex_idx, vsigs))
+}
+
+/// Builds the directed osm matching graph over deduplicated vertices:
+/// edge j → k iff vertex j osm-matches vertex k. `vsigs` is non-empty iff
+/// the signature filter is on.
+fn build_osm_graph_budgeted(
+    bdd: &mut Bdd,
+    vertices: &[Isf],
+    vsigs: &[IsfSig],
+    accel: LevelAccel,
+) -> Result<BitMatrix, BudgetExceeded> {
     let m = vertices.len();
-    // Directed edges j → k iff vertex j osm-matches vertex k.
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut adj = BitMatrix::new(m);
     for j in 0..m {
         for k in 0..m {
-            if j != k
-                && matches_directed_budgeted(bdd, MatchCriterion::Osm, vertices[j], vertices[k])?
-            {
-                adj[j].push(k);
+            if j == k {
+                continue;
+            }
+            if accel.sig_filter && (refutes_osm(vsigs[j], vsigs[k]) || sabotaged(accel, j, k)) {
+                continue;
+            }
+            if matches_directed_budgeted(bdd, MatchCriterion::Osm, vertices[j], vertices[k])? {
+                adj.set(j, k);
             }
         }
     }
-    let is_sink: Vec<bool> = adj.iter().map(Vec::is_empty).collect();
-    // Map every vertex to a sink it can reach; by transitivity a direct
-    // edge to some sink exists for every non-sink vertex.
-    let mut target: Vec<usize> = (0..m).collect();
-    for j in 0..m {
-        if is_sink[j] {
-            continue;
-        }
-        let direct = adj[j].iter().copied().find(|&k| is_sink[k]);
-        target[j] = match direct {
-            Some(k) => k,
-            None => {
-                // Walk edges until a sink is found (cannot cycle: the graph
-                // on distinct ISFs is acyclic).
-                let mut cur = j;
-                let mut steps = 0;
-                while !is_sink[cur] {
-                    cur = adj[cur][0];
-                    steps += 1;
-                    assert!(steps <= m, "DMG unexpectedly cyclic");
-                }
-                cur
-            }
-        };
-    }
-    Ok(vertex_idx
-        .into_iter()
-        .map(|v| vertices[target[v]])
-        .collect())
+    Ok(adj)
 }
 
 /// Controls for the greedy clique cover used by tsm level matching.
@@ -245,7 +414,57 @@ pub fn solve_fmm_tsm(
     functions: &[GatheredFunction],
     options: CliqueOptions,
 ) -> Vec<Isf> {
-    solve_fmm_tsm_budgeted(bdd, functions, options).expect(BUDGET_PANIC)
+    solve_fmm_tsm_budgeted(bdd, functions, options, LevelAccel::default()).expect(BUDGET_PANIC)
+}
+
+/// [`solve_fmm_tsm`] with an explicit [`LevelAccel`] (the unfiltered
+/// reference path is `LevelAccel::UNFILTERED`).
+pub fn solve_fmm_tsm_with(
+    bdd: &mut Bdd,
+    functions: &[GatheredFunction],
+    options: CliqueOptions,
+    accel: LevelAccel,
+) -> Vec<Isf> {
+    solve_fmm_tsm_budgeted(bdd, functions, options, accel).expect(BUDGET_PANIC)
+}
+
+/// Builds the undirected tsm matching graph: edge {j, k} iff the two
+/// gathered ISFs tsm-match. Surviving pairs run the exact check through
+/// the manager-owned pair memo when `accel.pair_memo` is on.
+fn build_tsm_graph_budgeted(
+    bdd: &mut Bdd,
+    functions: &[GatheredFunction],
+    accel: LevelAccel,
+) -> Result<BitMatrix, BudgetExceeded> {
+    let n = functions.len();
+    let sigs = if accel.sig_filter {
+        batch_sigs(bdd, functions.iter().map(|g| &g.isf))
+    } else {
+        Vec::new()
+    };
+    let mut adj = BitMatrix::new(n);
+    for j in 0..n {
+        for k in (j + 1)..n {
+            if accel.sig_filter && (refutes_tsm(sigs[j], sigs[k]) || sabotaged(accel, j, k)) {
+                continue;
+            }
+            let matched = if accel.pair_memo {
+                matches_tsm_pair_memoized(bdd, functions[j].isf, functions[k].isf)?
+            } else {
+                matches_directed_budgeted(
+                    bdd,
+                    MatchCriterion::Tsm,
+                    functions[j].isf,
+                    functions[k].isf,
+                )?
+            };
+            if matched {
+                adj.set(j, k);
+                adj.set(k, j);
+            }
+        }
+    }
+    Ok(adj)
 }
 
 /// Checked [`solve_fmm_tsm`]: returns [`BudgetExceeded`] instead of
@@ -256,26 +475,13 @@ pub(crate) fn solve_fmm_tsm_budgeted(
     bdd: &mut Bdd,
     functions: &[GatheredFunction],
     options: CliqueOptions,
+    accel: LevelAccel,
 ) -> Result<Vec<Isf>, BudgetExceeded> {
     let n = functions.len();
-    // Undirected matching graph.
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for j in 0..n {
-        for k in (j + 1)..n {
-            if matches_directed_budgeted(
-                bdd,
-                MatchCriterion::Tsm,
-                functions[j].isf,
-                functions[k].isf,
-            )? {
-                adj[j].push(k);
-                adj[k].push(j);
-            }
-        }
-    }
+    let adj = build_tsm_graph_budgeted(bdd, functions, accel)?;
     let mut order: Vec<usize> = (0..n).collect();
     if options.order_by_degree {
-        order.sort_by_key(|&v| std::cmp::Reverse(adj[v].len()));
+        order.sort_by_key(|&v| std::cmp::Reverse(adj.row_len(v)));
     }
     let mut clique_of: Vec<Option<usize>> = vec![None; n];
     let mut cliques: Vec<Vec<usize>> = Vec::new();
@@ -285,14 +491,22 @@ pub(crate) fn solve_fmm_tsm_budgeted(
         }
         let id = cliques.len();
         let mut members = vec![v];
+        let mut members_bs = Bitset::new(n);
+        members_bs.insert(v);
         clique_of[v] = Some(id);
         // Candidate edges out of the current clique, optionally sorted by
-        // ascending distance to the seed vertex's path.
-        let mut frontier: Vec<usize> = adj[v]
-            .iter()
-            .copied()
-            .filter(|&w| clique_of[w].is_none())
-            .collect();
+        // ascending distance to the seed vertex's path. `in_frontier`
+        // makes the dedup of re-reachable candidates O(1); re-enqueued
+        // duplicates in the old list code were no-ops anyway (members
+        // only grow, so a rejection is permanent and an acceptance is
+        // caught by the `clique_of` check), so skipping them is
+        // result-identical.
+        let mut frontier: Vec<usize> = adj.row_indices(v).collect();
+        let mut in_frontier = Bitset::new(n);
+        frontier.retain(|&w| clique_of[w].is_none());
+        for &w in &frontier {
+            in_frontier.insert(w);
+        }
         if options.prefer_nearby {
             frontier.sort_by_key(|&w| path_distance(&functions[v].path, &functions[w].path));
         }
@@ -303,24 +517,26 @@ pub(crate) fn solve_fmm_tsm_budgeted(
             if clique_of[w].is_some() {
                 continue;
             }
-            let connected_to_all = members
-                .iter()
-                .all(|&u| adj[w].contains(&u));
-            if connected_to_all {
+            // w joins iff it is adjacent to every current member —
+            // word-parallel subset test on the adjacency row.
+            if members_bs.subset_of(adj.row(w)) {
                 clique_of[w] = Some(id);
                 // New edges reachable through w.
-                let mut extra: Vec<usize> = adj[w]
-                    .iter()
-                    .copied()
-                    .filter(|&x| clique_of[x].is_none() && !frontier[idx..].contains(&x))
+                let mut extra: Vec<usize> = adj
+                    .row_indices(w)
+                    .filter(|&x| clique_of[x].is_none() && !in_frontier.contains(x))
                     .collect();
                 if options.prefer_nearby {
                     extra.sort_by_key(|&x| {
                         path_distance(&functions[w].path, &functions[x].path)
                     });
                 }
+                for &x in &extra {
+                    in_frontier.insert(x);
+                }
                 frontier.extend(extra);
                 members.push(w);
+                members_bs.insert(w);
             }
         }
         cliques.push(members);
@@ -334,6 +550,47 @@ pub(crate) fn solve_fmm_tsm_budgeted(
     Ok((0..n)
         .map(|j| merged[clique_of[j].expect("all vertices covered")])
         .collect())
+}
+
+/// The edge set of the undirected tsm matching graph over the gathered
+/// functions, as `(j, k)` pairs with `j < k`, ascending. Exposed for the
+/// differential suite: the filtered and unfiltered graphs must be equal.
+#[doc(hidden)]
+pub fn tsm_matching_pairs(
+    bdd: &mut Bdd,
+    functions: &[GatheredFunction],
+    accel: LevelAccel,
+) -> Vec<(usize, usize)> {
+    let adj = build_tsm_graph_budgeted(bdd, functions, accel).expect(BUDGET_PANIC);
+    let mut pairs = Vec::new();
+    for j in 0..adj.len() {
+        pairs.extend(adj.row_indices(j).filter(|&k| j < k).map(|k| (j, k)));
+    }
+    pairs
+}
+
+/// The edge set of the directed osm matching graph over the
+/// **deduplicated** vertices, as `(j, k)` pairs, ascending. Exposed for
+/// the differential suite.
+#[doc(hidden)]
+pub fn osm_matching_pairs(
+    bdd: &mut Bdd,
+    functions: &[Isf],
+    accel: LevelAccel,
+) -> Vec<(usize, usize)> {
+    let (vertices, _idx, vsigs) = if accel.sig_filter {
+        let sigs = batch_sigs(bdd, functions.iter());
+        dedup_by_signature(bdd, functions, &sigs).expect(BUDGET_PANIC)
+    } else {
+        let (v, idx) = dedup_by_canonical_key(bdd, functions).expect(BUDGET_PANIC);
+        (v, idx, Vec::new())
+    };
+    let adj = build_osm_graph_budgeted(bdd, &vertices, &vsigs, accel).expect(BUDGET_PANIC);
+    let mut pairs = Vec::new();
+    for j in 0..adj.len() {
+        pairs.extend(adj.row_indices(j).map(|k| (j, k)));
+    }
+    pairs
 }
 
 /// Rewrites `[f, c]`, substituting `replacements[j]` for the `j`-th gathered
@@ -447,6 +704,33 @@ pub fn minimize_at_level_budgeted(
     minimize_at_level_mode_budgeted(bdd, isf, level, criterion, options, limit, GatherMode::All)
 }
 
+/// [`minimize_at_level`] with an explicit [`LevelAccel`]. The result is
+/// identical for every `accel` — this entry point exists for the
+/// differential suite, the `sig-invariance` oracle, and parity
+/// benchmarking against [`LevelAccel::UNFILTERED`].
+#[allow(clippy::too_many_arguments)]
+pub fn minimize_at_level_with(
+    bdd: &mut Bdd,
+    isf: Isf,
+    level: Var,
+    criterion: MatchCriterion,
+    options: CliqueOptions,
+    limit: Option<usize>,
+    accel: LevelAccel,
+) -> Isf {
+    minimize_at_level_accel_budgeted(
+        bdd,
+        isf,
+        level,
+        criterion,
+        options,
+        limit,
+        GatherMode::All,
+        accel,
+    )
+    .expect(BUDGET_PANIC)
+}
+
 /// Checked [`minimize_at_level_mode`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn minimize_at_level_mode_budgeted(
@@ -458,15 +742,39 @@ pub(crate) fn minimize_at_level_mode_budgeted(
     limit: Option<usize>,
     mode: GatherMode,
 ) -> Result<Isf, BudgetExceeded> {
+    minimize_at_level_accel_budgeted(
+        bdd,
+        isf,
+        level,
+        criterion,
+        options,
+        limit,
+        mode,
+        LevelAccel::default(),
+    )
+}
+
+/// The full-parameter pass: gather, solve FMM under `accel`, substitute.
+#[allow(clippy::too_many_arguments)]
+fn minimize_at_level_accel_budgeted(
+    bdd: &mut Bdd,
+    isf: Isf,
+    level: Var,
+    criterion: MatchCriterion,
+    options: CliqueOptions,
+    limit: Option<usize>,
+    mode: GatherMode,
+    accel: LevelAccel,
+) -> Result<Isf, BudgetExceeded> {
     let gathered = gather_below_level_mode(bdd, isf, level, limit, mode);
     if gathered.len() < 2 {
         return Ok(isf);
     }
     let replacements = match criterion {
-        MatchCriterion::Tsm => solve_fmm_tsm_budgeted(bdd, &gathered, options)?,
+        MatchCriterion::Tsm => solve_fmm_tsm_budgeted(bdd, &gathered, options, accel)?,
         MatchCriterion::Osm | MatchCriterion::Osdm => {
             let isfs: Vec<Isf> = gathered.iter().map(|g| g.isf).collect();
-            solve_fmm_osm_budgeted(bdd, &isfs)?
+            solve_fmm_osm_budgeted(bdd, &isfs, accel)?
         }
     };
     substitute_below_level_budgeted(bdd, isf, level, &gathered, &replacements)

@@ -46,6 +46,7 @@
 //! assert!(bdd.size(by_osm) < bdd.size(by_constrain));
 //! ```
 
+mod bitset;
 mod exact;
 mod heuristics;
 mod isf;
@@ -57,6 +58,7 @@ mod report;
 pub mod rng;
 mod schedule;
 mod sibling;
+pub mod sigfilter;
 mod vector;
 mod windowed;
 
@@ -74,9 +76,12 @@ pub use heuristics::{minimize_all, Heuristic, MinimizeOutcome, ParseHeuristicErr
 pub use isf::Isf;
 pub use level::{
     gather_below_level, gather_below_level_mode, minimize_at_level, minimize_at_level_budgeted,
-    minimize_at_level_mode, opt_lv, path_distance, solve_fmm_osm, solve_fmm_tsm,
-    substitute_below_level, CliqueOptions, GatherMode, GatheredFunction,
+    minimize_at_level_mode, minimize_at_level_with, opt_lv, path_distance, solve_fmm_osm,
+    solve_fmm_osm_with, solve_fmm_tsm, solve_fmm_tsm_with, substitute_below_level, CliqueOptions,
+    GatherMode, GatheredFunction, LevelAccel,
 };
+#[doc(hidden)]
+pub use level::{osm_matching_pairs, tsm_matching_pairs};
 pub use lower_bound::{lower_bound, LowerBound};
 pub use matching::{matches_directed, merge_tsm, merge_tsm_many, try_match, MatchCriterion};
 pub use report::{MinReport, StepKind, StepReport, StepStatus};

@@ -1,0 +1,133 @@
+//! Signature-based refutation of matching-graph edges.
+//!
+//! A [`SigEvaluator`](bddmin_bdd::SigEvaluator) evaluates a function on
+//! 64 fixed pseudo-random assignments at once. For an ISF `[f, c]` we keep
+//! the pair `(on, c) = (sig(f) & sig(c), sig(c))`: on lanes where `c`'s
+//! bit is set, `on`'s bit is the function's cared-about value; on
+//! don't-care lanes `on` is forced to 0, so equal ISFs (equal onset and
+//! care) always produce equal pairs regardless of their representatives.
+//!
+//! Because signatures are exact evaluations, a violated matching
+//! condition visible in the lanes is a *counterexample*:
+//!
+//! * **tsm** requires `(f1 ⊕ f2)·c1·c2 = 0`; a lane with both care bits
+//!   set and differing values witnesses a point of `(f1 ⊕ f2)·c1·c2`.
+//! * **osm** (directed, 1 → 2) additionally requires `c1 ≤ c2`; a lane
+//!   cared by 1 but not by 2 witnesses `c1·¬c2 ≠ 0`.
+//!
+//! So [`refutes_tsm`]/[`refutes_osm`] returning `true` **proves** the
+//! exact check would return false, and the filter is refutation-only:
+//! the filtered matching graph is identical to the unfiltered one, only
+//! cheaper to build. `false` proves nothing — surviving pairs still run
+//! the exact BDD check.
+
+use bddmin_bdd::{Bdd, SigEvaluator};
+
+use crate::isf::Isf;
+
+/// The signature pair of an ISF: `(onset-under-care, careset)` lanes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct IsfSig {
+    /// `sig(f) & sig(c)` — the function's value on the cared lanes.
+    pub on: u64,
+    /// `sig(c)` — which lanes the ISF cares about.
+    pub c: u64,
+}
+
+/// Computes the signature pair of `isf` through a shared evaluator (so a
+/// batch of ISFs over one DAG costs one traversal of the union).
+pub fn isf_sig(ev: &mut SigEvaluator, bdd: &Bdd, isf: Isf) -> IsfSig {
+    let sc = ev.signature(bdd, isf.c);
+    let sf = ev.signature(bdd, isf.f);
+    IsfSig { on: sf & sc, c: sc }
+}
+
+/// True iff the lanes *prove* `a` and `b` cannot tsm-match: some commonly
+/// cared lane disagrees, witnessing `(f1 ⊕ f2)·c1·c2 ≠ 0`.
+#[inline]
+pub fn refutes_tsm(a: IsfSig, b: IsfSig) -> bool {
+    (a.on ^ b.on) & a.c & b.c != 0
+}
+
+/// True iff the lanes *prove* `a` cannot osm-match `b` (directed): a lane
+/// cared by `a` but not `b` breaks `c1 ≤ c2`, or a commonly cared lane
+/// disagrees, breaking `(f1 ⊕ f2)·c1 = 0`.
+#[inline]
+pub fn refutes_osm(a: IsfSig, b: IsfSig) -> bool {
+    a.c & !b.c != 0 || (a.on ^ b.on) & a.c & b.c != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{matches_directed, MatchCriterion};
+    use bddmin_bdd::{Edge, Var};
+
+    #[test]
+    fn equal_isfs_have_equal_sig_pairs_despite_representatives() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(Var(0));
+        let b = bdd.var(Var(1));
+        let ab = bdd.and(a, b);
+        // [a·b, a] and [b, a] are the same ISF with different
+        // representatives; don't-care lanes must not leak into `on`.
+        let mut ev = SigEvaluator::for_bdd(&bdd);
+        let s1 = isf_sig(&mut ev, &bdd, Isf::new(ab, a));
+        let s2 = isf_sig(&mut ev, &bdd, Isf::new(b, a));
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn refutation_is_sound_on_an_exhaustive_family() {
+        // Every pair the signatures refute must fail the exact check, in
+        // both criteria and (for osm) both directions.
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(Var(0));
+        let b = bdd.var(Var(1));
+        let c = bdd.var(Var(2));
+        let xor_ab = bdd.xor(a, b);
+        let fns = [Edge::ZERO, Edge::ONE, a, b, xor_ab];
+        let or_ac = bdd.or(a, c);
+        let cares = [Edge::ZERO, Edge::ONE, a, c, or_ac];
+        let mut isfs = Vec::new();
+        for &f in &fns {
+            for &cc in &cares {
+                isfs.push(Isf::new(f, cc));
+            }
+        }
+        let mut ev = SigEvaluator::for_bdd(&bdd);
+        let sigs: Vec<IsfSig> = isfs.iter().map(|&i| isf_sig(&mut ev, &bdd, i)).collect();
+        for (i, &x) in isfs.iter().enumerate() {
+            for (j, &y) in isfs.iter().enumerate() {
+                if refutes_tsm(sigs[i], sigs[j]) {
+                    assert!(
+                        !matches_directed(&mut bdd, MatchCriterion::Tsm, x, y),
+                        "sig refuted a real tsm match {x:?} {y:?}"
+                    );
+                }
+                if refutes_osm(sigs[i], sigs[j]) {
+                    assert!(
+                        !matches_directed(&mut bdd, MatchCriterion::Osm, x, y),
+                        "sig refuted a real osm match {x:?} {y:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refutation_fires_on_obvious_conflicts() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(Var(0));
+        let mut ev = SigEvaluator::for_bdd(&bdd);
+        let x = isf_sig(&mut ev, &bdd, Isf::new(a, Edge::ONE));
+        let y = isf_sig(&mut ev, &bdd, Isf::new(a.complement(), Edge::ONE));
+        // a and ¬a disagree everywhere and both care everywhere: every
+        // lane is a witness.
+        assert!(refutes_tsm(x, y));
+        assert!(refutes_osm(x, y));
+        // And an ISF never refutes itself (reflexivity survives).
+        assert!(!refutes_tsm(x, x));
+        assert!(!refutes_osm(x, x));
+    }
+}

@@ -13,10 +13,14 @@
 //! 4. **Heuristic storm** — the full minimization registry (all twelve
 //!    paper heuristics plus the scheduler) over random ISFs, driving the
 //!    manager-resident minimization memo.
+//! 5. **Level storm** — the tsm clique-cover solve over a wide gathered
+//!    set (n ≥ 64), run with the matching-graph acceleration layer off
+//!    and on at parity; results are asserted byte-identical and the
+//!    median speedup is recorded.
 //!
 //! The first three phases replay byte-for-byte the workload that produced
 //! `BENCH_1.json` (same seed, same operation order), so the JSON written to
-//! `BENCH_2.json` (`BENCH_2.quick.json` in quick mode, so CI never clobbers
+//! `BENCH_5.json` (`BENCH_5.quick.json` in quick mode, so CI never clobbers
 //! the committed full-mode baseline) carries a same-workload comparison
 //! block. Per-phase cache
 //! deltas, per-operation-class hit rates and adaptive resize counts are
@@ -238,6 +242,93 @@ fn heuristic_storm(bdd: &mut Bdd, rng: &mut XorShift64, rounds: u64) -> PhaseRep
     }
 }
 
+/// Level-matching storm results: the tsm clique-cover solve over a wide
+/// gathered set, accelerated vs unfiltered at parity.
+struct LevelStormReport {
+    /// Gathered sub-functions (the matching graph's vertex count).
+    gathered: usize,
+    /// Timed repetitions per path.
+    reps: u64,
+    /// Median seconds per unfiltered solve.
+    unfiltered_median_secs: f64,
+    /// Median seconds per accelerated solve.
+    filtered_median_secs: f64,
+}
+
+impl LevelStormReport {
+    fn median_speedup(&self) -> f64 {
+        if self.filtered_median_secs > 0.0 {
+            self.unfiltered_median_secs / self.filtered_median_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Gathers a wide set of sub-functions (n ≥ 64) below a level of a large
+/// random ISF and solves the tsm clique cover with the acceleration layer
+/// off and on, at parity: same manager, same gathered set, caches (and
+/// the tsm pair memo) cleared before every timed solve, so each rep pays
+/// the full matching-graph construction. The two paths must return
+/// byte-identical replacements — the filter is refutation-only.
+fn level_storm(quick: bool) -> LevelStormReport {
+    use bddmin_core::{gather_below_level, solve_fmm_tsm_with, CliqueOptions, LevelAccel};
+
+    let (reps, limit) = if quick { (3u64, 80) } else { (7u64, 128) };
+    let mut bdd = Bdd::new(NUM_VARS as usize);
+    let mut rng = XorShift64::seed_from_u64(0x1994_DAC5_157A_BDD5);
+    let f = random_cover(&mut bdd, &mut rng, 48, 8);
+    let dc = random_cover(&mut bdd, &mut rng, 24, 5);
+    let care = bdd.not(dc);
+    let isf = Isf::new(f, care);
+    // Walk down the order until the frontier below the level is wide
+    // enough to exercise the quadratic graph construction.
+    let mut gathered = Vec::new();
+    for lvl in 2..NUM_VARS {
+        gathered = gather_below_level(&bdd, isf, Var(lvl), Some(limit));
+        if gathered.len() >= 64 {
+            break;
+        }
+    }
+    assert!(
+        gathered.len() >= 64,
+        "level_storm workload too narrow: only {} gathered functions",
+        gathered.len()
+    );
+
+    let opts = CliqueOptions::default();
+    // Warmup solve: allocates the merge results once so neither timed
+    // path pays first-touch node allocation.
+    let reference = solve_fmm_tsm_with(&mut bdd, &gathered, opts, LevelAccel::UNFILTERED);
+    let mut unf_secs = Vec::new();
+    let mut fil_secs = Vec::new();
+    for _ in 0..reps {
+        bdd.clear_caches();
+        let t = Instant::now();
+        let unfiltered = solve_fmm_tsm_with(&mut bdd, &gathered, opts, LevelAccel::UNFILTERED);
+        unf_secs.push(t.elapsed().as_secs_f64());
+        bdd.clear_caches();
+        let t = Instant::now();
+        let accelerated = solve_fmm_tsm_with(&mut bdd, &gathered, opts, LevelAccel::default());
+        fil_secs.push(t.elapsed().as_secs_f64());
+        assert!(
+            unfiltered == reference && accelerated == reference,
+            "level_storm: accelerated and unfiltered solutions diverged"
+        );
+    }
+    LevelStormReport {
+        gathered: gathered.len(),
+        reps,
+        unfiltered_median_secs: median(&mut unf_secs),
+        filtered_median_secs: median(&mut fil_secs),
+    }
+}
+
 /// Pulls `"key": <number>` out of `section` of a hand-rolled JSON file.
 /// Good enough for the files this binary writes; returns `None` on any
 /// surprise.
@@ -299,6 +390,9 @@ fn main() {
         gc_storm(&mut bdd, &mut rng, gc_cycles),
         heuristic_storm(&mut bdd, &mut rng, heur_rounds),
     ];
+    // The level-matching storm runs in its own manager so the phases
+    // above keep replaying BENCH_1's exact operation stream.
+    let storm = level_storm(quick);
 
     let stats = bdd.stats();
     let hit_rate = rate(stats.cache_hits, stats.cache_misses);
@@ -345,6 +439,15 @@ fn main() {
     println!(
         "  unique table: {} live nodes, {} slots; gc: {} runs, {} reclaimed",
         stats.live_nodes, stats.unique_capacity, stats.gc_runs, stats.gc_reclaimed
+    );
+    println!(
+        "  level_storm: {} gathered, tsm solve {:.4} s unfiltered -> {:.4} s accelerated \
+         ({:.2}x median speedup over {} reps, byte-identical results)",
+        storm.gathered,
+        storm.unfiltered_median_secs,
+        storm.filtered_median_secs,
+        storm.median_speedup(),
+        storm.reps,
     );
 
     // Same-workload comparison: the first three phases replay BENCH_1's
@@ -452,8 +555,18 @@ fn main() {
             rate(h, m)
         ));
     }
+    let level_storm_json = format!(
+        "  \"level_storm\": {{\"gathered\": {}, \"reps\": {}, \
+         \"unfiltered_median_secs\": {:.6}, \"filtered_median_secs\": {:.6}, \
+         \"median_speedup\": {:.4}, \"byte_identical\": true}},\n",
+        storm.gathered,
+        storm.reps,
+        storm.unfiltered_median_secs,
+        storm.filtered_median_secs,
+        storm.median_speedup(),
+    );
     let json = format!(
-        "{{\n  \"bench\": \"perf_smoke\",\n  \"mode\": \"{}\",\n  \"phases\": {{\n{}\n  }},\n  \
+        "{{\n  \"bench\": \"perf_smoke\",\n  \"mode\": \"{}\",\n  \"phases\": {{\n{}\n  }},\n{}  \
          \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}, \
          \"capacity\": {}, \"resizes\": {},\n    \"per_op\": {{{}}}}},\n  \
          \"memo\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}, \
@@ -462,6 +575,7 @@ fn main() {
          \"gc\": {{\"runs\": {}, \"reclaimed\": {}}}{}{}\n}}\n",
         if quick { "quick" } else { "full" },
         phase_json,
+        level_storm_json,
         stats.cache_hits,
         stats.cache_misses,
         stats.cache_evictions,
@@ -488,9 +602,9 @@ fn main() {
     // (the CI schema check) writes to a scratch name so it never clobbers
     // the committed full-mode baseline.
     let name = if quick {
-        "BENCH_2.quick.json"
+        "BENCH_5.quick.json"
     } else {
-        "BENCH_2.json"
+        "BENCH_5.json"
     };
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

@@ -1,4 +1,4 @@
-//! The seven theorem oracles.
+//! The eight theorem oracles.
 //!
 //! Each oracle is an independent judge of one correctness contract from
 //! the paper (or from the kernel's own documentation), checked against a
@@ -13,6 +13,7 @@
 //! | `agreement`    | generic matcher instances ≡ classic constrain/restrict| Table 2          |
 //! | `invariance`   | results unchanged under GC / cache-flush injection    | kernel contract  |
 //! | `budget`       | budget-exceeded paths still return a valid cover ≤ \|f\|| degradation ladder|
+//! | `sig-invariance`| accelerated level passes ≡ unfiltered reference bit for bit | refutation-only filtering |
 //!
 //! The [`Mutant`] enum injects one deliberate bug per oracle (used by CI
 //! and the `mutants` integration suite to prove each oracle actually
@@ -21,8 +22,8 @@
 
 use bddmin_bdd::{Bdd, Budget, Cube, Edge, Var};
 use bddmin_core::{
-    exact_minimum, generic_td, lower_bound, minimize_at_level, CliqueOptions, ExactConfig,
-    Heuristic, Isf, MatchCriterion, SiblingConfig,
+    exact_minimum, generic_td, lower_bound, minimize_at_level, minimize_at_level_with,
+    CliqueOptions, ExactConfig, Heuristic, Isf, LevelAccel, MatchCriterion, SiblingConfig,
 };
 
 use crate::gen::{care_is_cube, Instance};
@@ -52,11 +53,16 @@ pub enum Oracle {
     /// node budget the registry still returns a valid cover no larger
     /// than `f`, and an ample budget reproduces the unbudgeted result.
     Budget,
+    /// The matching-graph acceleration layer (signature filtering, tsm
+    /// pair memoization, bitset clique cover) is refutation-only: an
+    /// accelerated level pass returns the unfiltered reference result
+    /// bit for bit.
+    SigInvariance,
 }
 
 impl Oracle {
-    /// All seven oracles, in checking order.
-    pub const ALL: [Oracle; 7] = [
+    /// All eight oracles, in checking order.
+    pub const ALL: [Oracle; 8] = [
         Oracle::Cover,
         Oracle::CubeOptimal,
         Oracle::OsmLevel,
@@ -64,6 +70,7 @@ impl Oracle {
         Oracle::Agreement,
         Oracle::Invariance,
         Oracle::Budget,
+        Oracle::SigInvariance,
     ];
 
     /// Stable name used on the command line and in corpus files.
@@ -76,6 +83,7 @@ impl Oracle {
             Oracle::Agreement => "agreement",
             Oracle::Invariance => "invariance",
             Oracle::Budget => "budget",
+            Oracle::SigInvariance => "sig-invariance",
         }
     }
 
@@ -89,6 +97,9 @@ impl Oracle {
             Oracle::Agreement => "Table 2 (constrain/restrict instantiations)",
             Oracle::Invariance => "kernel cache/GC transparency contract",
             Oracle::Budget => "Definition 1 under resource budgets (degradation ladder)",
+            Oracle::SigInvariance => {
+                "refutation-only signature filtering (simulate-then-prove, §3.3 acceleration)"
+            }
         }
     }
 }
@@ -161,11 +172,15 @@ pub enum Mutant {
     /// a degradation path that forgets the soundness clamp — breaks
     /// `budget`.
     BreakDegradation,
+    /// Make the signature filter over-refute: deterministically drop
+    /// surviving pairs from the matching graph, simulating a filter that
+    /// loses real matches — breaks `sig-invariance`.
+    BreakSigFilter,
 }
 
 impl Mutant {
-    /// The seven injectable bugs (everything except [`Mutant::None`]).
-    pub const BREAKING: [Mutant; 7] = [
+    /// The eight injectable bugs (everything except [`Mutant::None`]).
+    pub const BREAKING: [Mutant; 8] = [
         Mutant::BreakCover,
         Mutant::BreakCubeOptimal,
         Mutant::BreakOsmLevel,
@@ -173,6 +188,7 @@ impl Mutant {
         Mutant::BreakAgreement,
         Mutant::BreakInvariance,
         Mutant::BreakDegradation,
+        Mutant::BreakSigFilter,
     ];
 
     /// Stable command-line name.
@@ -186,6 +202,7 @@ impl Mutant {
             Mutant::BreakAgreement => "break-agreement",
             Mutant::BreakInvariance => "break-invariance",
             Mutant::BreakDegradation => "break-degradation",
+            Mutant::BreakSigFilter => "break-sig-filter",
         }
     }
 
@@ -200,6 +217,7 @@ impl Mutant {
             Mutant::BreakAgreement => Some(Oracle::Agreement),
             Mutant::BreakInvariance => Some(Oracle::Invariance),
             Mutant::BreakDegradation => Some(Oracle::Budget),
+            Mutant::BreakSigFilter => Some(Oracle::SigInvariance),
         }
     }
 }
@@ -317,6 +335,7 @@ pub fn check(oracle: Oracle, inst: &Instance, mutant: Mutant) -> Verdict {
         Oracle::Agreement => check_agreement(inst, mutant),
         Oracle::Invariance => check_invariance(inst, mutant),
         Oracle::Budget => check_budget(inst, mutant),
+        Oracle::SigInvariance => check_sig_invariance(inst, mutant),
     }
 }
 
@@ -608,6 +627,56 @@ fn check_budget(inst: &Instance, mutant: Mutant) -> Verdict {
     Verdict::Pass
 }
 
+fn check_sig_invariance(inst: &Instance, mutant: Mutant) -> Verdict {
+    if inst.is_all_dc() {
+        return Verdict::Skip("all-don't-care instance");
+    }
+    let mut bdd = inst.fresh_manager();
+    let isf = inst.build(&mut bdd);
+    // The mutant flips the sabotage hook inside the accelerated path:
+    // the filter starts dropping real matching edges, which is exactly
+    // the class of bug this oracle exists to catch.
+    let accel = if mutant == Mutant::BreakSigFilter {
+        LevelAccel {
+            sabotage_overrefute: true,
+            ..LevelAccel::default()
+        }
+    } else {
+        LevelAccel::default()
+    };
+    let n = inst.num_vars() as u32;
+    for criterion in [MatchCriterion::Tsm, MatchCriterion::Osm] {
+        for lvl in 0..n {
+            let reference = minimize_at_level_with(
+                &mut bdd,
+                isf,
+                Var(lvl),
+                criterion,
+                CliqueOptions::default(),
+                None,
+                LevelAccel::UNFILTERED,
+            );
+            let accelerated = minimize_at_level_with(
+                &mut bdd,
+                isf,
+                Var(lvl),
+                criterion,
+                CliqueOptions::default(),
+                None,
+                accel,
+            );
+            if (accelerated.f, accelerated.c) != (reference.f, reference.c) {
+                return Verdict::Fail(format!(
+                    "accelerated {criterion:?} pass at level {lvl} diverged from the unfiltered \
+                     reference on {}",
+                    inst.spec_string()
+                ));
+            }
+        }
+    }
+    Verdict::Pass
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -693,6 +762,22 @@ mod tests {
         // Every breaking mutant declares its target oracle.
         for m in Mutant::BREAKING {
             assert!(m.target_oracle().is_some());
+        }
+    }
+
+    #[test]
+    fn break_sig_filter_mutant_fires_on_a_paper_instance() {
+        let fired = paper_instances()
+            .iter()
+            .any(|inst| check(Oracle::SigInvariance, inst, Mutant::BreakSigFilter).is_fail());
+        assert!(
+            fired,
+            "a sabotaged signature filter must diverge on some paper instance"
+        );
+        // And the real accelerated path stays equal to the reference, so
+        // the sabotage hook is the only difference.
+        for inst in paper_instances() {
+            assert!(!check(Oracle::SigInvariance, &inst, Mutant::None).is_fail());
         }
     }
 

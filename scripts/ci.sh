@@ -114,18 +114,18 @@ stage_fuzz_smoke() {
     # The release binary exists when the build stage ran; build it
     # quietly otherwise (e.g. `--stage fuzz-smoke` alone).
     cargo build --release -q -p bddmin-verify
-    echo "    differential fuzz, seeds 1..4, 30 s budget, all seven oracles"
+    echo "    differential fuzz, seeds 1..4, 30 s budget, all eight oracles"
     ./target/release/verify --seed 1..4 --budget-ms 30000 --no-write
     echo "    mutation gates: every oracle must catch + shrink its injected bug"
     for mutant in break-cover break-cube-optimal break-osm-level \
                   break-lower-bound break-agreement break-invariance \
-                  break-degradation; do
+                  break-degradation break-sig-filter; do
         echo "    -- $mutant"
         ./target/release/verify --seed 1..3 --iters 2000 --budget-ms 20000 \
             --mutant "$mutant" --max-failures 1 --no-write --expect-failure \
             >/dev/null
     done
-    echo "    all seven oracles fired and shrank their mutants"
+    echo "    all eight oracles fired and shrank their mutants"
 }
 
 stage_degradation() {
@@ -141,13 +141,14 @@ stage_degradation() {
 stage_perf() {
     cargo run --release -q -p bddmin-eval --bin perf_smoke -- --quick
     for key in '"hit_rate"' '"ops_per_sec"' '"resizes"' '"per_op"' \
-               '"ite"' '"constrain"' '"restrict"' '"memo"' '"heuristic_storm"'; do
-        grep -q "$key" BENCH_2.quick.json || {
-            echo "missing $key in BENCH_2.quick.json" >&2
+               '"ite"' '"constrain"' '"restrict"' '"memo"' '"heuristic_storm"' \
+               '"level_storm"' '"median_speedup"' '"byte_identical"'; do
+        grep -q "$key" BENCH_5.quick.json || {
+            echo "missing $key in BENCH_5.quick.json" >&2
             exit 1
         }
     done
-    echo "    BENCH_2.quick.json schema ok"
+    echo "    BENCH_5.quick.json schema ok"
 }
 
 # ---------------------------------------------------------------- driver
