@@ -295,7 +295,9 @@ impl Bdd {
     }
 
     /// Counts the nodes of `f` rooted at each level: `result[i]` is the
-    /// number of nodes labelled `Var(i)`; the constant node is not included.
+    /// number of nodes at position `i` of the **current variable order**
+    /// (use [`Bdd::var_at_level`] to translate positions to identities);
+    /// the constant node is not included.
     pub fn level_profile(&self, f: Edge) -> Vec<usize> {
         let mut profile = vec![0usize; self.num_vars()];
         let mut seen = Bitmap::new(self.nodes.len());

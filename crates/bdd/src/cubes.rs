@@ -64,12 +64,20 @@ impl Cube {
 
     /// The characteristic function of this cube.
     pub fn to_edge(&self, bdd: &mut Bdd) -> Edge {
+        // Literals are sorted by identity; mk wants levels built bottom-up
+        // in the manager's *current* order, so re-sort by level first.
+        let mut lits: Vec<(Var, bool)> = self
+            .literals
+            .iter()
+            .map(|&(v, pos)| (bdd.level_of_var(v), pos))
+            .collect();
+        lits.sort();
         let mut e = Edge::ONE;
-        for &(v, pos) in self.literals.iter().rev() {
+        for &(l, pos) in lits.iter().rev() {
             e = if pos {
-                bdd.mk(v, e, Edge::ZERO)
+                bdd.mk(l, e, Edge::ZERO)
             } else {
-                bdd.mk(v, Edge::ZERO, e)
+                bdd.mk(l, Edge::ZERO, e)
             };
         }
         e
@@ -125,12 +133,14 @@ impl<'a> Iterator for CubeIter<'a> {
                 n.lo.complement_if(e.is_complemented()),
             );
             // Push low first so the high (then) branch is explored first,
-            // matching a conventional depth-first order.
+            // matching a conventional depth-first order. Paths record
+            // variable identities, not levels.
+            let var = self.bdd.var_at_level(n.var);
             let mut lo_path = path.clone();
-            lo_path.push((n.var, false));
+            lo_path.push((var, false));
             self.stack.push((lo, lo_path));
             let mut hi_path = path;
-            hi_path.push((n.var, true));
+            hi_path.push((var, true));
             self.stack.push((hi, hi_path));
         }
         None
@@ -206,11 +216,12 @@ impl Bdd {
                 n.hi.complement_if(e.is_complemented()),
                 n.lo.complement_if(e.is_complemented()),
             );
+            let var = self.var_at_level(n.var);
             let mut hp = path.clone();
-            hp.push((n.var, true));
+            hp.push((var, true));
             queue.push_back((hi, hp));
             let mut lp = path;
-            lp.push((n.var, false));
+            lp.push((var, false));
             queue.push_back((lo, lp));
         }
         None

@@ -52,7 +52,7 @@ impl Bdd {
                 out,
                 "  n{} [label=\"{}\"];",
                 e.node().0,
-                self.var_name(n.var)
+                self.var_name(self.var_at_level(n.var))
             );
             let _ = writeln!(
                 out,

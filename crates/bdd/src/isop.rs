@@ -133,17 +133,18 @@ impl Bdd {
         let l_rest = self.or(rem0, rem1);
         let u_rest = self.and(u0, u1);
         let rest = self.isop_rec(l_rest, u_rest, memo);
-        // Assemble.
+        // Assemble. `x` is a level; cube literals carry identities.
+        let xv = self.var_at_level(x);
         let mut cubes =
             Vec::with_capacity(part0.cubes.len() + part1.cubes.len() + rest.cubes.len());
         for cube in &part0.cubes {
-            cubes.push(prepend_literal(cube, x, false));
+            cubes.push(prepend_literal(cube, xv, false));
         }
         for cube in &part1.cubes {
-            cubes.push(prepend_literal(cube, x, true));
+            cubes.push(prepend_literal(cube, xv, true));
         }
         cubes.extend(rest.cubes.iter().cloned());
-        let xvar = self.var(x);
+        let xvar = self.var(xv);
         let with_x = self.ite(xvar, part1.function, part0.function);
         let function = self.or(with_x, rest.function);
         let result = Isop { cubes, function };

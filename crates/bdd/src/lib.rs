@@ -23,6 +23,10 @@
 //!   depth guard, surfaced through checked `try_*` operation variants
 //!   that return [`BudgetExceeded`] instead of panicking or looping,
 //! * mark–sweep garbage collection with explicit roots,
+//! * **dynamic variable reordering**: per-level subtables, an in-place
+//!   adjacent-level swap kernel, Rudell sifting and group sifting
+//!   ([`Bdd::reorder`]), with optional automatic triggering at GC
+//!   quiescent points ([`Bdd::set_auto_reorder`]),
 //! * a small Boolean [expression parser](Bdd::from_expr) and a parser for the
 //!   paper's [leaf-specification notation](Bdd::from_leaf_spec) such as
 //!   `"(d1 01)"`,
@@ -58,6 +62,7 @@ mod manager;
 mod memo;
 mod node;
 mod ops;
+mod reorder;
 mod sig;
 mod transfer;
 mod unique;
@@ -72,6 +77,7 @@ pub use isop::Isop;
 pub use leafspec::{LeafSpec, ParseLeafSpecError};
 pub use manager::{Bdd, BddStats};
 pub use node::Node;
+pub use reorder::{ReorderMethod, ReorderSettings, ReorderStats};
 pub use sig::{SigEvaluator, SIG_LANES, SIG_SEED};
 pub use util::{FastBuild, FastHasher};
 

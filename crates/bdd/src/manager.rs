@@ -1,4 +1,14 @@
 //! The BDD manager: node store, unique table, variable order.
+//!
+//! Since the reordering PR the variable order is **dynamic**: a variable's
+//! *identity* (its [`Var`] handle, name, and `assignment[]` position) is
+//! fixed at declaration, while its *level* (its position in the order the
+//! node store is sorted by) can change via [`Bdd::reorder`]. Node payloads
+//! and every position-space recursion work in level space; the manager
+//! keeps the `var2level`/`level2var` permutation maps and converts at the
+//! identity-facing API boundaries ([`Bdd::var`], [`Bdd::support`],
+//! [`Bdd::eval`], …). On a freshly created manager the permutation is the
+//! identity, so nothing changes until a reorder actually runs.
 
 use std::collections::HashMap;
 
@@ -7,6 +17,7 @@ use crate::cache::{ComputedTable, OP_CLASS_COUNT, OP_CLASS_NAMES};
 use crate::edge::{Edge, NodeId, Var};
 use crate::memo::MinMemo;
 use crate::node::Node;
+use crate::reorder::ReorderSettings;
 use crate::unique::UniqueTable;
 
 /// Panic message of the unchecked operation variants when an armed budget
@@ -64,12 +75,17 @@ pub struct BddStats {
     pub memo_evictions: u64,
     /// Adaptive doublings the minimization memo has performed.
     pub memo_resizes: u64,
-    /// Slot capacity of the open-addressed unique table.
+    /// Slot capacity of the open-addressed unique table (summed over the
+    /// per-level subtables).
     pub unique_capacity: usize,
     /// Garbage collections performed.
     pub gc_runs: u64,
     /// Nodes reclaimed by garbage collection.
     pub gc_reclaimed: u64,
+    /// Dynamic reorderings performed (manual and automatic).
+    pub reorder_runs: u64,
+    /// Adjacent-level swaps executed across all reorderings.
+    pub reorder_swaps: u64,
 }
 
 impl BddStats {
@@ -111,6 +127,12 @@ pub struct Bdd {
     pub(crate) min_memo: MinMemo,
     var_names: Vec<String>,
     name_index: HashMap<String, Var>,
+    /// `var2level[v]` is the current level of variable identity `v`.
+    /// Starts as the identity permutation; mutated only by the reorder
+    /// swap kernel, which keeps it inverse to `level2var` at all times.
+    pub(crate) var2level: Vec<u32>,
+    /// `level2var[l]` is the variable identity currently at level `l`.
+    pub(crate) level2var: Vec<Var>,
     /// The single-variable function for each declared variable, recorded on
     /// first construction. These are pinned GC roots: `var()` results stay
     /// valid across collections and unique-table rebuilds.
@@ -131,6 +153,17 @@ pub struct Bdd {
     pub(crate) op_depth: u32,
     pub(crate) gc_runs: u64,
     pub(crate) gc_reclaimed: u64,
+    /// Automatic reordering: when enabled, a sift (with
+    /// `reorder_settings`) runs at the next quiescent point after the
+    /// live-node count crosses `reorder_threshold`. Off by default.
+    pub(crate) auto_reorder: bool,
+    pub(crate) reorder_threshold: usize,
+    pub(crate) reorder_settings: ReorderSettings,
+    /// User-declared variable groups for group sifting: each group moves
+    /// as one contiguous block. Identities, not levels.
+    pub(crate) var_groups: Vec<Vec<Var>>,
+    pub(crate) reorder_runs: u64,
+    pub(crate) reorder_swaps: u64,
     /// Armed resource limits (see [`Budget`]); consulted by the checked
     /// `try_*` operations.
     pub(crate) budget: Budget,
@@ -151,6 +184,10 @@ pub(crate) const MAX_REC_DEPTH: u32 = 1500;
 
 /// Live-node floor below which automatic GC never triggers.
 const MIN_AUTO_GC_THRESHOLD: usize = 1 << 14;
+
+/// Live-node floor below which automatic reordering never triggers:
+/// sifting a small table costs more than it saves.
+const MIN_AUTO_REORDER_THRESHOLD: usize = 1 << 12;
 
 impl Bdd {
     /// Creates a manager with `num_vars` variables named `x1 … xn`
@@ -192,6 +229,8 @@ impl Bdd {
             min_memo: MinMemo::default(),
             var_names: Vec::new(),
             name_index: HashMap::new(),
+            var2level: Vec::new(),
+            level2var: Vec::new(),
             var_roots: Vec::new(),
             pinned: Vec::new(),
             auto_gc: false,
@@ -200,6 +239,12 @@ impl Bdd {
             op_depth: 0,
             gc_runs: 0,
             gc_reclaimed: 0,
+            auto_reorder: false,
+            reorder_threshold: MIN_AUTO_REORDER_THRESHOLD,
+            reorder_settings: ReorderSettings::default(),
+            var_groups: Vec::new(),
+            reorder_runs: 0,
+            reorder_swaps: 0,
             budget: Budget::UNLIMITED,
             steps: 0,
         };
@@ -222,8 +267,60 @@ impl Bdd {
         let var = Var(self.var_names.len() as u32);
         self.var_names.push(name.to_owned());
         self.name_index.insert(name.to_owned(), var);
+        // A fresh variable enters at the bottom level regardless of how
+        // the existing order has been permuted.
+        self.var2level.push(self.level2var.len() as u32);
+        self.level2var.push(var);
+        self.unique.ensure_levels(self.level2var.len());
         self.var_roots.push(None);
         var
+    }
+
+    /// The current level (position in the dynamic order, `0` topmost) of
+    /// variable identity `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not declared.
+    #[inline]
+    pub fn level_of_var(&self, var: Var) -> Var {
+        Var(self.var2level[var.index()])
+    }
+
+    /// The variable identity currently at `level`; [`Var::TERMINAL`] maps
+    /// to itself so constants pass through unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is neither terminal nor a declared level.
+    #[inline]
+    pub fn var_at_level(&self, level: Var) -> Var {
+        if level.is_terminal() {
+            Var::TERMINAL
+        } else {
+            self.level2var[level.index()]
+        }
+    }
+
+    /// The decision **variable identity** of the function's top node;
+    /// [`Var::TERMINAL`] for constants. Contrast with [`Bdd::level`],
+    /// which returns the position in the current order.
+    #[inline]
+    pub fn var_of(&self, edge: Edge) -> Var {
+        self.var_at_level(self.level(edge))
+    }
+
+    /// The single-variable function for the variable currently at
+    /// `level` (the checked variant used by the position-space
+    /// minimization recursions).
+    pub fn try_var_at_level(&mut self, level: Var) -> Result<Edge, BudgetExceeded> {
+        let var = self.var_at_level(level);
+        self.try_var(var)
+    }
+
+    /// The current variable order, topmost level first, as identities.
+    pub fn current_order(&self) -> Vec<Var> {
+        self.level2var.clone()
     }
 
     /// Number of declared variables.
@@ -262,7 +359,8 @@ impl Bdd {
         if let Some(e) = self.var_roots[var.index()] {
             return e;
         }
-        let e = self.mk(var, Edge::ONE, Edge::ZERO);
+        let level = self.level_of_var(var);
+        let e = self.mk(level, Edge::ONE, Edge::ZERO);
         self.var_roots[var.index()] = Some(e);
         e
     }
@@ -282,7 +380,8 @@ impl Bdd {
         if let Some(e) = self.var_roots[var.index()] {
             return Ok(e);
         }
-        let e = self.mk_checked(var, Edge::ONE, Edge::ZERO)?;
+        let level = self.level_of_var(var);
+        let e = self.mk_checked(level, Edge::ONE, Edge::ZERO)?;
         self.var_roots[var.index()] = Some(e);
         Ok(e)
     }
@@ -332,6 +431,60 @@ impl Bdd {
     pub fn set_auto_gc(&mut self, enabled: bool) {
         self.auto_gc = enabled;
         self.gc_wanted = false;
+    }
+
+    /// Enables or disables automatic dynamic reordering.
+    ///
+    /// When enabled, a sift (with the settings from
+    /// [`Bdd::set_reorder_settings`]) runs at the next quiescent point
+    /// after the live-node count crosses an adaptive threshold — the same
+    /// survival contract as automatic GC: **only pinned edges, the
+    /// single-variable functions, and the result of the triggering
+    /// operation survive.** A blown budget aborts the sift cleanly
+    /// between swaps, leaving the order and table consistent. Off by
+    /// default.
+    pub fn set_auto_reorder(&mut self, enabled: bool) {
+        self.auto_reorder = enabled;
+    }
+
+    /// Sets the sifting parameters used by both [`Bdd::reorder`] defaults
+    /// and automatic reordering.
+    pub fn set_reorder_settings(&mut self, settings: ReorderSettings) {
+        self.reorder_settings = settings;
+    }
+
+    /// The current sifting parameters.
+    pub fn reorder_settings(&self) -> ReorderSettings {
+        self.reorder_settings
+    }
+
+    /// Declares that `vars` form a group that moves as one contiguous
+    /// block under group sifting ([`crate::ReorderMethod::GroupSift`]).
+    /// Groups must be disjoint; membership is by identity and survives
+    /// reordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable is undeclared or already in a group.
+    pub fn set_var_group(&mut self, vars: &[Var]) {
+        for &v in vars {
+            assert!(
+                v.index() < self.var_names.len(),
+                "variable {v} not declared"
+            );
+            assert!(
+                !self.var_groups.iter().any(|g| g.contains(&v)),
+                "variable {v} is already in a group"
+            );
+        }
+        if !vars.is_empty() {
+            self.var_groups.push(vars.to_vec());
+        }
+    }
+
+    /// Clears all declared variable groups.
+    pub fn clear_var_groups(&mut self) {
+        self.var_groups.clear();
     }
 
     /// Count of live (allocated and not freed) nodes.
@@ -423,6 +576,18 @@ impl Bdd {
                     self.gc_threshold = (self.live_count() * 2).max(MIN_AUTO_GC_THRESHOLD);
                 }
             }
+            // Automatic reordering shares the GC quiescent point: the
+            // same survival contract applies (pins + var roots + the
+            // triggering result), and a blown budget aborts between
+            // swaps, back to a consistent order.
+            if self.auto_reorder && self.live_count() > self.reorder_threshold {
+                let settings = self.reorder_settings;
+                self.reorder_roots(&settings, &[result]);
+                // Back off: require meaningful regrowth before the next
+                // one, or auto-reorder would thrash on irreducible BDDs.
+                self.reorder_threshold =
+                    (self.live_count() * 4).max(MIN_AUTO_REORDER_THRESHOLD);
+            }
             // Adaptive cache growth is also a quiescent-point decision: the
             // budget ties cache memory to the node store so a cache never
             // dwarfs the BDDs it serves. `maybe_grow` is an O(1) counter
@@ -504,8 +669,9 @@ impl Bdd {
         self.nodes[edge.node().index()]
     }
 
-    /// The level (decision variable) of the function's top node;
-    /// [`Var::TERMINAL`] for constants.
+    /// The level (position in the current variable order) of the
+    /// function's top node; [`Var::TERMINAL`] for constants. Use
+    /// [`Bdd::var_of`] for the variable identity instead.
     #[inline]
     pub fn level(&self, edge: Edge) -> Var {
         self.nodes[edge.node().index()].var
@@ -626,7 +792,25 @@ impl Bdd {
             unique_capacity: self.unique.capacity(),
             gc_runs: self.gc_runs,
             gc_reclaimed: self.gc_reclaimed,
+            reorder_runs: self.reorder_runs,
+            reorder_swaps: self.reorder_swaps,
         }
+    }
+
+    /// Test hook for the `reorder-invariance` mutation gate: swaps two
+    /// entries of the level-permutation maps **without** moving any node,
+    /// simulating the "maps out of sync with the subtables" bug class the
+    /// oracle exists to catch. Never call this outside tests.
+    #[doc(hidden)]
+    pub fn debug_desync_level_maps(&mut self) {
+        if self.level2var.len() < 2 {
+            return;
+        }
+        self.level2var.swap(0, 1);
+        let a = self.level2var[0];
+        let b = self.level2var[1];
+        self.var2level[a.index()] = 0;
+        self.var2level[b.index()] = 1;
     }
 }
 

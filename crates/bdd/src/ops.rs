@@ -257,7 +257,10 @@ impl Bdd {
     ) -> Result<Edge, BudgetExceeded> {
         self.begin_op();
         let value = if value { Edge::ONE } else { Edge::ZERO };
-        match self.cofactor_rec(f, var, value, 0) {
+        // The recursion runs in level space: convert the variable identity
+        // to its position in the current order once, up front.
+        let level = self.level_of_var(var);
+        match self.cofactor_rec(f, level, value, 0) {
             Ok(r) => Ok(self.end_op(r)),
             Err(e) => {
                 self.abort_op();
@@ -266,10 +269,13 @@ impl Bdd {
         }
     }
 
+    /// `level` is a position in the current order, not a variable identity
+    /// (cache keys are level-based too; every reorder clears the caches, so
+    /// entries never outlive the order they were computed under).
     fn cofactor_rec(
         &mut self,
         f: Edge,
-        var: Var,
+        level: Var,
         value: Edge,
         depth: u32,
     ) -> Result<Edge, BudgetExceeded> {
@@ -278,26 +284,26 @@ impl Bdd {
             return Err(BudgetExceeded::DEPTH);
         }
         let top = self.level(f);
-        if top > var {
-            // f does not depend on var (ordered BDD).
+        if top > level {
+            // f does not depend on the variable at `level` (ordered BDD).
             return Ok(f);
         }
-        if let Some(r) = self.cache.get(Op::Compose(var.0), f, value, Edge::ONE) {
+        if let Some(r) = self.cache.get(Op::Compose(level.0), f, value, Edge::ONE) {
             return Ok(r);
         }
         let (f1, f0) = self.branches(f);
-        let r = if top == var {
+        let r = if top == level {
             if value.is_one() {
                 f1
             } else {
                 f0
             }
         } else {
-            let t = self.cofactor_rec(f1, var, value, depth + 1)?;
-            let e = self.cofactor_rec(f0, var, value, depth + 1)?;
+            let t = self.cofactor_rec(f1, level, value, depth + 1)?;
+            let e = self.cofactor_rec(f0, level, value, depth + 1)?;
             self.mk_checked(top, t, e)?
         };
-        self.cache.insert(Op::Compose(var.0), f, value, Edge::ONE, r);
+        self.cache.insert(Op::Compose(level.0), f, value, Edge::ONE, r);
         Ok(r)
     }
 
@@ -424,12 +430,14 @@ impl Bdd {
 
     /// Builds the positive cube `v1 · v2 · …` of a set of variables.
     pub fn cube_of_vars(&mut self, vars: &[Var]) -> Edge {
-        let mut sorted: Vec<Var> = vars.to_vec();
-        sorted.sort();
-        sorted.dedup();
+        // Construct bottom-up in the *current order*: sort by level, then
+        // chain mk calls from the deepest level upwards.
+        let mut levels: Vec<Var> = vars.iter().map(|&v| self.level_of_var(v)).collect();
+        levels.sort();
+        levels.dedup();
         let mut cube = Edge::ONE;
-        for &v in sorted.iter().rev() {
-            cube = self.mk(v, cube, Edge::ZERO);
+        for &l in levels.iter().rev() {
+            cube = self.mk(l, cube, Edge::ZERO);
         }
         cube
     }
@@ -456,7 +464,8 @@ impl Bdd {
     /// Checked [`Bdd::compose`].
     pub fn try_compose(&mut self, f: Edge, var: Var, g: Edge) -> Result<Edge, BudgetExceeded> {
         self.begin_op();
-        match self.compose_rec(f, var, g, 0) {
+        let level = self.level_of_var(var);
+        match self.compose_rec(f, level, g, 0) {
             Ok(r) => Ok(self.end_op(r)),
             Err(e) => {
                 self.abort_op();
@@ -465,10 +474,12 @@ impl Bdd {
         }
     }
 
+    /// `level` is a position in the current order (see [`Self::cofactor_rec`]
+    /// for the cache-key convention).
     fn compose_rec(
         &mut self,
         f: Edge,
-        var: Var,
+        level: Var,
         g: Edge,
         depth: u32,
     ) -> Result<Edge, BudgetExceeded> {
@@ -476,24 +487,24 @@ impl Bdd {
         if depth > MAX_REC_DEPTH {
             return Err(BudgetExceeded::DEPTH);
         }
-        if self.level(f) > var {
+        if self.level(f) > level {
             return Ok(f);
         }
-        if let Some(r) = self.cache.get(Op::Compose(var.0), f, g, Edge::ZERO) {
+        if let Some(r) = self.cache.get(Op::Compose(level.0), f, g, Edge::ZERO) {
             return Ok(r);
         }
         let top = self.level(f);
         let (f1, f0) = self.branches(f);
-        let r = if top == var {
+        let r = if top == level {
             self.ite_rec(g, f1, f0, depth + 1)?
         } else {
-            let t = self.compose_rec(f1, var, g, depth + 1)?;
-            let e = self.compose_rec(f0, var, g, depth + 1)?;
+            let t = self.compose_rec(f1, level, g, depth + 1)?;
+            let e = self.compose_rec(f0, level, g, depth + 1)?;
             // Cannot use mk: g may have pushed structure above `top`.
-            let tv = self.var(top);
+            let tv = self.try_var_at_level(top)?;
             self.ite_rec(tv, t, e, depth + 1)?
         };
-        self.cache.insert(Op::Compose(var.0), f, g, Edge::ZERO, r);
+        self.cache.insert(Op::Compose(level.0), f, g, Edge::ZERO, r);
         Ok(r)
     }
 
@@ -511,9 +522,9 @@ impl Bdd {
         assert_eq!(from.len(), to.len(), "rename arity mismatch");
         let mut pairs: Vec<(Var, Var)> =
             from.iter().copied().zip(to.iter().copied()).collect();
-        // Compose deepest source first so earlier substitutions cannot be
-        // re-captured by later ones.
-        pairs.sort_by_key(|p| std::cmp::Reverse(p.0));
+        // Compose deepest source first (deepest in the *current order*) so
+        // earlier substitutions cannot be re-captured by later ones.
+        pairs.sort_by_key(|p| std::cmp::Reverse(self.level_of_var(p.0)));
         let mut r = f;
         for (src, dst) in pairs {
             let g = self.var(dst);
@@ -542,7 +553,7 @@ impl Bdd {
                 continue;
             }
             let n = self.node(e);
-            vars.insert(n.var);
+            vars.insert(self.var_at_level(n.var));
             stack.push(n.hi.regular());
             stack.push(n.lo.regular());
         }
@@ -573,7 +584,8 @@ impl Bdd {
         let mut e = f;
         while !e.is_constant() {
             let n = self.node(e);
-            let branch = if assignment[n.var.index()] { n.hi } else { n.lo };
+            let var = self.var_at_level(n.var);
+            let branch = if assignment[var.index()] { n.hi } else { n.lo };
             e = branch.complement_if(e.is_complemented());
         }
         e.is_one()

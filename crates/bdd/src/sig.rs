@@ -17,10 +17,13 @@
 //!
 //! Assignments are derived from an in-tree xorshift64* stream seeded by a
 //! fixed constant, so signatures are deterministic across runs and
-//! machines. They are **not** stable across garbage collections: the
-//! memo is keyed by node slot, and a collection rebuilds the slot table.
-//! Use an evaluator transiently — build it, take the signatures you
-//! need, drop it before any operation that can allocate or collect.
+//! machines, and — because lane masks are keyed by **variable identity**,
+//! not level — a function's signature is invariant under variable
+//! reordering. A live evaluator is **not** reusable across garbage
+//! collections or reorders, though: the memo is keyed by node slot, and
+//! both rebuild or rewrite slots. Use an evaluator transiently — build
+//! it, take the signatures you need, drop it before any operation that
+//! can allocate, collect, or reorder.
 
 use crate::edge::{Edge, NodeId};
 use crate::manager::Bdd;
@@ -164,7 +167,9 @@ impl SigEvaluator {
             let hi = self.memo[hi_slot]; // hi edges are always regular
             let lo_raw = self.memo[lo_slot];
             let lo = if n.lo.is_complemented() { !lo_raw } else { lo_raw };
-            let mask = self.masks[n.var.index()];
+            // `n.var` is a level; the lane masks are per variable identity,
+            // so the same function signs identically under any order.
+            let mask = self.masks[bdd.var_at_level(n.var).index()];
             self.record(cur, (mask & hi) | (!mask & lo));
         }
         self.memo[slot]
@@ -184,7 +189,7 @@ mod tests {
                 return cur.is_one();
             }
             let (hi, lo) = bdd.branches(cur);
-            cur = if assign(bdd.level(cur).index()) { hi } else { lo };
+            cur = if assign(bdd.var_of(cur).index()) { hi } else { lo };
         }
     }
 

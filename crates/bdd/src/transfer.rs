@@ -21,9 +21,11 @@ impl Bdd {
     ///
     /// The mapping may permute variables arbitrarily — the function is
     /// reconstructed semantically (Shannon expansion in the target order),
-    /// not structurally, so any injective mapping is valid. The source
-    /// manager is `&mut` because intermediate cofactors are hash-consed
-    /// into it.
+    /// not structurally, so any injective mapping is valid. The two
+    /// managers do **not** need to share a variable order: expansion
+    /// follows the target's current (possibly reordered) levels. The
+    /// source manager is `&mut` because intermediate cofactors are
+    /// hash-consed into it.
     ///
     /// # Panics
     ///
@@ -68,9 +70,11 @@ impl Bdd {
             mapping.insert(v, t);
         }
         // Expand source variables in TARGET level order so the target BDD
-        // can be built bottom-up with plain ite over its own order.
+        // can be built bottom-up with plain ite over its own order. Sorting
+        // by the target's *current* levels (not identities) keeps transfer
+        // correct and efficient when either manager has been reordered.
         let mut by_target: Vec<(Var, Var)> = mapping.iter().map(|(&s, &t)| (t, s)).collect();
-        by_target.sort();
+        by_target.sort_by_key(|&(t, s)| (target.level_of_var(t), s));
         let plan: Vec<(Var, Var)> = by_target; // (target var, source var)
         let mut memo: HashMap<(Edge, usize), Edge, FastBuild> = HashMap::default();
         self.transfer_rec(f, target, &plan, 0, &mut memo)

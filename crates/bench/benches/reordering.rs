@@ -1,0 +1,138 @@
+//! Benchmarks for the PR-6 dynamic-reordering surfaces: Rudell sifting
+//! over the per-level subtable kernel, measured on adversarially-ordered
+//! functions (where sifting wins exponentially) and on random functions
+//! under random orders (where it should be cheap and roughly neutral).
+//!
+//! Opt-in like the other Criterion suites (see `bddmin-bench`'s crate
+//! docs); for an offline check use `perf_smoke`'s `reorder_storm` phase
+//! in `bddmin-eval`, whose numbers land in `BENCH_6.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use bddmin_bdd::{Bdd, Edge, ReorderSettings, Var};
+use bddmin_core::rng::XorShift64;
+
+/// Σ aᵢ·bᵢ with every `a` declared above every `b` inside blocks of
+/// `block` pairs: the classic adversarial order for which the
+/// interleaved optimum is exponentially smaller, with the pre-sift
+/// blow-up capped at ~2^(block+1) nodes per block so the n = 64 case
+/// stays buildable.
+fn split_order_inner_product(bdd: &mut Bdd, pairs: usize, block: usize) -> Edge {
+    let mut f = bdd.constant(false);
+    for base in (0..pairs).step_by(block) {
+        let width = block.min(pairs - base);
+        for i in 0..width {
+            let a = bdd.var(Var((2 * base + i) as u32));
+            let b = bdd.var(Var((2 * base + width + i) as u32));
+            let t = bdd.and(a, b);
+            f = bdd.or(f, t);
+        }
+    }
+    f
+}
+
+/// A random function over all `n` variables in a random declaration
+/// order: a chain of and/or/xor over shuffled literals.
+fn random_order_function(bdd: &mut Bdd, n: usize, rng: &mut XorShift64) -> Edge {
+    let mut f = {
+        let v = bdd.var(Var(rng.gen_range(0..n) as u32));
+        if rng.gen_bool(0.5) {
+            v
+        } else {
+            v.complement()
+        }
+    };
+    for _ in 0..3 * n {
+        let v = bdd.var(Var(rng.gen_range(0..n) as u32));
+        let lit = if rng.gen_bool(0.5) { v } else { v.complement() };
+        f = match rng.gen_range(0..3) {
+            0 => bdd.and(f, lit),
+            1 => bdd.or(f, lit),
+            _ => bdd.xor(f, lit),
+        };
+    }
+    f
+}
+
+/// A fresh manager holding one pinned root, ready to sift.
+fn worst_case_workload(n: usize) -> Bdd {
+    let mut bdd = Bdd::new(n);
+    let f = split_order_inner_product(&mut bdd, n / 2, 8);
+    bdd.pin(f);
+    bdd.collect_garbage(&[]);
+    bdd
+}
+
+fn random_workload(n: usize, seed: u64) -> Bdd {
+    let mut bdd = Bdd::new(n);
+    let mut rng = XorShift64::seed_from_u64(seed);
+    let f = random_order_function(&mut bdd, n, &mut rng);
+    bdd.pin(f);
+    bdd.collect_garbage(&[]);
+    bdd
+}
+
+/// Sifting from the adversarial split order at n = 32 and n = 64. Each
+/// iteration sifts a fresh copy of the workload (the table mutates in
+/// place, so a sifted manager cannot be re-sifted meaningfully).
+fn bench_sift_worst_case(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reorder/sift_worst_case");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || worst_case_workload(n),
+                |mut bdd| black_box(bdd.reorder(&ReorderSettings::sift(1.2))),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Sifting random functions under random orders at the same sizes — the
+/// already-reasonable-order case where the pass should terminate fast.
+fn bench_sift_random_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reorder/sift_random_order");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || random_workload(n, 0xBDD6 + n as u64),
+                |mut bdd| black_box(bdd.reorder(&ReorderSettings::sift(1.2))),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// The adjacent-swap kernel itself: one full top-to-bottom bubble of the
+/// topmost variable through all levels of the worst-case workload.
+fn bench_swap_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reorder/swap_bubble");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || worst_case_workload(n),
+                |mut bdd| {
+                    for lvl in 0..n - 1 {
+                        bdd.swap_levels(lvl);
+                    }
+                    black_box(bdd.stats().live_nodes)
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sift_worst_case,
+    bench_sift_random_orders,
+    bench_swap_kernel
+);
+criterion_main!(benches);

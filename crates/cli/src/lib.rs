@@ -15,7 +15,7 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use bddmin_bdd::{Bdd, Budget};
+use bddmin_bdd::{Bdd, Budget, ReorderMethod, ReorderSettings};
 use bddmin_core::{
     exact_minimum, lower_bound, minimize_all, ExactConfig, Heuristic, Isf,
 };
@@ -74,6 +74,9 @@ pub enum Command {
         dot: bool,
         /// Resource budget for every heuristic run.
         budget: BudgetOpts,
+        /// Dynamic reordering before minimization (`None` = keep the
+        /// declared order).
+        reorder: Option<ReorderSettings>,
     },
     /// Minimize an expression-defined instance.
     Expr {
@@ -87,6 +90,9 @@ pub enum Command {
         heuristic: Option<Heuristic>,
         /// Resource budget for every heuristic run.
         budget: BudgetOpts,
+        /// Dynamic reordering before minimization (`None` = keep the
+        /// declared order).
+        reorder: Option<ReorderSettings>,
     },
     /// Check equivalence of two BLIF machines.
     Verify {
@@ -135,6 +141,10 @@ BUDGET (spec/expr): [--step-limit N] [--node-limit N] [--time-limit MS]
   Bounds each heuristic run; blown steps degrade gracefully to a valid
   cover no larger than the input, and skipped work is reported.
 
+REORDER (spec/expr): [--reorder {none,sift,group}] [--reorder-growth F]
+  Sifts the variables to a locally optimal order before minimizing and
+  reports `(reordered: k swaps, n->n' nodes)`; default none.
+
 HEURISTICS: f_orig f_and_c f_or_nc const restr osm_td osm_nv osm_cp osm_bt
             tsm_td tsm_cp opt_lv sched (default: run all and report each)
 ";
@@ -164,6 +174,8 @@ pub fn parse_args(args: &[String], read_file: impl Fn(&str) -> Result<String, Cl
                 || a == "--step-limit"
                 || a == "--node-limit"
                 || a == "--time-limit"
+                || a == "--reorder"
+                || a == "--reorder-growth"
             {
                 skip = true;
                 continue;
@@ -206,6 +218,34 @@ pub fn parse_args(args: &[String], read_file: impl Fn(&str) -> Result<String, Cl
             time_limit_ms: get("--time-limit")?,
         })
     };
+    let reorder = |rest: &[String]| -> Result<Option<ReorderSettings>, CliError> {
+        let method = match rest.iter().position(|a| a == "--reorder") {
+            None => return Ok(None),
+            Some(i) => rest
+                .get(i + 1)
+                .ok_or_else(|| CliError("--reorder needs a method".into()))?
+                .parse::<ReorderMethod>()
+                .map_err(CliError)?,
+        };
+        let growth = match rest.iter().position(|a| a == "--reorder-growth") {
+            None => None,
+            Some(i) => Some(
+                rest.get(i + 1)
+                    .ok_or_else(|| CliError("--reorder-growth needs a value".into()))?
+                    .parse::<f64>()
+                    .map_err(|e| CliError(format!("bad --reorder-growth: {e}")))?,
+            ),
+        };
+        if method == ReorderMethod::None {
+            return Ok(None);
+        }
+        let defaults = ReorderSettings::default();
+        Ok(Some(ReorderSettings {
+            method,
+            growth: growth.unwrap_or(defaults.growth),
+            ..defaults
+        }))
+    };
     match sub.as_str() {
         "spec" => {
             let spec = positionals
@@ -219,6 +259,7 @@ pub fn parse_args(args: &[String], read_file: impl Fn(&str) -> Result<String, Cl
                 isop: rest.iter().any(|a| a == "--isop"),
                 dot: rest.iter().any(|a| a == "--dot"),
                 budget: budget(&rest)?,
+                reorder: reorder(&rest)?,
             })
         }
         "expr" => {
@@ -234,6 +275,7 @@ pub fn parse_args(args: &[String], read_file: impl Fn(&str) -> Result<String, Cl
                 care: get("--care")?,
                 heuristic: heuristic(&rest)?,
                 budget: budget(&rest)?,
+                reorder: reorder(&rest)?,
             })
         }
         "verify" => {
@@ -271,14 +313,16 @@ pub fn run(command: Command) -> Result<String, CliError> {
             isop,
             dot,
             budget,
-        } => run_spec(&spec, heuristic, exact, isop, dot, budget),
+            reorder,
+        } => run_spec(&spec, heuristic, exact, isop, dot, budget, reorder),
         Command::Expr {
             vars,
             function,
             care,
             heuristic,
             budget,
-        } => run_expr(&vars, &function, &care, heuristic, budget),
+            reorder,
+        } => run_expr(&vars, &function, &care, heuristic, budget, reorder),
         Command::Verify {
             left,
             right,
@@ -289,16 +333,37 @@ pub fn run(command: Command) -> Result<String, CliError> {
     }
 }
 
-fn report_instance(
-    bdd: &mut Bdd,
-    isf: Isf,
-    heuristic: Option<Heuristic>,
+/// Per-instance reporting options shared by `spec` and `expr`.
+struct InstanceOpts {
     exact: bool,
     isop: bool,
     dot: bool,
     budget: BudgetOpts,
+    reorder: Option<ReorderSettings>,
+}
+
+fn report_instance(
+    bdd: &mut Bdd,
+    isf: Isf,
+    heuristic: Option<Heuristic>,
+    opts: InstanceOpts,
 ) -> Result<String, CliError> {
+    let InstanceOpts {
+        exact,
+        isop,
+        dot,
+        budget,
+        reorder,
+    } = opts;
     let mut out = String::new();
+    if let Some(settings) = reorder {
+        let stats = bdd.reorder_roots(&settings, &[isf.f, isf.c]);
+        let _ = writeln!(
+            out,
+            "(reordered: {} swaps, {}→{} nodes)",
+            stats.swaps, stats.nodes_before, stats.nodes_after
+        );
+    }
     let _ = writeln!(
         out,
         "|f| = {}  |c| = {}  care onset = {:.1}%",
@@ -388,11 +453,23 @@ fn run_spec(
     isop: bool,
     dot: bool,
     budget: BudgetOpts,
+    reorder: Option<ReorderSettings>,
 ) -> Result<String, CliError> {
     let parsed = bddmin_bdd::LeafSpec::parse(spec).map_err(|e| CliError(e.to_string()))?;
     let mut bdd = Bdd::new(parsed.num_vars());
     let (f, c) = parsed.build(&mut bdd);
-    report_instance(&mut bdd, Isf::new(f, c), heuristic, exact, isop, dot, budget)
+    report_instance(
+        &mut bdd,
+        Isf::new(f, c),
+        heuristic,
+        InstanceOpts {
+            exact,
+            isop,
+            dot,
+            budget,
+            reorder,
+        },
+    )
 }
 
 fn run_expr(
@@ -401,12 +478,24 @@ fn run_expr(
     care: &str,
     heuristic: Option<Heuristic>,
     budget: BudgetOpts,
+    reorder: Option<ReorderSettings>,
 ) -> Result<String, CliError> {
     let names: Vec<&str> = vars.iter().map(String::as_str).collect();
     let mut bdd = Bdd::with_names(&names);
     let f = bdd.from_expr(function).map_err(|e| CliError(e.to_string()))?;
     let c = bdd.from_expr(care).map_err(|e| CliError(e.to_string()))?;
-    report_instance(&mut bdd, Isf::new(f, c), heuristic, false, true, false, budget)
+    report_instance(
+        &mut bdd,
+        Isf::new(f, c),
+        heuristic,
+        InstanceOpts {
+            exact: false,
+            isop: true,
+            dot: false,
+            budget,
+            reorder,
+        },
+    )
 }
 
 fn run_verify(
@@ -516,6 +605,7 @@ mod tests {
                 isop: false,
                 dot: false,
                 budget: BudgetOpts::default(),
+                reorder: None,
             }
         );
     }
@@ -550,6 +640,69 @@ mod tests {
         // Garbage values are parse errors, not silently unlimited.
         assert!(parse_args(&strs(&["spec", "d1 01", "--step-limit", "lots"]), no_files).is_err());
         assert!(parse_args(&strs(&["spec", "d1 01", "--node-limit"]), no_files).is_err());
+    }
+
+    #[test]
+    fn parse_reorder_flags() {
+        let cmd = parse_args(
+            &strs(&["spec", "d1 01 1d 01", "--reorder", "sift", "--reorder-growth", "1.5"]),
+            no_files,
+        )
+        .unwrap();
+        match cmd {
+            Command::Spec { spec, reorder, .. } => {
+                assert_eq!(spec, "d1 01 1d 01");
+                let settings = reorder.expect("--reorder sift arms reordering");
+                assert_eq!(settings.method, ReorderMethod::Sift);
+                assert!((settings.growth - 1.5).abs() < 1e-12);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // `--reorder none` is the explicit off switch.
+        let cmd = parse_args(&strs(&["spec", "d1 01", "--reorder", "none"]), no_files).unwrap();
+        match cmd {
+            Command::Spec { reorder, .. } => assert_eq!(reorder, None),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Bogus methods and growths are parse errors.
+        assert!(parse_args(&strs(&["spec", "d1 01", "--reorder", "bogus"]), no_files).is_err());
+        assert!(
+            parse_args(&strs(&["spec", "d1 01", "--reorder", "sift", "--reorder-growth", "x"]), no_files)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn run_spec_with_reordering_annotates_and_stays_correct() {
+        let plain = run(Command::Spec {
+            spec: "d1 01 1d 01".into(),
+            heuristic: Some(Heuristic::OsmBt),
+            exact: false,
+            isop: false,
+            dot: false,
+            budget: BudgetOpts::default(),
+            reorder: None,
+        })
+        .unwrap();
+        let reordered = run(Command::Spec {
+            spec: "d1 01 1d 01".into(),
+            heuristic: Some(Heuristic::OsmBt),
+            exact: false,
+            isop: false,
+            dot: false,
+            budget: BudgetOpts::default(),
+            reorder: Some(ReorderSettings::sift(1.2)),
+        })
+        .unwrap();
+        assert!(!plain.contains("(reordered:"));
+        assert!(
+            reordered.contains("(reordered:"),
+            "missing reorder annotation: {reordered}"
+        );
+        // The heuristic still reports a cover (size may legitimately
+        // differ under a different order).
+        assert!(reordered.contains("osm_bt"));
+        assert!(reordered.contains("lower bound"));
     }
 
     #[test]
@@ -605,6 +758,7 @@ mod tests {
             isop: true,
             dot: false,
             budget: BudgetOpts::default(),
+            reorder: None,
         })
         .unwrap();
         assert!(out.contains("min"));
@@ -626,6 +780,7 @@ mod tests {
             isop: false,
             dot: false,
             budget: starved,
+            reorder: None,
         })
         .unwrap();
         // Every heuristic still reports a result, something degraded, and
@@ -651,6 +806,7 @@ mod tests {
                 step_limit: Some(1_000_000),
                 ..BudgetOpts::default()
             },
+            reorder: None,
         })
         .unwrap();
         assert!(!out.contains("degraded:"), "spurious degradation: {out}");
@@ -665,6 +821,7 @@ mod tests {
             isop: false,
             dot: true,
             budget: BudgetOpts::default(),
+            reorder: None,
         })
         .unwrap();
         assert!(out.contains("osm_td"));
@@ -679,6 +836,7 @@ mod tests {
             care: "a|b".into(),
             heuristic: Some(Heuristic::Restrict),
             budget: BudgetOpts::default(),
+            reorder: None,
         })
         .unwrap();
         assert!(out.contains("restr"));

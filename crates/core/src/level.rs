@@ -652,7 +652,7 @@ fn subst_rec(
     let (c_t, c_e) = bdd.branches_at(isf.c, top);
     let then_r = subst_rec(bdd, Isf::new(f_t, c_t), level, map, tag, depth + 1)?;
     let else_r = subst_rec(bdd, Isf::new(f_e, c_e), level, map, tag, depth + 1)?;
-    let v = bdd.try_var(top)?;
+    let v = bdd.try_var_at_level(top)?;
     let nf = bdd.try_ite(v, then_r.f, else_r.f)?;
     let nc = bdd.try_ite(v, then_r.c, else_r.c)?;
     let r = Isf::new(nf, nc);

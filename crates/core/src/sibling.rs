@@ -212,7 +212,7 @@ fn td_rec(
             // the i-cover's cover, else-branch by its complement.
             stats.complement_matches += 1;
             let temp = td_rec(bdd, m, config, tag, stats, depth + 1)?;
-            let top_var = bdd.try_var(top)?;
+            let top_var = bdd.try_var_at_level(top)?;
             bdd.try_ite(top_var, temp, temp.complement())?
         } else {
             td_split(bdd, top, then_isf, else_isf, config, tag, stats, depth)?
@@ -241,7 +241,7 @@ fn td_split(
     stats.splits += 1;
     let t = td_rec(bdd, then_isf, config, tag, stats, depth + 1)?;
     let e = td_rec(bdd, else_isf, config, tag, stats, depth + 1)?;
-    let top_var = bdd.try_var(top)?;
+    let top_var = bdd.try_var_at_level(top)?;
     bdd.try_ite(top_var, t, e)
 }
 

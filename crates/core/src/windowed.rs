@@ -166,7 +166,7 @@ fn rebuild_split(
 ) -> Result<Isf, BudgetExceeded> {
     let t = pass_rec(bdd, then_isf, config, window, tag, depth + 1)?;
     let e = pass_rec(bdd, else_isf, config, window, tag, depth + 1)?;
-    let v = bdd.try_var(top)?;
+    let v = bdd.try_var_at_level(top)?;
     Ok(Isf {
         f: bdd.try_ite(v, t.f, e.f)?,
         c: bdd.try_ite(v, t.c, e.c)?,
@@ -174,7 +174,7 @@ fn rebuild_split(
 }
 
 fn rebuild_complement(bdd: &mut Bdd, top: Var, t: Isf) -> Result<Isf, BudgetExceeded> {
-    let v = bdd.try_var(top)?;
+    let v = bdd.try_var_at_level(top)?;
     Ok(Isf {
         f: bdd.try_ite(v, t.f, t.f.complement())?,
         c: t.c,

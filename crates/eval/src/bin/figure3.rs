@@ -5,7 +5,8 @@
 //!
 //! Usage: `cargo run --release -p bddmin-eval --bin figure3
 //!   [--quick] [--jobs N] [--only a,b]
-//!   [--step-limit N] [--node-limit N] [--time-limit MS]`
+//!   [--step-limit N] [--node-limit N] [--time-limit MS]
+//!   [--reorder {none,sift,group}] [--reorder-growth F]`
 
 use bddmin_core::Heuristic;
 use bddmin_eval::par::{parse_eval_args, run_experiment_jobs};
@@ -20,10 +21,14 @@ fn main() {
         max_iterations: if args.quick { Some(6) } else { None },
         only_benchmarks: args.only.clone(),
         limits: args.limits(),
+        reorder: args.reorder_settings(),
         ..Default::default()
     };
     eprintln!("running FSM-equivalence experiment...");
     let results = run_experiment_jobs(&config, args.jobs);
+    if args.reorder != bddmin_bdd::ReorderMethod::None {
+        println!("{}\n", results.reorder_annotation());
+    }
     if config.limits.armed() {
         println!("{}\n", results.budget_summary());
     }

@@ -17,6 +17,11 @@
 //!    set (n ≥ 64), run with the matching-graph acceleration layer off
 //!    and on at parity; results are asserted byte-identical and the
 //!    median speedup is recorded.
+//! 6. **Reorder storm** — adversarially-ordered functions (Σ aᵢ·bᵢ under
+//!    the worst-case split order) sifted to a locally optimal order; the
+//!    nodes-before/after, swap counts, wall clock, and a semantic
+//!    identity check (exact model count + 64-lane signatures) land in a
+//!    separate `BENCH_6.json` (`BENCH_6.quick.json` in quick mode).
 //!
 //! The first three phases replay byte-for-byte the workload that produced
 //! `BENCH_1.json` (same seed, same operation order), so the JSON written to
@@ -329,6 +334,76 @@ fn level_storm(quick: bool) -> LevelStormReport {
     }
 }
 
+/// One adversarially-ordered reordering case: nodes before/after the
+/// sift, swap count, wall clock, and the semantic ground-truth check.
+struct ReorderCase {
+    name: String,
+    nodes_before: usize,
+    nodes_after: usize,
+    swaps: usize,
+    secs: f64,
+    semantics_identical: bool,
+}
+
+impl ReorderCase {
+    fn reduction(&self) -> f64 {
+        if self.nodes_after > 0 {
+            self.nodes_before as f64 / self.nodes_after as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The reorder storm: sift adversarially-ordered functions (the classic
+/// Σ aᵢ·bᵢ with every `a` declared above every `b`, whose size is
+/// exponential in the pair count until the order interleaves) and record
+/// node counts before/after, swaps, wall clock, and whether the exact
+/// model count and the 64-lane identity-keyed signature survived. Each
+/// case runs in its own manager so the main phases stay byte-identical
+/// to their committed baselines.
+fn reorder_storm(quick: bool) -> Vec<ReorderCase> {
+    use bddmin_bdd::{ReorderSettings, SigEvaluator};
+
+    let pair_counts: &[usize] = if quick { &[4, 5, 6] } else { &[6, 8, 10, 12, 14] };
+    let mut cases = Vec::new();
+    for &pairs in pair_counts {
+        let n = 2 * pairs;
+        let mut bdd = Bdd::new(n);
+        let mut f = bdd.constant(false);
+        for i in 0..pairs {
+            let a = bdd.var(Var(i as u32));
+            let b = bdd.var(Var((pairs + i) as u32));
+            let t = bdd.and(a, b);
+            f = bdd.or(f, t);
+        }
+        bdd.pin(f);
+        bdd.collect_garbage(&[]);
+        let sat_before = bdd.sat_count(f);
+        let sig_before = {
+            let mut ev = SigEvaluator::for_bdd(&bdd);
+            ev.signature(&bdd, f)
+        };
+        let t = Instant::now();
+        let stats = bdd.reorder(&ReorderSettings::sift(1.2));
+        let secs = t.elapsed().as_secs_f64();
+        let sat_after = bdd.sat_count(f);
+        let sig_after = {
+            let mut ev = SigEvaluator::for_bdd(&bdd);
+            ev.signature(&bdd, f)
+        };
+        cases.push(ReorderCase {
+            name: format!("pairs_{pairs}"),
+            nodes_before: stats.nodes_before,
+            nodes_after: stats.nodes_after,
+            swaps: stats.swaps,
+            secs,
+            semantics_identical: sat_before == sat_after && sig_before == sig_after,
+        });
+    }
+    cases
+}
+
 /// Pulls `"key": <number>` out of `section` of a hand-rolled JSON file.
 /// Good enough for the files this binary writes; returns `None` on any
 /// surprise.
@@ -612,5 +687,76 @@ fn main() {
     match std::fs::write(&out, &json) {
         Ok(()) => println!("wrote {}", out.display()),
         Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+
+    // ------------------------------------------------------------------
+    // Reorder storm → BENCH_6. A separate file so the reordering numbers
+    // get their own committed baseline without perturbing BENCH_5's
+    // byte-replay comparison contract.
+    // ------------------------------------------------------------------
+    let cases = reorder_storm(quick);
+    let mut reductions: Vec<f64> = cases.iter().map(|c| c.reduction()).collect();
+    let median_reduction = median(&mut reductions);
+    let semantics_identical = cases.iter().all(|c| c.semantics_identical);
+    let total_secs: f64 = cases.iter().map(|c| c.secs).sum();
+
+    println!("\nreorder storm (adversarial split order, sift growth 1.2):");
+    let mut case_json = String::new();
+    for (i, c) in cases.iter().enumerate() {
+        println!(
+            "  {:<9} {:>6} -> {:>4} nodes ({:.2}x, {} swaps, {:.4}s, semantics {})",
+            c.name,
+            c.nodes_before,
+            c.nodes_after,
+            c.reduction(),
+            c.swaps,
+            c.secs,
+            if c.semantics_identical { "ok" } else { "CHANGED" },
+        );
+        if i > 0 {
+            case_json.push_str(",\n");
+        }
+        case_json.push_str(&format!(
+            "      \"{}\": {{\"nodes_before\": {}, \"nodes_after\": {}, \"reduction\": {:.4}, \
+             \"swaps\": {}, \"secs\": {:.6}, \"semantics_identical\": {}}}",
+            c.name,
+            c.nodes_before,
+            c.nodes_after,
+            c.reduction(),
+            c.swaps,
+            c.secs,
+            c.semantics_identical,
+        ));
+    }
+    println!(
+        "  median node reduction {:.2}x over {} cases, semantics identical: {}",
+        median_reduction,
+        cases.len(),
+        semantics_identical,
+    );
+
+    let json6 = format!(
+        "{{\n  \"bench\": \"reorder_storm\",\n  \"mode\": \"{}\",\n  \
+         \"reorder_storm\": {{\n    \"cases\": {{\n{}\n    }},\n    \
+         \"num_cases\": {},\n    \"median_node_reduction\": {:.4},\n    \
+         \"total_secs\": {:.6},\n    \"semantics_identical\": {}\n  }}\n}}\n",
+        if quick { "quick" } else { "full" },
+        case_json,
+        cases.len(),
+        median_reduction,
+        total_secs,
+        semantics_identical,
+    );
+    let name6 = if quick {
+        "BENCH_6.quick.json"
+    } else {
+        "BENCH_6.json"
+    };
+    let out6 = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name6);
+    match std::fs::write(&out6, &json6) {
+        Ok(()) => println!("wrote {}", out6.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out6.display()),
     }
 }

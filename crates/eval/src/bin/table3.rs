@@ -5,7 +5,8 @@
 //!
 //! Usage: `cargo run --release -p bddmin-eval --bin table3
 //!   [--quick] [--jobs N] [--only a,b] [--no-times] [--csv <dir>]
-//!   [--step-limit N] [--node-limit N] [--time-limit MS]`
+//!   [--step-limit N] [--node-limit N] [--time-limit MS]
+//!   [--reorder {none,sift,group}] [--reorder-growth F]`
 //!
 //! The budget flags bound every heuristic invocation; blown runs degrade
 //! to a valid cover and are counted in a skip-accounting line.
@@ -24,12 +25,14 @@ fn main() {
             max_iterations: Some(6),
             only_benchmarks: args.only.clone(),
             limits: args.limits(),
+            reorder: args.reorder_settings(),
             ..Default::default()
         }
     } else {
         ExperimentConfig {
             only_benchmarks: args.only.clone(),
             limits: args.limits(),
+            reorder: args.reorder_settings(),
             ..Default::default()
         }
     };
@@ -51,6 +54,9 @@ fn main() {
         results.filtered.inside_onset,
         results.filtered.inside_offset,
     );
+    if args.reorder != bddmin_bdd::ReorderMethod::None {
+        println!("{}\n", results.reorder_annotation());
+    }
     if config.limits.armed() {
         println!("{}\n", results.budget_summary());
     }

@@ -157,6 +157,16 @@ fn record_benchmark(
         iteration += 1;
         // Recorded instances are pinned, so the collection keeps them.
         fsm.collect_garbage(&[reached, frontier]);
+        // Same quiescent-point reorder as the sequential runner. Pinned
+        // recorded instances keep their edge identity across it; the
+        // measure phase later transfers them out of whatever order the
+        // sift settled on (transfer is order-independent).
+        if config.reorder.method != bddmin_bdd::ReorderMethod::None {
+            let stats = fsm.reorder(&config.reorder, &[reached, frontier]);
+            results.reorder_swaps += stats.swaps;
+            results.reorder_nodes_before += stats.nodes_before;
+            results.reorder_nodes_after += stats.nodes_after;
+        }
     }
     (fsm, recorded)
 }
@@ -262,6 +272,11 @@ pub struct EvalArgs {
     pub node_limit: Option<usize>,
     /// `--time-limit MS`: wall-clock budget per heuristic invocation.
     pub time_limit_ms: Option<u64>,
+    /// `--reorder {none,sift,group}`: dynamic variable reordering at the
+    /// traversal's GC quiescent points (default `none`).
+    pub reorder: bddmin_bdd::ReorderMethod,
+    /// `--reorder-growth F`: sifting growth factor (default 1.2).
+    pub reorder_growth: Option<f64>,
 }
 
 impl EvalArgs {
@@ -271,6 +286,16 @@ impl EvalArgs {
             step_limit: self.step_limit,
             node_limit: self.node_limit,
             time_limit_ms: self.time_limit_ms,
+        }
+    }
+
+    /// The reorder settings requested on the command line.
+    pub fn reorder_settings(&self) -> bddmin_bdd::ReorderSettings {
+        let defaults = bddmin_bdd::ReorderSettings::default();
+        bddmin_bdd::ReorderSettings {
+            method: self.reorder,
+            growth: self.reorder_growth.unwrap_or(defaults.growth),
+            ..defaults
         }
     }
 }
@@ -300,6 +325,10 @@ pub fn parse_eval_args() -> EvalArgs {
         step_limit: value_of("--step-limit").and_then(|v| v.parse().ok()),
         node_limit: value_of("--node-limit").and_then(|v| v.parse().ok()),
         time_limit_ms: value_of("--time-limit").and_then(|v| v.parse().ok()),
+        reorder: value_of("--reorder")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(bddmin_bdd::ReorderMethod::None),
+        reorder_growth: value_of("--reorder-growth").and_then(|v| v.parse().ok()),
     }
 }
 
@@ -335,6 +364,34 @@ mod tests {
             assert_eq!(a.c_size, b.c_size);
             assert!((a.c_onset_pct - b.c_onset_pct).abs() < 1e-12);
             assert_eq!(a.skipped, b.skipped, "no budget: nothing skipped");
+        }
+    }
+
+    #[test]
+    fn reordered_runs_are_deterministic_across_job_counts() {
+        // With reordering on, the record-phase manager sifts to a new
+        // order between iterations, so the measure phase transfers every
+        // pinned instance *across* variable orders into identity-order
+        // worker managers. Transfer is semantic, measurement is
+        // per-instance in a fresh-order manager: the merged results must
+        // be identical for every --jobs value.
+        let config = ExperimentConfig {
+            reorder: bddmin_bdd::ReorderSettings::sift(1.2),
+            ..small_config()
+        };
+        let one = run_experiment_jobs(&config, 1);
+        let three = run_experiment_jobs(&config, 3);
+        assert_eq!(one.calls.len(), three.calls.len());
+        assert!(one.reorder_swaps > 0, "sift never ran on tlc");
+        assert_eq!(one.reorder_swaps, three.reorder_swaps);
+        assert_eq!(one.reorder_nodes_before, three.reorder_nodes_before);
+        assert_eq!(one.reorder_nodes_after, three.reorder_nodes_after);
+        for (a, b) in one.calls.iter().zip(three.calls.iter()) {
+            assert_eq!(a.sizes, b.sizes, "cross-order transfer nondeterminism");
+            assert_eq!(a.min_size, b.min_size);
+            assert_eq!(a.f_size, b.f_size);
+            assert_eq!(a.c_size, b.c_size);
+            assert!((a.c_onset_pct - b.c_onset_pct).abs() < 1e-12);
         }
     }
 

@@ -182,6 +182,7 @@ mod tests {
                 skipped: vec![0, 0],
             }],
             filtered: Default::default(),
+            ..Default::default()
         }
     }
 

@@ -10,7 +10,7 @@
 
 use std::time::{Duration, Instant};
 
-use bddmin_bdd::{Bdd, Budget};
+use bddmin_bdd::{Bdd, Budget, ReorderMethod, ReorderSettings};
 use bddmin_core::{lower_bound, Heuristic, Isf};
 use bddmin_fsm::{generators, product_circuit, SymbolicFsm};
 
@@ -154,6 +154,11 @@ pub struct ExperimentConfig {
     /// Resource budgets applied to each heuristic invocation (default:
     /// everything unlimited, which reproduces the paper's setup).
     pub limits: BudgetLimits,
+    /// Dynamic variable reordering run at the per-iteration GC quiescent
+    /// point of the traversal. The default method is
+    /// [`ReorderMethod::None`], which keeps every measurement path
+    /// byte-identical to the historical runner.
+    pub reorder: ReorderSettings,
 }
 
 impl Default for ExperimentConfig {
@@ -164,6 +169,10 @@ impl Default for ExperimentConfig {
             max_iterations: None,
             only_benchmarks: Vec::new(),
             limits: BudgetLimits::default(),
+            reorder: ReorderSettings {
+                method: ReorderMethod::None,
+                ..ReorderSettings::default()
+            },
         }
     }
 }
@@ -195,6 +204,13 @@ pub struct ExperimentResults {
     pub calls: Vec<CallRecord>,
     /// Counts of filtered calls.
     pub filtered: FilterStats,
+    /// Adjacent-level swaps executed by dynamic reordering, summed over
+    /// every reorder point of the sweep (0 when reordering is off).
+    pub reorder_swaps: usize,
+    /// Live-node counts summed over all reorder points: entering totals.
+    pub reorder_nodes_before: usize,
+    /// Live-node counts summed over all reorder points: leaving totals.
+    pub reorder_nodes_after: usize,
 }
 
 impl ExperimentResults {
@@ -239,6 +255,16 @@ impl ExperimentResults {
     /// Total minimization steps discarded across all calls.
     pub fn total_skipped_steps(&self) -> usize {
         self.calls.iter().flat_map(|c| &c.skipped).sum()
+    }
+
+    /// The `(reordered: …)` annotation for runs with dynamic reordering
+    /// enabled: total swaps and the cumulative node counts entering and
+    /// leaving the reorder points of the sweep.
+    pub fn reorder_annotation(&self) -> String {
+        format!(
+            "(reordered: {} swaps, {}→{} nodes)",
+            self.reorder_swaps, self.reorder_nodes_before, self.reorder_nodes_after
+        )
     }
 
     /// One-line skip accounting for budgeted runs: every degraded call
@@ -409,6 +435,14 @@ pub fn run_benchmark(
         iteration += 1;
         // Keep the node table bounded: the measured covers are dead now.
         fsm.collect_garbage(&[reached, frontier]);
+        // Quiescent point: nothing but the traversal state is live, so
+        // this is where a reorder pays off for the next iteration.
+        if config.reorder.method != ReorderMethod::None {
+            let stats = fsm.reorder(&config.reorder, &[reached, frontier]);
+            results.reorder_swaps += stats.swaps;
+            results.reorder_nodes_before += stats.nodes_before;
+            results.reorder_nodes_after += stats.nodes_after;
+        }
     }
 }
 

@@ -297,6 +297,7 @@ mod tests {
                 mk(99.0, [30, 28, 25], 20),
             ],
             filtered: Default::default(),
+            ..Default::default()
         }
     }
 

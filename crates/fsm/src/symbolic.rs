@@ -4,7 +4,7 @@
 //! variables interleaved per latch — the standard order for transition
 //! relations (Touati et al. \[9\]).
 
-use bddmin_bdd::{Bdd, Edge, Var};
+use bddmin_bdd::{Bdd, Edge, ReorderSettings, ReorderStats, Var};
 
 use crate::circuit::Circuit;
 
@@ -243,6 +243,24 @@ impl SymbolicFsm {
         roots.push(self.img_quant_cube);
         roots.extend_from_slice(extra_roots);
         self.bdd.collect_garbage(&roots)
+    }
+
+    /// Dynamically reorders the manager's variables, protecting the same
+    /// roots as [`SymbolicFsm::collect_garbage`]: the machine's own
+    /// functions plus `extra_roots`. Every protected edge keeps its
+    /// identity across the reorder (slots denote the same functions), so
+    /// the traversal continues unchanged afterwards.
+    pub fn reorder(&mut self, settings: &ReorderSettings, extra_roots: &[Edge]) -> ReorderStats {
+        let mut roots: Vec<Edge> = Vec::with_capacity(
+            self.next_fns.len() + self.output_fns.len() + extra_roots.len() + 3,
+        );
+        roots.extend_from_slice(&self.next_fns);
+        roots.extend_from_slice(&self.output_fns);
+        roots.push(self.initial);
+        roots.push(self.transition);
+        roots.push(self.img_quant_cube);
+        roots.extend_from_slice(extra_roots);
+        self.bdd.reorder_roots(settings, &roots)
     }
 
     /// Number of states in a state set (over the present variables).

@@ -25,7 +25,7 @@ options:
   --seed A | --seed A..B   seed, or inclusive seed range, to sweep   [1]
   --iters N                instances per seed                        [1000]
   --budget-ms N            wall-clock budget across all seeds        [none]
-  --oracle NAME            run only this oracle (repeatable; default all eight:
+  --oracle NAME            run only this oracle (repeatable; default all nine:
                            cover, cube-optimal, osm-level, sandwich,
                            agreement, invariance, budget, sig-invariance)
   --mutant NAME            inject a deliberate bug (break-cover, ...)

@@ -3,7 +3,7 @@
 //! This crate closes the loop between the paper's theorems and the
 //! implementation in `bddmin-core`/`bddmin-bdd`: it generates random
 //! incompletely specified functions `[f, c]`, runs the entire heuristic
-//! registry on each, and checks eight independent oracles — cover
+//! registry on each, and checks nine independent oracles — cover
 //! validity, Theorem 7 cube-optimality, Theorem 12 level safety, the
 //! `lower_bound ≤ exact ≤ heuristic` sandwich, Table 2 agreement with
 //! the classic constrain/restrict operators, invariance under
@@ -20,7 +20,7 @@
 //! Layout:
 //!
 //! * [`gen`] — instance representation and the sweep generator,
-//! * [`oracle`] — the eight oracles plus the mutation harness that
+//! * [`oracle`] — the nine oracles plus the mutation harness that
 //!   proves they fire,
 //! * [`shrink`] — greedy, deterministic failure minimization,
 //! * [`corpus`] — reproducer serialization and strict parsing,

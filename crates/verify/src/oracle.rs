@@ -1,4 +1,4 @@
-//! The eight theorem oracles.
+//! The nine theorem oracles.
 //!
 //! Each oracle is an independent judge of one correctness contract from
 //! the paper (or from the kernel's own documentation), checked against a
@@ -14,13 +14,14 @@
 //! | `invariance`   | results unchanged under GC / cache-flush injection    | kernel contract  |
 //! | `budget`       | budget-exceeded paths still return a valid cover ≤ \|f\|| degradation ladder|
 //! | `sig-invariance`| accelerated level passes ≡ unfiltered reference bit for bit | refutation-only filtering |
+//! | `reorder-invariance`| sift/swap sequences preserve semantics: 64-lane signatures and `sat_count` unchanged | dynamic-reordering contract |
 //!
 //! The [`Mutant`] enum injects one deliberate bug per oracle (used by CI
 //! and the `mutants` integration suite to prove each oracle actually
 //! fires and shrinks — a fuzzer whose failure path is never exercised is
 //! scaffolding, not a safety net).
 
-use bddmin_bdd::{Bdd, Budget, Cube, Edge, Var};
+use bddmin_bdd::{Bdd, Budget, Cube, Edge, ReorderSettings, SigEvaluator, Var};
 use bddmin_core::{
     exact_minimum, generic_td, lower_bound, minimize_at_level, minimize_at_level_with,
     CliqueOptions, ExactConfig, Heuristic, Isf, LevelAccel, MatchCriterion, SiblingConfig,
@@ -58,11 +59,15 @@ pub enum Oracle {
     /// accelerated level pass returns the unfiltered reference result
     /// bit for bit.
     SigInvariance,
+    /// After any sift/swap sequence, every root evaluates identically on
+    /// the 64-lane `SigEvaluator` assignments and `sat_count` is
+    /// unchanged — a reorder permutes levels, never functions.
+    ReorderInvariance,
 }
 
 impl Oracle {
-    /// All eight oracles, in checking order.
-    pub const ALL: [Oracle; 8] = [
+    /// All nine oracles, in checking order.
+    pub const ALL: [Oracle; 9] = [
         Oracle::Cover,
         Oracle::CubeOptimal,
         Oracle::OsmLevel,
@@ -71,6 +76,7 @@ impl Oracle {
         Oracle::Invariance,
         Oracle::Budget,
         Oracle::SigInvariance,
+        Oracle::ReorderInvariance,
     ];
 
     /// Stable name used on the command line and in corpus files.
@@ -84,6 +90,7 @@ impl Oracle {
             Oracle::Invariance => "invariance",
             Oracle::Budget => "budget",
             Oracle::SigInvariance => "sig-invariance",
+            Oracle::ReorderInvariance => "reorder-invariance",
         }
     }
 
@@ -99,6 +106,9 @@ impl Oracle {
             Oracle::Budget => "Definition 1 under resource budgets (degradation ladder)",
             Oracle::SigInvariance => {
                 "refutation-only signature filtering (simulate-then-prove, §3.3 acceleration)"
+            }
+            Oracle::ReorderInvariance => {
+                "dynamic-reordering contract (sifting permutes levels, never functions)"
             }
         }
     }
@@ -176,11 +186,16 @@ pub enum Mutant {
     /// surviving pairs from the matching graph, simulating a filter that
     /// loses real matches — breaks `sig-invariance`.
     BreakSigFilter,
+    /// Desynchronize the level-permutation maps after a reorder (so
+    /// `var_at_level` lies about which variable sits where), simulating
+    /// the maps-out-of-sync bug class a swap kernel can introduce —
+    /// breaks `reorder-invariance`.
+    BreakReorder,
 }
 
 impl Mutant {
-    /// The eight injectable bugs (everything except [`Mutant::None`]).
-    pub const BREAKING: [Mutant; 8] = [
+    /// The nine injectable bugs (everything except [`Mutant::None`]).
+    pub const BREAKING: [Mutant; 9] = [
         Mutant::BreakCover,
         Mutant::BreakCubeOptimal,
         Mutant::BreakOsmLevel,
@@ -189,6 +204,7 @@ impl Mutant {
         Mutant::BreakInvariance,
         Mutant::BreakDegradation,
         Mutant::BreakSigFilter,
+        Mutant::BreakReorder,
     ];
 
     /// Stable command-line name.
@@ -203,6 +219,7 @@ impl Mutant {
             Mutant::BreakInvariance => "break-invariance",
             Mutant::BreakDegradation => "break-degradation",
             Mutant::BreakSigFilter => "break-sig-filter",
+            Mutant::BreakReorder => "break-reorder",
         }
     }
 
@@ -218,6 +235,7 @@ impl Mutant {
             Mutant::BreakInvariance => Some(Oracle::Invariance),
             Mutant::BreakDegradation => Some(Oracle::Budget),
             Mutant::BreakSigFilter => Some(Oracle::SigInvariance),
+            Mutant::BreakReorder => Some(Oracle::ReorderInvariance),
         }
     }
 }
@@ -336,6 +354,7 @@ pub fn check(oracle: Oracle, inst: &Instance, mutant: Mutant) -> Verdict {
         Oracle::Invariance => check_invariance(inst, mutant),
         Oracle::Budget => check_budget(inst, mutant),
         Oracle::SigInvariance => check_sig_invariance(inst, mutant),
+        Oracle::ReorderInvariance => check_reorder_invariance(inst, mutant),
     }
 }
 
@@ -677,6 +696,62 @@ fn check_sig_invariance(inst: &Instance, mutant: Mutant) -> Verdict {
     Verdict::Pass
 }
 
+fn check_reorder_invariance(inst: &Instance, mutant: Mutant) -> Verdict {
+    let mut bdd = inst.fresh_manager();
+    let isf = inst.build(&mut bdd);
+    let roots = [isf.f, isf.c];
+    // Ground truth before any reordering: exact model counts and the
+    // 64-lane signatures (lane masks are keyed by variable identity, so
+    // a correct reorder cannot move them).
+    let sat_before = [bdd.sat_count(isf.f), bdd.sat_count(isf.c)];
+    let sig_before = {
+        let mut ev = SigEvaluator::for_bdd(&bdd);
+        [ev.signature(&bdd, isf.f), ev.signature(&bdd, isf.c)]
+    };
+    // A deterministic swap storm (bubble the top variable to the bottom)
+    // followed by a full sift back to a locally optimal order. The roots
+    // are pinned first: `swap_levels` preserves pins and internally
+    // referenced nodes only, and a top node held as a bare external edge
+    // is neither.
+    bdd.pin(isf.f);
+    bdd.pin(isf.c);
+    for lvl in 0..bdd.num_vars().saturating_sub(1) {
+        bdd.swap_levels(lvl);
+    }
+    let stats = bdd.reorder_roots(&ReorderSettings::default(), &roots);
+    if mutant == Mutant::BreakReorder {
+        bdd.debug_desync_level_maps();
+    }
+    let sat_after = [bdd.sat_count(isf.f), bdd.sat_count(isf.c)];
+    let sig_after = {
+        let mut ev = SigEvaluator::for_bdd(&bdd);
+        [ev.signature(&bdd, isf.f), ev.signature(&bdd, isf.c)]
+    };
+    for (which, ((sb, sa), (gb, ga))) in sig_before
+        .iter()
+        .zip(sig_after)
+        .zip(sat_before.iter().zip(sat_after))
+        .enumerate()
+    {
+        let root = if which == 0 { "f" } else { "c" };
+        if *sb != sa {
+            return Verdict::Fail(format!(
+                "64-lane signature of {root} changed across swap+sift on {} \
+                 ({sb:#018x} → {sa:#018x}, {} swaps)",
+                inst.spec_string(),
+                stats.swaps
+            ));
+        }
+        if *gb != ga {
+            return Verdict::Fail(format!(
+                "sat_count of {root} changed across swap+sift on {}: {gb} → {ga}",
+                inst.spec_string()
+            ));
+        }
+    }
+    Verdict::Pass
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -741,6 +816,44 @@ mod tests {
     }
 
     #[test]
+    fn mid_sift_budget_abort_survivor_passes_the_oracle_checks() {
+        // A sift aborted by a blown step budget must leave the manager
+        // fully consistent: the same ground truths the reorder-invariance
+        // oracle checks (model counts, identity-keyed signatures) hold on
+        // the survivor, its GC stays coherent, and every oracle is still
+        // green on the instance family.
+        for inst in paper_instances() {
+            let mut bdd = inst.fresh_manager();
+            let isf = inst.build(&mut bdd);
+            bdd.pin(isf.f);
+            bdd.pin(isf.c);
+            let sat_before = [bdd.sat_count(isf.f), bdd.sat_count(isf.c)];
+            let sig_before = {
+                let mut ev = SigEvaluator::for_bdd(&bdd);
+                [ev.signature(&bdd, isf.f), ev.signature(&bdd, isf.c)]
+            };
+            let used = bdd.steps_used();
+            bdd.set_budget(Budget::default().steps(used + 2));
+            // Tiny instances may finish inside two steps; either outcome
+            // must leave a consistent table.
+            let _ = bdd.try_reorder(&ReorderSettings::sift(1.2));
+            bdd.clear_budget();
+            let sat_after = [bdd.sat_count(isf.f), bdd.sat_count(isf.c)];
+            let sig_after = {
+                let mut ev = SigEvaluator::for_bdd(&bdd);
+                [ev.signature(&bdd, isf.f), ev.signature(&bdd, isf.c)]
+            };
+            assert_eq!(sat_before, sat_after, "abort changed a model count");
+            assert_eq!(sig_before, sig_after, "abort changed a signature");
+            bdd.collect_garbage(&[isf.f, isf.c]);
+            for oracle in Oracle::ALL {
+                let v = check(oracle, &inst, Mutant::None);
+                assert!(!v.is_fail(), "{oracle} failed after mid-sift abort: {v:?}");
+            }
+        }
+    }
+
+    #[test]
     fn all_dc_instances_are_skipped_not_crashed() {
         let inst = Instance::new(vec![None, None, None, None], ChaosPlan::NONE);
         for oracle in Oracle::ALL {
@@ -778,6 +891,20 @@ mod tests {
         // the sabotage hook is the only difference.
         for inst in paper_instances() {
             assert!(!check(Oracle::SigInvariance, &inst, Mutant::None).is_fail());
+        }
+    }
+
+    #[test]
+    fn break_reorder_mutant_fires_on_a_paper_instance() {
+        let fired = paper_instances()
+            .iter()
+            .any(|inst| check(Oracle::ReorderInvariance, inst, Mutant::BreakReorder).is_fail());
+        assert!(
+            fired,
+            "desynchronized level maps must change some signature on some paper instance"
+        );
+        for inst in paper_instances() {
+            assert!(!check(Oracle::ReorderInvariance, &inst, Mutant::None).is_fail());
         }
     }
 

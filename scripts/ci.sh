@@ -12,6 +12,9 @@
 #                mutation run per oracle proving each oracle fires
 #   degradation  budget-oracle fuzz gate + tiny-budget smoke suite
 #                (every heuristic at a 1-step budget still covers)
+#   reorder      reorder-invariance oracle fuzz + break-reorder mutant
+#                gate + reorder_storm quick run (BENCH_6 schema) +
+#                reorder-off determinism diff
 #   perf         perf_smoke --quick + JSON schema check
 #
 # Everything works with no network access: the workspace has no external
@@ -28,7 +31,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # ---------------------------------------------------------------- staging
-ALL_STAGES=(build test lint invariance determinism fuzz-smoke degradation perf)
+ALL_STAGES=(build test lint invariance determinism fuzz-smoke degradation reorder perf)
 SELECTED=()
 while [[ $# -gt 0 ]]; do
     case "$1" in
@@ -114,18 +117,18 @@ stage_fuzz_smoke() {
     # The release binary exists when the build stage ran; build it
     # quietly otherwise (e.g. `--stage fuzz-smoke` alone).
     cargo build --release -q -p bddmin-verify
-    echo "    differential fuzz, seeds 1..4, 30 s budget, all eight oracles"
+    echo "    differential fuzz, seeds 1..4, 30 s budget, all nine oracles"
     ./target/release/verify --seed 1..4 --budget-ms 30000 --no-write
     echo "    mutation gates: every oracle must catch + shrink its injected bug"
     for mutant in break-cover break-cube-optimal break-osm-level \
                   break-lower-bound break-agreement break-invariance \
-                  break-degradation break-sig-filter; do
+                  break-degradation break-sig-filter break-reorder; do
         echo "    -- $mutant"
         ./target/release/verify --seed 1..3 --iters 2000 --budget-ms 20000 \
             --mutant "$mutant" --max-failures 1 --no-write --expect-failure \
             >/dev/null
     done
-    echo "    all eight oracles fired and shrank their mutants"
+    echo "    all nine oracles fired and shrank their mutants"
 }
 
 stage_degradation() {
@@ -136,6 +139,44 @@ stage_degradation() {
     echo "    tiny-budget smoke: every heuristic at starvation budgets"
     cargo test -q -p bddmin-core --test degradation
     echo "    degradation ladder holds: every blown budget still covered"
+}
+
+stage_reorder() {
+    cargo build --release -q -p bddmin-verify -p bddmin-eval
+    echo "    reorder-invariance oracle fuzz gate, seeds 9..12, 20 s budget"
+    ./target/release/verify --seed 9..12 --budget-ms 20000 \
+        --oracle reorder-invariance --no-write
+    echo "    break-reorder mutant gate: the oracle must catch + shrink it"
+    ./target/release/verify --seed 1..3 --iters 2000 --budget-ms 20000 \
+        --mutant break-reorder --max-failures 1 --no-write --expect-failure \
+        >/dev/null
+    echo "    reorder_storm quick run + BENCH_6 schema check"
+    cargo run --release -q -p bddmin-eval --bin perf_smoke -- --quick >/dev/null
+    for key in '"reorder_storm"' '"median_node_reduction"' \
+               '"semantics_identical"'; do
+        grep -q "$key" BENCH_6.quick.json || {
+            echo "missing $key in BENCH_6.quick.json" >&2
+            exit 1
+        }
+    done
+    grep -q '"semantics_identical": true' BENCH_6.quick.json || {
+        echo "reorder_storm changed function semantics" >&2
+        exit 1
+    }
+    echo "    reorder-off determinism: --reorder none is byte-identical to default"
+    local tmpdir
+    tmpdir="$(mktemp -d)"
+    ./target/release/table3 --quick --only tlc --no-times >"$tmpdir/plain.txt"
+    ./target/release/table3 --quick --only tlc --no-times --reorder none \
+        >"$tmpdir/off.txt"
+    diff -u "$tmpdir/plain.txt" "$tmpdir/off.txt"
+    echo "    sifted-run determinism: --reorder sift byte-identical at jobs 1 and 4"
+    ./target/release/table3 --quick --only tlc --no-times --reorder sift \
+        --jobs 1 >"$tmpdir/sift_j1.txt"
+    ./target/release/table3 --quick --only tlc --no-times --reorder sift \
+        --jobs 4 >"$tmpdir/sift_j4.txt"
+    diff -u "$tmpdir/sift_j1.txt" "$tmpdir/sift_j4.txt"
+    rm -rf "$tmpdir"
 }
 
 stage_perf() {
