@@ -133,9 +133,9 @@ impl Bdd {
             return Ok(r.complement_if(negate));
         }
         let top = self.level(f).min(self.level(g)).min(self.level(h));
-        let (f1, f0) = self.branches_at(f, top);
-        let (g1, g0) = self.branches_at(g, top);
-        let (h1, h0) = self.branches_at(h, top);
+        let (f1, f0) = self.cof_at(f, top);
+        let (g1, g0) = self.cof_at(g, top);
+        let (h1, h0) = self.cof_at(h, top);
         let t = self.ite_rec(f1, g1, h1, depth + 1)?;
         let e = self.ite_rec(f0, g0, h0, depth + 1)?;
         let r = self.mk_checked(top, t, e)?;
@@ -291,7 +291,7 @@ impl Bdd {
         if let Some(r) = self.cache.get(Op::Compose(level.0), f, value, Edge::ONE) {
             return Ok(r);
         }
-        let (f1, f0) = self.branches(f);
+        let (f1, f0) = self.cof_at(f, top);
         let r = if top == level {
             if value.is_one() {
                 f1
@@ -371,7 +371,7 @@ impl Bdd {
             return Ok(r);
         }
         let top = self.level(f);
-        let (f1, f0) = self.branches(f);
+        let (f1, f0) = self.cof_at(f, top);
         let r = if self.level(cube) == top {
             let next = self.node(cube).hi.complement_if(cube.is_complemented());
             let t = self.exists_rec(f1, next, depth + 1)?;
@@ -445,6 +445,10 @@ impl Bdd {
     fn assert_positive_cube(&self, mut cube: Edge) {
         while !cube.is_constant() {
             let n = self.node(cube);
+            // A chain node is never a cube: its uncomplemented reading is a
+            // disjunction, and the and-chain reading carries only negative
+            // literals, which a positive cube excludes.
+            assert!(!n.is_chain(), "quantifier argument must be a positive cube");
             let (hi, lo) = (
                 n.hi.complement_if(cube.is_complemented()),
                 n.lo.complement_if(cube.is_complemented()),
@@ -494,7 +498,7 @@ impl Bdd {
             return Ok(r);
         }
         let top = self.level(f);
-        let (f1, f0) = self.branches(f);
+        let (f1, f0) = self.cof_at(f, top);
         let r = if top == level {
             self.ite_rec(g, f1, f0, depth + 1)?
         } else {
@@ -553,7 +557,11 @@ impl Bdd {
                 continue;
             }
             let n = self.node(e);
-            vars.insert(self.var_at_level(n.var));
+            // A chain node depends on every level it spans: the or-levels
+            // are real literals and the bottom decision has `hi != lo`.
+            for l in n.var.0..=n.bot.0 {
+                vars.insert(self.var_at_level(Var(l)));
+            }
             stack.push(n.hi.regular());
             stack.push(n.lo.regular());
         }
@@ -582,9 +590,18 @@ impl Bdd {
     /// Panics if the assignment is shorter than some variable `f` depends on.
     pub fn eval(&self, f: Edge, assignment: &[bool]) -> bool {
         let mut e = f;
-        while !e.is_constant() {
+        'walk: while !e.is_constant() {
             let n = self.node(e);
-            let var = self.var_at_level(n.var);
+            // Chain levels: the first satisfied or-literal short-circuits
+            // the whole chain to (possibly complemented) true.
+            for l in n.var.0..n.bot.0 {
+                let var = self.var_at_level(Var(l));
+                if assignment[var.index()] {
+                    e = Edge::ONE.complement_if(e.is_complemented());
+                    continue 'walk;
+                }
+            }
+            let var = self.var_at_level(n.bot);
             let branch = if assignment[var.index()] { n.hi } else { n.lo };
             e = branch.complement_if(e.is_complemented());
         }

@@ -50,7 +50,7 @@ fn bench_gather(c: &mut Criterion) {
         let (bdd, isf) = instance(n, 41);
         let mid = Var(n as u32 / 2);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(gather_below_level(&bdd, isf, mid, None)).len());
+            b.iter(|| black_box(gather_below_level(&mut bdd, isf, mid, None)).len());
         });
     }
     group.finish();
@@ -61,7 +61,7 @@ fn bench_fmm(c: &mut Criterion) {
     group.sample_size(20);
     let (mut bdd, isf) = instance(12, 43);
     let mid = Var(6);
-    let gathered = gather_below_level(&bdd, isf, mid, None);
+    let gathered = gather_below_level(&mut bdd, isf, mid, None);
     let isfs: Vec<Isf> = gathered.iter().map(|g| g.isf).collect();
     group.bench_function("osm_dmg_sinks", |b| {
         b.iter(|| black_box(solve_fmm_osm(&mut bdd, &isfs)).len());
@@ -133,7 +133,7 @@ fn bench_set_limit(c: &mut Criterion) {
     let mid = Var(7);
     for limit in [8usize, 32, 128] {
         group.bench_with_input(BenchmarkId::from_parameter(limit), &limit, |b, &limit| {
-            b.iter(|| black_box(gather_below_level(&bdd, isf, mid, Some(limit))).len());
+            b.iter(|| black_box(gather_below_level(&mut bdd, isf, mid, Some(limit))).len());
         });
     }
     group.finish();

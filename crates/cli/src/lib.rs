@@ -5,8 +5,8 @@
 //! whole tool is unit-testable without spawning processes.
 //!
 //! ```text
-//! bddmin spec "d1 01 1d 01" [--heuristic NAME|all] [--exact] [--isop] [--dot]
-//! bddmin expr --vars a,b,c --function "(a&b)|c" --care "a|b" [--heuristic ...]
+//! bddmin spec "d1 01 1d 01" [--heuristic FILTER] [--exact] [--isop] [--dot] [--chain]
+//! bddmin expr --vars a,b,c --function "(a&b)|c" --care "a|b" [--heuristic ...] [--chain]
 //! bddmin verify left.blif right.blif [--heuristic NAME]
 //! bddmin simplify circuit.blif [--heuristic NAME]
 //! bddmin bench
@@ -57,6 +57,95 @@ impl BudgetOpts {
     }
 }
 
+/// A parsed `--heuristic` selection: a comma-separated list of registry
+/// names and single-`*` globs, kept together with the raw argument so an
+/// empty selection can be reported with the offending filter string.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HeuristicFilter {
+    /// The raw `--heuristic` argument as typed.
+    pub raw: String,
+    /// The selected heuristics, in first-match order, deduplicated.
+    pub selected: Vec<Heuristic>,
+}
+
+impl HeuristicFilter {
+    /// Every selectable heuristic: the paper's twelve plus the scheduler.
+    fn registry() -> impl Iterator<Item = Heuristic> {
+        Heuristic::ALL.into_iter().chain([Heuristic::Scheduled])
+    }
+
+    /// Wraps a single heuristic (the historical exact-name behavior).
+    pub fn single(h: Heuristic) -> HeuristicFilter {
+        HeuristicFilter {
+            raw: h.name().to_owned(),
+            selected: vec![h],
+        }
+    }
+
+    /// The structured "no heuristic selected" error for this filter.
+    pub fn empty_error(&self) -> CliError {
+        let known: Vec<&str> = Self::registry().map(|h| h.name()).collect();
+        CliError(format!(
+            "no heuristic selected by filter {:?} (known: {})",
+            self.raw,
+            known.join(" ")
+        ))
+    }
+
+    /// Parses a comma-separated list of exact names, `all`, and patterns
+    /// with at most one `*` (matched as prefix + suffix over the registry
+    /// names). A glob may match nothing, but a filter whose *total*
+    /// selection is empty is an error carrying the offending string.
+    pub fn parse(raw: &str) -> Result<HeuristicFilter, CliError> {
+        let mut selected: Vec<Heuristic> = Vec::new();
+        let push = |h: Heuristic, selected: &mut Vec<Heuristic>| {
+            if !selected.contains(&h) {
+                selected.push(h);
+            }
+        };
+        for token in raw.split(',').map(str::trim) {
+            if token.is_empty() {
+                continue;
+            }
+            if token == "all" {
+                for h in Self::registry() {
+                    push(h, &mut selected);
+                }
+            } else if let Some(star) = token.find('*') {
+                let prefix = &token[..star];
+                let suffix = &token[star + 1..];
+                if suffix.contains('*') {
+                    return Err(CliError(format!(
+                        "--heuristic: at most one `*` per pattern, got {token:?}"
+                    )));
+                }
+                for h in Self::registry() {
+                    let name = h.name();
+                    if name.len() >= prefix.len() + suffix.len()
+                        && name.starts_with(prefix)
+                        && name.ends_with(suffix)
+                    {
+                        push(h, &mut selected);
+                    }
+                }
+            } else {
+                let h = token
+                    .parse::<Heuristic>()
+                    .map_err(|e| CliError(e.to_string()))?;
+                push(h, &mut selected);
+            }
+        }
+        let filter = HeuristicFilter {
+            raw: raw.to_owned(),
+            selected,
+        };
+        if filter.selected.is_empty() {
+            return Err(filter.empty_error());
+        }
+        Ok(filter)
+    }
+}
+
 /// A parsed command.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
@@ -64,14 +153,16 @@ pub enum Command {
     Spec {
         /// The `01d` leaf specification.
         spec: String,
-        /// Specific heuristic, or `None` for all.
-        heuristic: Option<Heuristic>,
+        /// Heuristic filter, or `None` for all.
+        heuristic: Option<HeuristicFilter>,
         /// Also run the exact solver.
         exact: bool,
         /// Also compute the ISOP cover.
         isop: bool,
         /// Emit Graphviz for the best cover.
         dot: bool,
+        /// Build in the chain-reduced (CBDD) manager.
+        chain: bool,
         /// Resource budget for every heuristic run.
         budget: BudgetOpts,
         /// Dynamic reordering before minimization (`None` = keep the
@@ -86,8 +177,10 @@ pub enum Command {
         function: String,
         /// The care expression.
         care: String,
-        /// Specific heuristic, or `None` for all.
-        heuristic: Option<Heuristic>,
+        /// Heuristic filter, or `None` for all.
+        heuristic: Option<HeuristicFilter>,
+        /// Build in the chain-reduced (CBDD) manager.
+        chain: bool,
         /// Resource budget for every heuristic run.
         budget: BudgetOpts,
         /// Dynamic reordering before minimization (`None` = keep the
@@ -131,8 +224,8 @@ pub const USAGE: &str = "\
 bddmin — heuristic minimization of BDDs using don't cares (Shiple et al., DAC'94)
 
 USAGE:
-  bddmin spec <LEAFSPEC> [--heuristic NAME] [--exact] [--isop] [--dot] [BUDGET]
-  bddmin expr --vars a,b,c --function EXPR --care EXPR [--heuristic NAME] [BUDGET]
+  bddmin spec <LEAFSPEC> [--heuristic FILTER] [--exact] [--isop] [--dot] [--chain] [BUDGET]
+  bddmin expr --vars a,b,c --function EXPR --care EXPR [--heuristic FILTER] [--chain] [BUDGET]
   bddmin verify <LEFT.blif> <RIGHT.blif> [--heuristic NAME]
   bddmin simplify <CIRCUIT.blif> [--heuristic NAME]
   bddmin bench
@@ -145,8 +238,14 @@ REORDER (spec/expr): [--reorder {none,sift,group}] [--reorder-growth F]
   Sifts the variables to a locally optimal order before minimizing and
   reports `(reordered: k swaps, n->n' nodes)`; default none.
 
-HEURISTICS: f_orig f_and_c f_or_nc const restr osm_td osm_nv osm_cp osm_bt
-            tsm_td tsm_cp opt_lv sched (default: run all and report each)
+CHAIN (spec/expr): --chain builds the instance in the chain-reduced (CBDD)
+  manager; reported sizes are plain-equivalent, so covers match plain mode.
+
+HEURISTICS: --heuristic takes a comma-separated list of names and single-`*`
+  globs over: f_orig f_and_c f_or_nc const restr osm_td osm_nv osm_cp osm_bt
+  tsm_td tsm_cp opt_lv sched — e.g. `--heuristic osm_*,sched`; `all` selects
+  everything; a filter that selects nothing is an error
+  (default: run all and report each)
 ";
 
 /// Parses command-line arguments (without the program name). File
@@ -187,17 +286,29 @@ pub fn parse_args(args: &[String], read_file: impl Fn(&str) -> Result<String, Cl
         }
         out
     };
-    let heuristic = |rest: &[String]| -> Result<Option<Heuristic>, CliError> {
+    let heuristic = |rest: &[String]| -> Result<Option<HeuristicFilter>, CliError> {
         match rest.iter().position(|a| a == "--heuristic" || a == "-H") {
             None => Ok(None),
             Some(i) => {
                 let name = rest
                     .get(i + 1)
                     .ok_or_else(|| CliError("--heuristic needs a name".into()))?;
-                name.parse::<Heuristic>()
-                    .map(Some)
-                    .map_err(|e| CliError(e.to_string()))
+                HeuristicFilter::parse(name).map(Some)
             }
+        }
+    };
+    // `verify`/`simplify` drive one traversal hook, so their filter must
+    // resolve to exactly one heuristic.
+    let single = |rest: &[String]| -> Result<Option<Heuristic>, CliError> {
+        match heuristic(rest)? {
+            None => Ok(None),
+            Some(f) if f.selected.len() == 1 => Ok(Some(f.selected[0])),
+            Some(f) => Err(CliError(format!(
+                "--heuristic: this command takes exactly one heuristic, \
+                 filter {:?} selected {}",
+                f.raw,
+                f.selected.len()
+            ))),
         }
     };
     let budget = |rest: &[String]| -> Result<BudgetOpts, CliError> {
@@ -258,6 +369,7 @@ pub fn parse_args(args: &[String], read_file: impl Fn(&str) -> Result<String, Cl
                 exact: rest.iter().any(|a| a == "--exact"),
                 isop: rest.iter().any(|a| a == "--isop"),
                 dot: rest.iter().any(|a| a == "--dot"),
+                chain: rest.iter().any(|a| a == "--chain"),
                 budget: budget(&rest)?,
                 reorder: reorder(&rest)?,
             })
@@ -274,6 +386,7 @@ pub fn parse_args(args: &[String], read_file: impl Fn(&str) -> Result<String, Cl
                 function: get("--function")?,
                 care: get("--care")?,
                 heuristic: heuristic(&rest)?,
+                chain: rest.iter().any(|a| a == "--chain"),
                 budget: budget(&rest)?,
                 reorder: reorder(&rest)?,
             })
@@ -285,7 +398,7 @@ pub fn parse_args(args: &[String], read_file: impl Fn(&str) -> Result<String, Cl
             Ok(Command::Verify {
                 left: read_file(&positionals[0])?,
                 right: read_file(&positionals[1])?,
-                heuristic: heuristic(&rest)?,
+                heuristic: single(&rest)?,
             })
         }
         "simplify" => {
@@ -294,7 +407,7 @@ pub fn parse_args(args: &[String], read_file: impl Fn(&str) -> Result<String, Cl
                 .ok_or_else(|| CliError("simplify: missing BLIF file".into()))?;
             Ok(Command::Simplify {
                 blif: read_file(file)?,
-                heuristic: heuristic(&rest)?,
+                heuristic: single(&rest)?,
             })
         }
         "bench" => Ok(Command::Bench),
@@ -312,17 +425,19 @@ pub fn run(command: Command) -> Result<String, CliError> {
             exact,
             isop,
             dot,
+            chain,
             budget,
             reorder,
-        } => run_spec(&spec, heuristic, exact, isop, dot, budget, reorder),
+        } => run_spec(&spec, heuristic, exact, isop, dot, chain, budget, reorder),
         Command::Expr {
             vars,
             function,
             care,
             heuristic,
+            chain,
             budget,
             reorder,
-        } => run_expr(&vars, &function, &care, heuristic, budget, reorder),
+        } => run_expr(&vars, &function, &care, heuristic, chain, budget, reorder),
         Command::Verify {
             left,
             right,
@@ -345,7 +460,7 @@ struct InstanceOpts {
 fn report_instance(
     bdd: &mut Bdd,
     isf: Isf,
-    heuristic: Option<Heuristic>,
+    heuristic: Option<HeuristicFilter>,
     opts: InstanceOpts,
 ) -> Result<String, CliError> {
     let InstanceOpts {
@@ -393,8 +508,26 @@ fn report_instance(
             g
         }
     };
-    let best = match heuristic {
-        Some(h) => run_one(bdd, h, &mut out),
+    let best = match &heuristic {
+        Some(filter) if filter.selected.len() == 1 => run_one(bdd, filter.selected[0], &mut out),
+        Some(filter) => {
+            // An explicit multi-heuristic filter: run each selection and
+            // report the `min` row over it. An empty selection is a
+            // structured error carrying the offending filter string —
+            // never a panic (filters are rejected at parse time, but a
+            // directly constructed Command can still be empty).
+            let mut best: Option<(usize, bddmin_bdd::Edge)> = None;
+            for &h in &filter.selected {
+                let g = run_one(bdd, h, &mut out);
+                let size = bdd.size(g);
+                if best.is_none_or(|(bs, _)| size < bs) {
+                    best = Some((size, g));
+                }
+            }
+            let (size, best_edge) = best.ok_or_else(|| filter.empty_error())?;
+            let _ = writeln!(out, "{:<8} {size:>4} nodes", "min");
+            best_edge
+        }
         None if budget.armed() => {
             let mut best: Option<(usize, bddmin_bdd::Edge)> = None;
             for h in Heuristic::ALL {
@@ -404,7 +537,8 @@ fn report_instance(
                     best = Some((size, g));
                 }
             }
-            let (size, best_edge) = best.expect("at least one heuristic");
+            let (size, best_edge) = best
+                .ok_or_else(|| CliError("no heuristic selected: empty registry".into()))?;
             let _ = writeln!(out, "{:<8} {size:>4} nodes", "min");
             best_edge
         }
@@ -446,17 +580,23 @@ fn report_instance(
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_spec(
     spec: &str,
-    heuristic: Option<Heuristic>,
+    heuristic: Option<HeuristicFilter>,
     exact: bool,
     isop: bool,
     dot: bool,
+    chain: bool,
     budget: BudgetOpts,
     reorder: Option<ReorderSettings>,
 ) -> Result<String, CliError> {
     let parsed = bddmin_bdd::LeafSpec::parse(spec).map_err(|e| CliError(e.to_string()))?;
-    let mut bdd = Bdd::new(parsed.num_vars());
+    let mut bdd = if chain {
+        Bdd::new_chained(parsed.num_vars())
+    } else {
+        Bdd::new(parsed.num_vars())
+    };
     let (f, c) = parsed.build(&mut bdd);
     report_instance(
         &mut bdd,
@@ -476,12 +616,17 @@ fn run_expr(
     vars: &[String],
     function: &str,
     care: &str,
-    heuristic: Option<Heuristic>,
+    heuristic: Option<HeuristicFilter>,
+    chain: bool,
     budget: BudgetOpts,
     reorder: Option<ReorderSettings>,
 ) -> Result<String, CliError> {
     let names: Vec<&str> = vars.iter().map(String::as_str).collect();
-    let mut bdd = Bdd::with_names(&names);
+    let mut bdd = if chain {
+        Bdd::with_names_chained(&names)
+    } else {
+        Bdd::with_names(&names)
+    };
     let f = bdd.from_expr(function).map_err(|e| CliError(e.to_string()))?;
     let c = bdd.from_expr(care).map_err(|e| CliError(e.to_string()))?;
     report_instance(
@@ -600,14 +745,143 @@ mod tests {
             cmd,
             Command::Spec {
                 spec: "d1 01".into(),
-                heuristic: Some(Heuristic::OsmBt),
+                heuristic: Some(HeuristicFilter::single(Heuristic::OsmBt)),
                 exact: true,
                 isop: false,
                 dot: false,
+                chain: false,
                 budget: BudgetOpts::default(),
                 reorder: None,
             }
         );
+    }
+
+    #[test]
+    fn heuristic_glob_filter_selects_multiple() {
+        let f = HeuristicFilter::parse("osm_*").unwrap();
+        assert_eq!(
+            f.selected,
+            vec![
+                Heuristic::OsmTd,
+                Heuristic::OsmNv,
+                Heuristic::OsmCp,
+                Heuristic::OsmBt
+            ]
+        );
+        // Mixed exact names and globs, deduplicated in first-match order.
+        let f = HeuristicFilter::parse("sched,osm_td,*_cp").unwrap();
+        assert_eq!(
+            f.selected,
+            vec![
+                Heuristic::Scheduled,
+                Heuristic::OsmTd,
+                Heuristic::OsmCp,
+                Heuristic::TsmCp
+            ]
+        );
+        // `all` selects the full registry: the paper's twelve + sched.
+        assert_eq!(HeuristicFilter::parse("all").unwrap().selected.len(), 13);
+        // A multi-heuristic run reports each selection plus the min row.
+        let out = run(Command::Spec {
+            spec: "d1 01 1d 01".into(),
+            heuristic: Some(HeuristicFilter::parse("osm_*").unwrap()),
+            exact: false,
+            isop: false,
+            dot: false,
+            chain: false,
+            budget: BudgetOpts::default(),
+            reorder: None,
+        })
+        .unwrap();
+        for name in ["osm_td", "osm_nv", "osm_cp", "osm_bt", "min"] {
+            assert!(out.contains(name), "missing {name} row: {out}");
+        }
+        assert!(!out.contains("f_orig"), "unselected heuristic ran: {out}");
+    }
+
+    #[test]
+    fn empty_heuristic_filter_is_a_structured_error() {
+        // A glob that matches nothing errors at parse time, carrying the
+        // offending filter string and the known names.
+        let err = parse_args(
+            &strs(&["spec", "d1 01", "--heuristic", "osm_z*"]),
+            no_files,
+        )
+        .unwrap_err();
+        assert!(
+            err.0.contains("no heuristic selected") && err.0.contains("osm_z*"),
+            "unhelpful filter error: {err}"
+        );
+        assert!(err.0.contains("f_orig"), "error lists known names: {err}");
+        // A directly constructed empty filter must come back as the same
+        // structured error from `run` — the historical code panicked here
+        // (`expect(\"at least one heuristic\")`).
+        let empty = HeuristicFilter {
+            raw: "osm_z*".into(),
+            selected: Vec::new(),
+        };
+        for budget in [
+            BudgetOpts::default(),
+            BudgetOpts {
+                step_limit: Some(10),
+                ..BudgetOpts::default()
+            },
+        ] {
+            let err = run(Command::Spec {
+                spec: "d1 01 1d 01".into(),
+                heuristic: Some(empty.clone()),
+                exact: false,
+                isop: false,
+                dot: false,
+                chain: false,
+                budget,
+                reorder: None,
+            })
+            .unwrap_err();
+            assert!(
+                err.0.contains("no heuristic selected") && err.0.contains("osm_z*"),
+                "empty filter did not produce the structured error: {err}"
+            );
+        }
+        // Unknown exact names and double-star patterns are still errors.
+        assert!(HeuristicFilter::parse("bogus").is_err());
+        assert!(HeuristicFilter::parse("*sm*").is_err());
+    }
+
+    #[test]
+    fn verify_rejects_multi_heuristic_filter() {
+        let err = parse_args(
+            &strs(&["verify", "a.blif", "b.blif", "--heuristic", "osm_*"]),
+            |_| Ok(String::new()),
+        )
+        .unwrap_err();
+        assert!(
+            err.0.contains("exactly one heuristic"),
+            "wrong error: {err}"
+        );
+    }
+
+    #[test]
+    fn chain_flag_parses_and_matches_plain_results() {
+        let cmd = parse_args(&strs(&["spec", "d1 01 1d 01", "--chain"]), no_files).unwrap();
+        match &cmd {
+            Command::Spec { chain, .. } => assert!(chain),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Chain-mode sizes are plain-equivalent, so the whole report is
+        // byte-identical to the plain-mode run.
+        let chained = run(cmd).unwrap();
+        let plain = run(parse_args(&strs(&["spec", "d1 01 1d 01"]), no_files).unwrap()).unwrap();
+        assert_eq!(chained, plain, "chain mode changed the spec report");
+        // Same for expr, which builds through `with_names_chained`.
+        let expr = |extra: &[&str]| {
+            let mut args = vec![
+                "expr", "--vars", "a,b,c", "--function", "(a&b)|c", "--care", "a|b",
+            ];
+            args.extend_from_slice(extra);
+            run(parse_args(&strs(&args), no_files).unwrap()).unwrap()
+        };
+        assert_eq!(expr(&["--chain"]), expr(&[]), "chain mode changed the expr report");
     }
 
     #[test]
@@ -676,20 +950,22 @@ mod tests {
     fn run_spec_with_reordering_annotates_and_stays_correct() {
         let plain = run(Command::Spec {
             spec: "d1 01 1d 01".into(),
-            heuristic: Some(Heuristic::OsmBt),
+            heuristic: Some(HeuristicFilter::single(Heuristic::OsmBt)),
             exact: false,
             isop: false,
             dot: false,
+            chain: false,
             budget: BudgetOpts::default(),
             reorder: None,
         })
         .unwrap();
         let reordered = run(Command::Spec {
             spec: "d1 01 1d 01".into(),
-            heuristic: Some(Heuristic::OsmBt),
+            heuristic: Some(HeuristicFilter::single(Heuristic::OsmBt)),
             exact: false,
             isop: false,
             dot: false,
+            chain: false,
             budget: BudgetOpts::default(),
             reorder: Some(ReorderSettings::sift(1.2)),
         })
@@ -732,7 +1008,7 @@ mod tests {
         match cmd {
             Command::Spec { spec, heuristic, .. } => {
                 assert_eq!(spec, "d1 01");
-                assert_eq!(heuristic, Some(Heuristic::OsmBt));
+                assert_eq!(heuristic, Some(HeuristicFilter::single(Heuristic::OsmBt)));
             }
             other => panic!("wrong parse: {other:?}"),
         }
@@ -757,6 +1033,7 @@ mod tests {
             exact: true,
             isop: true,
             dot: false,
+            chain: false,
             budget: BudgetOpts::default(),
             reorder: None,
         })
@@ -779,6 +1056,7 @@ mod tests {
             exact: false,
             isop: false,
             dot: false,
+            chain: false,
             budget: starved,
             reorder: None,
         })
@@ -798,10 +1076,11 @@ mod tests {
         // An ample budget reports no degradation at all.
         let out = run(Command::Spec {
             spec: "d1 01 1d 01".into(),
-            heuristic: Some(Heuristic::Scheduled),
+            heuristic: Some(HeuristicFilter::single(Heuristic::Scheduled)),
             exact: false,
             isop: false,
             dot: false,
+            chain: false,
             budget: BudgetOpts {
                 step_limit: Some(1_000_000),
                 ..BudgetOpts::default()
@@ -816,10 +1095,11 @@ mod tests {
     fn run_spec_single_heuristic_with_dot() {
         let out = run(Command::Spec {
             spec: "d1 01".into(),
-            heuristic: Some(Heuristic::OsmTd),
+            heuristic: Some(HeuristicFilter::single(Heuristic::OsmTd)),
             exact: false,
             isop: false,
             dot: true,
+            chain: false,
             budget: BudgetOpts::default(),
             reorder: None,
         })
@@ -834,7 +1114,8 @@ mod tests {
             vars: vec!["a".into(), "b".into(), "c".into()],
             function: "(a&b)|c".into(),
             care: "a|b".into(),
-            heuristic: Some(Heuristic::Restrict),
+            heuristic: Some(HeuristicFilter::single(Heuristic::Restrict)),
+            chain: false,
             budget: BudgetOpts::default(),
             reorder: None,
         })

@@ -97,7 +97,7 @@ pub enum GatherMode {
 /// If `limit` is `Some(n)`, gathering stops after `n` unique pairs (the
 /// paper's first set-limiting method).
 pub fn gather_below_level(
-    bdd: &Bdd,
+    bdd: &mut Bdd,
     isf: Isf,
     level: Var,
     limit: Option<usize>,
@@ -107,7 +107,7 @@ pub fn gather_below_level(
 
 /// [`gather_below_level`] with an explicit [`GatherMode`].
 pub fn gather_below_level_mode(
-    bdd: &Bdd,
+    bdd: &mut Bdd,
     isf: Isf,
     level: Var,
     limit: Option<usize>,
@@ -125,7 +125,7 @@ pub fn gather_below_level_mode(
 }
 
 fn gather_rec(
-    bdd: &Bdd,
+    bdd: &mut Bdd,
     isf: Isf,
     level: Var,
     limit: Option<usize>,
@@ -150,8 +150,8 @@ fn gather_rec(
         return;
     }
     let top = fl.min(cl);
-    let (f_t, f_e) = bdd.branches_at(isf.f, top);
-    let (c_t, c_e) = bdd.branches_at(isf.c, top);
+    let (f_t, f_e) = bdd.cof_at(isf.f, top);
+    let (c_t, c_e) = bdd.cof_at(isf.c, top);
     path[top.index()] = 1;
     gather_rec(bdd, Isf::new(f_t, c_t), level, limit, out, seen, path);
     path[top.index()] = 0;
@@ -648,8 +648,8 @@ fn subst_rec(
         return Ok(Isf { f: rf, c: rc });
     }
     let top = fl.min(cl);
-    let (f_t, f_e) = bdd.branches_at(isf.f, top);
-    let (c_t, c_e) = bdd.branches_at(isf.c, top);
+    let (f_t, f_e) = bdd.cof_at(isf.f, top);
+    let (c_t, c_e) = bdd.cof_at(isf.c, top);
     let then_r = subst_rec(bdd, Isf::new(f_t, c_t), level, map, tag, depth + 1)?;
     let else_r = subst_rec(bdd, Isf::new(f_e, c_e), level, map, tag, depth + 1)?;
     let v = bdd.try_var_at_level(top)?;
@@ -837,7 +837,7 @@ mod tests {
     fn gather_finds_frontier_pairs() {
         let mut bdd = Bdd::new(3);
         let (f, c) = bdd.from_leaf_spec("d1 01 1d 01").unwrap();
-        let got = gather_below_level(&bdd, Isf::new(f, c), Var(0), None);
+        let got = gather_below_level(&mut bdd, Isf::new(f, c), Var(0), None);
         // Below level x1: the two (f,c) branch pairs (deduplicated).
         assert!(!got.is_empty() && got.len() <= 2);
         for g in &got {
@@ -853,8 +853,8 @@ mod tests {
     fn gather_respects_limit() {
         let mut bdd = Bdd::new(4);
         let (f, c) = bdd.from_leaf_spec("0d d1 10 01 11 d0 d1 00").unwrap();
-        let all = gather_below_level(&bdd, Isf::new(f, c), Var(1), None);
-        let limited = gather_below_level(&bdd, Isf::new(f, c), Var(1), Some(2));
+        let all = gather_below_level(&mut bdd, Isf::new(f, c), Var(1), None);
+        let limited = gather_below_level(&mut bdd, Isf::new(f, c), Var(1), Some(2));
         assert!(all.len() >= 2);
         assert_eq!(limited.len(), 2);
         assert_eq!(&all[..2], &limited[..]);
@@ -1042,9 +1042,9 @@ mod tests {
         let mut bdd = Bdd::new(4);
         let (f, c) = bdd.from_leaf_spec("0d d1 10 01 11 d0 d1 00").unwrap();
         let isf = Isf::new(f, c);
-        let all = gather_below_level_mode(&bdd, isf, Var(0), None, GatherMode::All);
+        let all = gather_below_level_mode(&mut bdd, isf, Var(0), None, GatherMode::All);
         let just =
-            gather_below_level_mode(&bdd, isf, Var(0), None, GatherMode::RootedJustBelow);
+            gather_below_level_mode(&mut bdd, isf, Var(0), None, GatherMode::RootedJustBelow);
         assert!(just.len() <= all.len());
         for g in &just {
             assert_eq!(bdd.level(g.isf.f), Var(1));

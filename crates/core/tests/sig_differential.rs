@@ -71,7 +71,7 @@ fn filtered_and_unfiltered_matching_graphs_are_identical() {
         let mut rng = XorShift64::seed_from_u64(seed);
         let isf = random_isf(&mut bdd, &mut rng);
         for lvl in [1u32, 3, 5] {
-            let gathered = gather_below_level(&bdd, isf, Var(lvl), None);
+            let gathered = gather_below_level(&mut bdd, isf, Var(lvl), None);
             if gathered.len() < 2 {
                 continue;
             }
@@ -103,7 +103,7 @@ fn filtered_and_unfiltered_solvers_return_identical_isfs() {
         let mut rng = XorShift64::seed_from_u64(seed);
         let isf = random_isf(&mut bdd, &mut rng);
         for lvl in [1u32, 3, 5] {
-            let gathered = gather_below_level(&bdd, isf, Var(lvl), None);
+            let gathered = gather_below_level(&mut bdd, isf, Var(lvl), None);
             if gathered.len() < 2 {
                 continue;
             }

@@ -22,6 +22,14 @@
 //!    nodes-before/after, swap counts, wall clock, and a semantic
 //!    identity check (exact model count + 64-lane signatures) land in a
 //!    separate `BENCH_6.json` (`BENCH_6.quick.json` in quick mode).
+//! 7. **Chain storm** — chain-heavy workloads (long or-chains over random
+//!    cube frontiers, their and-chain complements, don't-care restricts,
+//!    and existential steps: the shapes of cube care-sets and fsm
+//!    reachability frontiers) replayed identically on a plain and a
+//!    chain-reduced (CBDD) manager; live-node compression after GC,
+//!    wall clock on both modes, peak memory, and a per-root semantic
+//!    identity check (sat_count bit equality + 64-lane signatures) land
+//!    in `BENCH_7.json` (`BENCH_7.quick.json` in quick mode).
 //!
 //! The first three phases replay byte-for-byte the workload that produced
 //! `BENCH_1.json` (same seed, same operation order), so the JSON written to
@@ -295,7 +303,7 @@ fn level_storm(quick: bool) -> LevelStormReport {
     // enough to exercise the quadratic graph construction.
     let mut gathered = Vec::new();
     for lvl in 2..NUM_VARS {
-        gathered = gather_below_level(&bdd, isf, Var(lvl), Some(limit));
+        gathered = gather_below_level(&mut bdd, isf, Var(lvl), Some(limit));
         if gathered.len() >= 64 {
             break;
         }
@@ -404,6 +412,170 @@ fn reorder_storm(quick: bool) -> Vec<ReorderCase> {
     cases
 }
 
+/// One chain-storm case: the same chain-heavy workload replayed on a
+/// plain and a chain-reduced manager, compared after a final GC to the
+/// surviving roots.
+struct ChainCase {
+    name: String,
+    ops: u64,
+    plain_live: usize,
+    chained_live: usize,
+    chain_nodes: usize,
+    plain_secs: f64,
+    chained_secs: f64,
+    plain_peak_bytes: usize,
+    chained_peak_bytes: usize,
+    semantics_identical: bool,
+}
+
+impl ChainCase {
+    fn compression(&self) -> f64 {
+        if self.chained_live > 0 {
+            self.plain_live as f64 / self.chained_live as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn speedup(&self) -> f64 {
+        if self.chained_secs > 0.0 {
+            self.plain_secs / self.chained_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The chain-heavy workload: per round, a random cube frontier over the
+/// bottom six variables is extended upward by a long or-chain — the shape
+/// of a cube care-set's complement and of an fsm reachability frontier
+/// ("any of these state bits is set") — then stressed with its and-chain
+/// complement, a restrict under a negative-cube care set, and an
+/// existential step that recurses through the chain and re-fuses on the
+/// way back up. Deterministic: both managers replay the identical
+/// operation stream, so every root pair must denote the same function.
+fn chain_workload(bdd: &mut Bdd, n: u32, rounds: u64) -> (Vec<Edge>, u64) {
+    let mut rng = XorShift64::seed_from_u64(0x1994_DAC5_C4A1_BDD7);
+    let mut roots: Vec<Edge> = Vec::new();
+    let mut ops = 0u64;
+    for round in 0..rounds {
+        // Cube frontier over the bottom six variables.
+        let mut g = bdd.constant(false);
+        for _ in 0..3 {
+            let mut cube = bdd.constant(true);
+            for _ in 0..3 {
+                let v = n - 6 + rng.gen_range(0..6) as u32;
+                let x = bdd.var(Var(v));
+                let lit = if rng.gen_bool(0.5) { x } else { x.complement() };
+                cube = bdd.and(cube, lit);
+                ops += 1;
+            }
+            g = bdd.or(g, cube);
+            ops += 1;
+        }
+        // Or-chain extension: x_s + x_{s+1} + ... + x_{n-7} + g. In chain
+        // mode the whole prefix fuses into a single node; in plain mode
+        // every level is a distinct node, and since the tails differ per
+        // round the chains cannot share across rounds either.
+        let start = rng.gen_range(0..4) as u32;
+        let mut f = g;
+        for i in (start..n - 6).rev() {
+            let x = bdd.var(Var(i));
+            f = bdd.or(x, f);
+            ops += 1;
+        }
+        // And-chain dual (free via the complement edge), a don't-care
+        // restrict (all-negative cube care sets are never empty), and an
+        // existential step over two frontier variables.
+        let d = bdd.not(f);
+        ops += 1;
+        let mut care = bdd.constant(false);
+        for _ in 0..2 {
+            let mut cube = bdd.constant(true);
+            for _ in 0..2 {
+                let v = n - 6 + rng.gen_range(0..6) as u32;
+                let x = bdd.var(Var(v));
+                cube = bdd.and(cube, x.complement());
+                ops += 1;
+            }
+            care = bdd.or(care, cube);
+            ops += 1;
+        }
+        let r = bdd.restrict(f, care);
+        ops += 1;
+        let va = bdd.var(Var(n - 1));
+        let vb = bdd.var(Var(n - 3));
+        let qcube = bdd.and(va, vb);
+        let e = bdd.exists(f, qcube);
+        ops += 2;
+        roots.push(f);
+        roots.push(d);
+        roots.push(r);
+        roots.push(e);
+        if round % 8 == 7 {
+            bdd.collect_garbage(&roots);
+        }
+    }
+    // Final collection so live-node counts compare reachable frontiers,
+    // not construction scratch (fused chain building leaves each or-prefix
+    // behind as an unreachable intermediate until GC).
+    bdd.collect_garbage(&roots);
+    (roots, ops)
+}
+
+/// The chain storm: replay [`chain_workload`] on a plain and a
+/// chain-reduced manager at several widths and compare live-node counts,
+/// wall clock, peak memory, and semantics root by root. Each case runs in
+/// its own managers so the main phases stay byte-identical to their
+/// committed baselines.
+fn chain_storm(quick: bool) -> Vec<ChainCase> {
+    use bddmin_bdd::SigEvaluator;
+
+    let var_counts: &[u32] = if quick { &[16, 24] } else { &[24, 32, 48] };
+    let rounds = if quick { 6 } else { 24 };
+    let mut cases = Vec::new();
+    for &n in var_counts {
+        let mut plain = Bdd::new(n as usize);
+        let t = Instant::now();
+        let (plain_roots, ops) = chain_workload(&mut plain, n, rounds);
+        let plain_secs = t.elapsed().as_secs_f64();
+
+        let mut chained = Bdd::new_chained(n as usize);
+        let t = Instant::now();
+        let (chained_roots, chained_ops) = chain_workload(&mut chained, n, rounds);
+        let chained_secs = t.elapsed().as_secs_f64();
+        assert_eq!(ops, chained_ops, "chain_storm op streams diverged");
+
+        let mut semantics_identical = plain_roots.len() == chained_roots.len();
+        let mut pev = SigEvaluator::for_bdd(&plain);
+        let mut cev = SigEvaluator::for_bdd(&chained);
+        for (&p, &c) in plain_roots.iter().zip(&chained_roots) {
+            semantics_identical &=
+                plain.sat_count(p).to_bits() == chained.sat_count(c).to_bits();
+            semantics_identical &= pev.signature(&plain, p) == cev.signature(&chained, c);
+            // Virtual (plain-equivalent) sizes must agree so heuristic
+            // decisions stay mode-invariant.
+            semantics_identical &= plain.size(p) == chained.size(c);
+        }
+
+        let pstats = plain.stats();
+        let cstats = chained.stats();
+        cases.push(ChainCase {
+            name: format!("vars_{n}"),
+            ops,
+            plain_live: pstats.live_nodes,
+            chained_live: cstats.live_nodes,
+            chain_nodes: cstats.chain_nodes,
+            plain_secs,
+            chained_secs,
+            plain_peak_bytes: pstats.peak_bytes,
+            chained_peak_bytes: cstats.peak_bytes,
+            semantics_identical,
+        });
+    }
+    cases
+}
+
 /// Pulls `"key": <number>` out of `section` of a hand-rolled JSON file.
 /// Good enough for the files this binary writes; returns `None` on any
 /// surprise.
@@ -474,12 +646,13 @@ fn main() {
 
     for p in &phases {
         println!(
-            "  {:<15} {:>9} ops in {:>8.3} s  ({:>12.0} ops/s, peak live {}, cache hit {:.1}%)",
+            "  {:<15} {:>9} ops in {:>8.3} s  ({:>12.0} ops/s, peak live {} = {} KiB, cache hit {:.1}%)",
             p.name,
             p.ops,
             p.secs,
             p.ops_per_sec(),
             p.peak_live,
+            p.peak_live * p.after.bytes_per_node / 1024,
             p.hit_rate() * 100.0,
         );
     }
@@ -512,8 +685,15 @@ fn main() {
         stats.memo_resizes,
     );
     println!(
-        "  unique table: {} live nodes, {} slots; gc: {} runs, {} reclaimed",
-        stats.live_nodes, stats.unique_capacity, stats.gc_runs, stats.gc_reclaimed
+        "  unique table: {} live nodes, {} slots; peak {} nodes ({} KiB at {} B/node); \
+         gc: {} runs, {} reclaimed",
+        stats.live_nodes,
+        stats.unique_capacity,
+        stats.peak_live_nodes,
+        stats.peak_bytes / 1024,
+        stats.bytes_per_node,
+        stats.gc_runs,
+        stats.gc_reclaimed
     );
     println!(
         "  level_storm: {} gathered, tsm solve {:.4} s unfiltered -> {:.4} s accelerated \
@@ -605,13 +785,14 @@ fn main() {
         }
         phase_json.push_str(&format!(
             "    \"{}\": {{\"ops\": {}, \"secs\": {:.6}, \"ops_per_sec\": {:.1}, \
-             \"peak_live_nodes\": {}, \"hit_rate\": {:.4}, \"cache_hits\": {}, \
-             \"cache_misses\": {}, \"memo_hits\": {}, \"memo_misses\": {}}}",
+             \"peak_live_nodes\": {}, \"peak_bytes\": {}, \"hit_rate\": {:.4}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"memo_hits\": {}, \"memo_misses\": {}}}",
             p.name,
             p.ops,
             p.secs,
             p.ops_per_sec(),
             p.peak_live,
+            p.peak_live * p.after.bytes_per_node,
             p.hit_rate(),
             p.cache_hits(),
             p.cache_misses(),
@@ -646,7 +827,8 @@ fn main() {
          \"capacity\": {}, \"resizes\": {},\n    \"per_op\": {{{}}}}},\n  \
          \"memo\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}, \
          \"capacity\": {}, \"resizes\": {}}},\n  \
-         \"nodes\": {{\"live\": {}, \"allocated\": {}, \"unique_capacity\": {}}},\n  \
+         \"nodes\": {{\"live\": {}, \"allocated\": {}, \"unique_capacity\": {}, \
+         \"peak_live\": {}, \"bytes_per_node\": {}, \"peak_bytes\": {}}},\n  \
          \"gc\": {{\"runs\": {}, \"reclaimed\": {}}}{}{}\n}}\n",
         if quick { "quick" } else { "full" },
         phase_json,
@@ -667,6 +849,9 @@ fn main() {
         stats.live_nodes,
         stats.allocated_nodes,
         stats.unique_capacity,
+        stats.peak_live_nodes,
+        stats.bytes_per_node,
+        stats.peak_bytes,
         stats.gc_runs,
         stats.gc_reclaimed,
         comparison_json,
@@ -758,5 +943,89 @@ fn main() {
     match std::fs::write(&out6, &json6) {
         Ok(()) => println!("wrote {}", out6.display()),
         Err(e) => eprintln!("could not write {}: {e}", out6.display()),
+    }
+
+    // ------------------------------------------------------------------
+    // Chain storm → BENCH_7. Plain vs chain-reduced (CBDD) managers over
+    // the identical chain-heavy operation stream: live-node compression
+    // after GC, wall clock on both modes, peak memory, and a per-root
+    // semantic identity check.
+    // ------------------------------------------------------------------
+    let ccases = chain_storm(quick);
+    let mut compressions: Vec<f64> = ccases.iter().map(|c| c.compression()).collect();
+    let median_compression = median(&mut compressions);
+    let chain_semantics = ccases.iter().all(|c| c.semantics_identical);
+    let chain_total_secs: f64 = ccases.iter().map(|c| c.plain_secs + c.chained_secs).sum();
+
+    println!("\nchain storm (plain vs chain-reduced manager, identical op streams):");
+    let mut ccase_json = String::new();
+    for (i, c) in ccases.iter().enumerate() {
+        println!(
+            "  {:<8} {:>6} -> {:>5} live nodes ({:.2}x compression, {} chain nodes, \
+             {:.4}s -> {:.4}s ({:.2}x), peak {} -> {} KiB, semantics {})",
+            c.name,
+            c.plain_live,
+            c.chained_live,
+            c.compression(),
+            c.chain_nodes,
+            c.plain_secs,
+            c.chained_secs,
+            c.speedup(),
+            c.plain_peak_bytes / 1024,
+            c.chained_peak_bytes / 1024,
+            if c.semantics_identical { "ok" } else { "CHANGED" },
+        );
+        if i > 0 {
+            ccase_json.push_str(",\n");
+        }
+        ccase_json.push_str(&format!(
+            "      \"{}\": {{\"ops\": {}, \"plain_live_nodes\": {}, \"chained_live_nodes\": {}, \
+             \"compression\": {:.4}, \"chain_nodes\": {}, \"plain_secs\": {:.6}, \
+             \"chained_secs\": {:.6}, \"speedup\": {:.4}, \"plain_peak_bytes\": {}, \
+             \"chained_peak_bytes\": {}, \"semantics_identical\": {}}}",
+            c.name,
+            c.ops,
+            c.plain_live,
+            c.chained_live,
+            c.compression(),
+            c.chain_nodes,
+            c.plain_secs,
+            c.chained_secs,
+            c.speedup(),
+            c.plain_peak_bytes,
+            c.chained_peak_bytes,
+            c.semantics_identical,
+        ));
+    }
+    println!(
+        "  median live-node compression {:.2}x over {} cases, semantics identical: {}",
+        median_compression,
+        ccases.len(),
+        chain_semantics,
+    );
+
+    let json7 = format!(
+        "{{\n  \"bench\": \"chain_storm\",\n  \"mode\": \"{}\",\n  \
+         \"chain_storm\": {{\n    \"cases\": {{\n{}\n    }},\n    \
+         \"num_cases\": {},\n    \"median_compression\": {:.4},\n    \
+         \"total_secs\": {:.6},\n    \"semantics_identical\": {}\n  }}\n}}\n",
+        if quick { "quick" } else { "full" },
+        ccase_json,
+        ccases.len(),
+        median_compression,
+        chain_total_secs,
+        chain_semantics,
+    );
+    let name7 = if quick {
+        "BENCH_7.quick.json"
+    } else {
+        "BENCH_7.json"
+    };
+    let out7 = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name7);
+    match std::fs::write(&out7, &json7) {
+        Ok(()) => println!("wrote {}", out7.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out7.display()),
     }
 }

@@ -7,7 +7,8 @@
 //! Usage: `cargo run --release -p bddmin-eval --bin table4
 //!   [--quick] [--jobs N] [--only a,b]
 //!   [--step-limit N] [--node-limit N] [--time-limit MS]
-//!   [--reorder {none,sift,group}] [--reorder-growth F]`
+//!   [--reorder {none,sift,group}] [--reorder-growth F]
+//!   [--chain {on,off}]`
 
 use bddmin_core::Heuristic;
 use bddmin_eval::par::{parse_eval_args, run_experiment_jobs};
@@ -23,10 +24,12 @@ fn main() {
         only_benchmarks: args.only.clone(),
         limits: args.limits(),
         reorder: args.reorder_settings(),
+        chain: args.chain,
         ..Default::default()
     };
     eprintln!("running FSM-equivalence experiment...");
     let results = run_experiment_jobs(&config, args.jobs);
+    eprintln!("{}", results.memory_annotation());
     if args.reorder != bddmin_bdd::ReorderMethod::None {
         println!("{}\n", results.reorder_annotation());
     }

@@ -77,7 +77,8 @@ pub fn run_experiment_jobs(config: &ExperimentConfig, jobs: usize) -> Experiment
             continue;
         }
         let (mut fsm, recorded) = record_benchmark(&bench.circuit, config, &mut results);
-        let measured = measure_recorded(fsm.bdd_mut(), &recorded, config, jobs);
+        let measured = measure_recorded(fsm.bdd_mut(), &recorded, config, jobs, &mut results);
+        results.fold_peak(&fsm.bdd().stats());
         for m in measured {
             let inst = &recorded[m.index];
             results.calls.push(CallRecord {
@@ -107,7 +108,11 @@ fn record_benchmark(
     results: &mut ExperimentResults,
 ) -> (SymbolicFsm, Vec<RecordedInstance>) {
     let product = product_circuit(circuit, &circuit.clone());
-    let mut fsm = SymbolicFsm::new(&product);
+    let mut fsm = if config.chain {
+        SymbolicFsm::new_chained(&product)
+    } else {
+        SymbolicFsm::new(&product)
+    };
     let mut recorded: Vec<RecordedInstance> = Vec::new();
     let mut iteration = 0usize;
     let init = fsm.initial_states();
@@ -198,12 +203,21 @@ fn measure_recorded(
     recorded: &[RecordedInstance],
     config: &ExperimentConfig,
     jobs: usize,
+    results: &mut ExperimentResults,
 ) -> Vec<Measured> {
     // Transfers happen up front on this thread: `transfer` needs `&mut`
     // access to the source manager (it memoises through its caches), and
-    // after this loop the workers are fully independent.
+    // after this loop the workers are fully independent. Workers inherit
+    // the source manager's representation mode.
     let mut workers: Vec<(Bdd, Vec<(usize, Isf)>)> = (0..jobs)
-        .map(|_| (Bdd::new(src.num_vars()), Vec::new()))
+        .map(|_| {
+            let bdd = if config.chain {
+                Bdd::new_chained(src.num_vars())
+            } else {
+                Bdd::new(src.num_vars())
+            };
+            (bdd, Vec::new())
+        })
         .collect();
     for (i, inst) in recorded.iter().enumerate() {
         let (wbdd, share) = &mut workers[i % jobs];
@@ -216,40 +230,49 @@ fn measure_recorded(
     let heuristics = &config.heuristics;
     let lb_cubes = config.lower_bound_cubes;
     let limits = config.limits;
-    let mut out: Vec<Measured> = std::thread::scope(|scope| {
-        let handles: Vec<_> = workers
-            .into_iter()
-            .map(|(mut wbdd, share)| {
-                scope.spawn(move || {
-                    share
-                        .into_iter()
-                        .map(|(index, isf)| {
-                            let c_onset_pct = wbdd.onset_percentage(isf.c);
-                            let f_size = wbdd.size(isf.f);
-                            let c_size = wbdd.size(isf.c);
-                            let (sizes, times, min_size, lower_bound, skipped) =
-                                measure_instance(&mut wbdd, isf, heuristics, lb_cubes, limits);
-                            Measured {
-                                index,
-                                c_onset_pct,
-                                f_size,
-                                c_size,
-                                sizes,
-                                times,
-                                min_size,
-                                lower_bound,
-                                skipped,
-                            }
-                        })
-                        .collect::<Vec<Measured>>()
+    let (mut out, peaks): (Vec<Measured>, Vec<bddmin_bdd::BddStats>) =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .into_iter()
+                .map(|(mut wbdd, share)| {
+                    scope.spawn(move || {
+                        let measured = share
+                            .into_iter()
+                            .map(|(index, isf)| {
+                                let c_onset_pct = wbdd.onset_percentage(isf.c);
+                                let f_size = wbdd.size(isf.f);
+                                let c_size = wbdd.size(isf.c);
+                                let (sizes, times, min_size, lower_bound, skipped) =
+                                    measure_instance(&mut wbdd, isf, heuristics, lb_cubes, limits);
+                                Measured {
+                                    index,
+                                    c_onset_pct,
+                                    f_size,
+                                    c_size,
+                                    sizes,
+                                    times,
+                                    min_size,
+                                    lower_bound,
+                                    skipped,
+                                }
+                            })
+                            .collect::<Vec<Measured>>();
+                        (measured, wbdd.stats())
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("measurement worker panicked"))
-            .collect()
-    });
+                .collect();
+            let mut all = Vec::new();
+            let mut peaks = Vec::new();
+            for h in handles {
+                let (measured, stats) = h.join().expect("measurement worker panicked");
+                all.extend(measured);
+                peaks.push(stats);
+            }
+            (all, peaks)
+        });
+    for stats in &peaks {
+        results.fold_peak(stats);
+    }
     out.sort_by_key(|m| m.index);
     out
 }
@@ -277,6 +300,10 @@ pub struct EvalArgs {
     pub reorder: bddmin_bdd::ReorderMethod,
     /// `--reorder-growth F`: sifting growth factor (default 1.2).
     pub reorder_growth: Option<f64>,
+    /// `--chain {on,off}`: chain-reduced (CBDD) managers for every
+    /// traversal and measurement (default off). Rendered tables are
+    /// byte-identical either way; only peak memory changes.
+    pub chain: bool,
 }
 
 impl EvalArgs {
@@ -329,6 +356,7 @@ pub fn parse_eval_args() -> EvalArgs {
             .and_then(|v| v.parse().ok())
             .unwrap_or(bddmin_bdd::ReorderMethod::None),
         reorder_growth: value_of("--reorder-growth").and_then(|v| v.parse().ok()),
+        chain: value_of("--chain").is_some_and(|v| matches!(v.as_str(), "on" | "1" | "true")),
     }
 }
 

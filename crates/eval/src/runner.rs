@@ -159,6 +159,10 @@ pub struct ExperimentConfig {
     /// [`ReorderMethod::None`], which keeps every measurement path
     /// byte-identical to the historical runner.
     pub reorder: ReorderSettings,
+    /// Run every traversal and measurement manager in chain-reduced
+    /// (CBDD) mode. Reported sizes are plain-equivalent, so rendered
+    /// tables are byte-identical to plain mode; only peak memory drops.
+    pub chain: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -173,6 +177,7 @@ impl Default for ExperimentConfig {
                 method: ReorderMethod::None,
                 ..ReorderSettings::default()
             },
+            chain: false,
         }
     }
 }
@@ -211,6 +216,11 @@ pub struct ExperimentResults {
     pub reorder_nodes_before: usize,
     /// Live-node counts summed over all reorder points: leaving totals.
     pub reorder_nodes_after: usize,
+    /// High-water mark of live nodes over every manager the sweep used
+    /// (traversal and measurement workers alike).
+    pub peak_live_nodes: usize,
+    /// Estimated peak node-store bytes at that high-water mark.
+    pub peak_bytes: usize,
 }
 
 impl ExperimentResults {
@@ -225,6 +235,27 @@ impl ExperimentResults {
     /// The index of a heuristic in the report order.
     pub fn index_of(&self, h: Heuristic) -> Option<usize> {
         self.heuristics.iter().position(|&x| x == h)
+    }
+
+    /// Folds a manager's peak-memory stats into the sweep-wide high-water
+    /// mark (satisfying "chain mode's win is memory — make it
+    /// measurable").
+    pub fn fold_peak(&mut self, stats: &bddmin_bdd::BddStats) {
+        if stats.peak_live_nodes > self.peak_live_nodes {
+            self.peak_live_nodes = stats.peak_live_nodes;
+            self.peak_bytes = stats.peak_bytes;
+        }
+    }
+
+    /// Human-readable peak-memory summary. Worker sharding makes the peak
+    /// depend on `--jobs`, so binaries report this on stderr, keeping
+    /// stdout byte-comparable across job counts.
+    pub fn memory_annotation(&self) -> String {
+        format!(
+            "peak memory: {} live nodes (~{} KiB)",
+            self.peak_live_nodes,
+            self.peak_bytes / 1024
+        )
     }
 
     /// Zeroes every recorded runtime. Wall-clock is the one field that is
@@ -383,7 +414,11 @@ pub fn run_benchmark(
     results: &mut ExperimentResults,
 ) {
     let product = product_circuit(circuit, &circuit.clone());
-    let mut fsm = SymbolicFsm::new(&product);
+    let mut fsm = if config.chain {
+        SymbolicFsm::new_chained(&product)
+    } else {
+        SymbolicFsm::new(&product)
+    };
     let mut iteration = 0usize;
     let init = fsm.initial_states();
     let mut reached = init;
@@ -444,6 +479,7 @@ pub fn run_benchmark(
             results.reorder_nodes_after += stats.nodes_after;
         }
     }
+    results.fold_peak(&fsm.bdd().stats());
 }
 
 fn record_call(

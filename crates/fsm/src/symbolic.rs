@@ -56,11 +56,22 @@ impl SymbolicFsm {
     /// Panics if the circuit's combinational logic is not in topological
     /// order (cannot happen for circuits produced by `CircuitBuilder`).
     pub fn new(circuit: &Circuit) -> SymbolicFsm {
-        Self::compile(circuit)
+        Self::compile(circuit, Bdd::with_names(&[]))
     }
 
-    fn compile(circuit: &Circuit) -> SymbolicFsm {
-        let mut bdd = Bdd::with_names(&[]);
+    /// Compiles a circuit into a chain-reduced (CBDD) manager. Reachable
+    /// state sets and transition relations keep plain-equivalent sizes,
+    /// so every measurement is mode-invariant; only the node store is
+    /// compressed.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`SymbolicFsm::new`].
+    pub fn new_chained(circuit: &Circuit) -> SymbolicFsm {
+        Self::compile(circuit, Bdd::with_names_chained(&[]))
+    }
+
+    fn compile(circuit: &Circuit, mut bdd: Bdd) -> SymbolicFsm {
         // Inputs on top.
         let input_vars: Vec<Var> = circuit
             .inputs()

@@ -100,7 +100,7 @@ pub struct FuzzReport {
     /// short by the failure limit).
     pub checks: u64,
     /// Tallies indexed like [`Oracle::ALL`].
-    pub oracle_stats: [OracleStats; 9],
+    pub oracle_stats: [OracleStats; 10],
     /// Shrunk failures, in discovery order.
     pub failures: Vec<Failure>,
     /// Wall-clock for the whole run.
@@ -264,12 +264,12 @@ mod tests {
         };
         let report = run_fuzz(&config).unwrap();
         assert_eq!(report.instances, 20);
-        assert_eq!(report.checks, 180);
+        assert_eq!(report.checks, 200);
         assert!(report.failures.is_empty());
         assert!(!report.budget_exhausted);
         let passes: u64 = report.oracle_stats.iter().map(|s| s.passes).sum();
         let skips: u64 = report.oracle_stats.iter().map(|s| s.skips).sum();
-        assert_eq!(passes + skips, 180);
+        assert_eq!(passes + skips, 200);
     }
 
     #[test]
@@ -328,6 +328,7 @@ mod tests {
             "\"budget\"",
             "\"sig-invariance\"",
             "\"reorder-invariance\"",
+            "\"chain-invariance\"",
         ] {
             assert!(json.contains(key), "missing {key} in report:\n{json}");
         }

@@ -1,6 +1,6 @@
 //! Mutation gate: every oracle must demonstrably fire.
 //!
-//! For each of the nine deliberately injected bugs, the fuzzer (run
+//! For each of the ten deliberately injected bugs, the fuzzer (run
 //! through the same [`run_fuzz`] entry point CI uses) must catch the
 //! bug, shrink it, and produce a reproducer that round-trips through the
 //! corpus format and still fails. A fuzzer that only ever reports green
@@ -104,6 +104,11 @@ fn break_sig_filter_is_caught_and_shrunk() {
 #[test]
 fn break_reorder_is_caught_and_shrunk() {
     assert_mutant_caught_and_shrunk(Mutant::BreakReorder);
+}
+
+#[test]
+fn break_chain_is_caught_and_shrunk() {
+    assert_mutant_caught_and_shrunk(Mutant::BreakChain);
 }
 
 #[test]

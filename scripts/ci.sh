@@ -15,6 +15,9 @@
 #   reorder      reorder-invariance oracle fuzz + break-reorder mutant
 #                gate + reorder_storm quick run (BENCH_6 schema) +
 #                reorder-off determinism diff
+#   chain        chain-invariance oracle fuzz + break-chain mutant gate
+#                + chain_storm quick run (BENCH_7 schema) + chain-on/off
+#                stdout determinism diff
 #   perf         perf_smoke --quick + JSON schema check
 #
 # Everything works with no network access: the workspace has no external
@@ -31,7 +34,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # ---------------------------------------------------------------- staging
-ALL_STAGES=(build test lint invariance determinism fuzz-smoke degradation reorder perf)
+ALL_STAGES=(build test lint invariance determinism fuzz-smoke degradation reorder chain perf)
 SELECTED=()
 while [[ $# -gt 0 ]]; do
     case "$1" in
@@ -117,18 +120,19 @@ stage_fuzz_smoke() {
     # The release binary exists when the build stage ran; build it
     # quietly otherwise (e.g. `--stage fuzz-smoke` alone).
     cargo build --release -q -p bddmin-verify
-    echo "    differential fuzz, seeds 1..4, 30 s budget, all nine oracles"
+    echo "    differential fuzz, seeds 1..4, 30 s budget, all ten oracles"
     ./target/release/verify --seed 1..4 --budget-ms 30000 --no-write
     echo "    mutation gates: every oracle must catch + shrink its injected bug"
     for mutant in break-cover break-cube-optimal break-osm-level \
                   break-lower-bound break-agreement break-invariance \
-                  break-degradation break-sig-filter break-reorder; do
+                  break-degradation break-sig-filter break-reorder \
+                  break-chain; do
         echo "    -- $mutant"
         ./target/release/verify --seed 1..3 --iters 2000 --budget-ms 20000 \
             --mutant "$mutant" --max-failures 1 --no-write --expect-failure \
             >/dev/null
     done
-    echo "    all nine oracles fired and shrank their mutants"
+    echo "    all ten oracles fired and shrank their mutants"
 }
 
 stage_degradation() {
@@ -176,6 +180,38 @@ stage_reorder() {
     ./target/release/table3 --quick --only tlc --no-times --reorder sift \
         --jobs 4 >"$tmpdir/sift_j4.txt"
     diff -u "$tmpdir/sift_j1.txt" "$tmpdir/sift_j4.txt"
+    rm -rf "$tmpdir"
+}
+
+stage_chain() {
+    cargo build --release -q -p bddmin-verify -p bddmin-eval
+    echo "    chain-invariance oracle fuzz gate, seeds 13..16, 20 s budget"
+    ./target/release/verify --seed 13..16 --budget-ms 20000 \
+        --oracle chain-invariance --no-write
+    echo "    break-chain mutant gate: the oracle must catch + shrink it"
+    ./target/release/verify --seed 1..3 --iters 2000 --budget-ms 20000 \
+        --mutant break-chain --max-failures 1 --no-write --expect-failure \
+        >/dev/null
+    echo "    chain_storm quick run + BENCH_7 schema check"
+    cargo run --release -q -p bddmin-eval --bin perf_smoke -- --quick >/dev/null
+    for key in '"chain_storm"' '"median_compression"' \
+               '"semantics_identical"'; do
+        grep -q "$key" BENCH_7.quick.json || {
+            echo "missing $key in BENCH_7.quick.json" >&2
+            exit 1
+        }
+    done
+    grep -q '"semantics_identical": true' BENCH_7.quick.json || {
+        echo "chain_storm changed function semantics" >&2
+        exit 1
+    }
+    echo "    chain determinism: --chain on stdout is byte-identical to off"
+    local tmpdir
+    tmpdir="$(mktemp -d)"
+    ./target/release/table3 --quick --only tlc --no-times >"$tmpdir/off.txt"
+    ./target/release/table3 --quick --only tlc --no-times --chain on \
+        >"$tmpdir/on.txt"
+    diff -u "$tmpdir/off.txt" "$tmpdir/on.txt"
     rm -rf "$tmpdir"
 }
 
