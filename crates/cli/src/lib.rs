@@ -448,6 +448,26 @@ pub fn run(command: Command) -> Result<String, CliError> {
     }
 }
 
+/// Parses and executes an argument vector entirely in-process with the
+/// filesystem disabled: any file argument (the `verify`/`simplify`
+/// subcommands) fails cleanly instead of touching disk. This is the
+/// entry point the fuzzer drives — arg-vector fuzzing needs no
+/// subprocess and cannot be tricked into reading host files.
+///
+/// # Errors
+///
+/// Returns [`CliError`] exactly where the binary would print usage or
+/// an error message; callers asserting totality treat `Ok` and `Err`
+/// alike and only panics as bugs.
+pub fn run_sandboxed(args: &[String]) -> Result<String, CliError> {
+    let command = parse_args(args, |path| {
+        Err(CliError(format!(
+            "file access is disabled in sandboxed mode (tried to read {path:?})"
+        )))
+    })?;
+    run(command)
+}
+
 /// Per-instance reporting options shared by `spec` and `expr`.
 struct InstanceOpts {
     exact: bool,
@@ -1184,5 +1204,42 @@ mod tests {
         assert!(out.contains("s344"));
         assert!(out.contains("tlc"));
         assert_eq!(out.lines().count(), 16); // header + 15 machines
+    }
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn run_sandboxed_executes_spec_and_expr_in_process() {
+        let out = run_sandboxed(&argv(&["spec", "(d1 01)", "--heuristic", "osm_td"])).unwrap();
+        assert!(out.contains("osm_td"));
+        let out = run_sandboxed(&argv(&[
+            "expr", "--vars", "a,b", "--function", "a&b", "--care", "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("f_orig"));
+    }
+
+    #[test]
+    fn run_sandboxed_denies_file_access() {
+        let err = run_sandboxed(&argv(&["verify", "left.blif", "right.blif"])).unwrap_err();
+        assert!(err.0.contains("disabled in sandboxed mode"), "{err}");
+        let err = run_sandboxed(&argv(&["simplify", "net.blif"])).unwrap_err();
+        assert!(err.0.contains("disabled in sandboxed mode"), "{err}");
+    }
+
+    #[test]
+    fn run_sandboxed_is_total_on_malformed_input() {
+        for bad in [
+            &["spec"][..],
+            &["spec", "(dx 01)"],
+            &["expr", "--vars", "a,b"],
+            &["wat"],
+            &["spec", "(d1 01)", "--heuristic", "nope"],
+            &["expr", "--vars", "a", "--function", "((", "--care", "1"],
+        ] {
+            assert!(run_sandboxed(&argv(bad)).is_err());
+        }
     }
 }

@@ -1,0 +1,288 @@
+//! Strict schema validator for the CI wall-clock artifact.
+//!
+//! `scripts/ci.sh` rewrites `ci_timings.json` after every stage:
+//!
+//! ```json
+//! [
+//!   {"stage": "build", "status": "ok", "ms": 41250},
+//!   {"stage": "test", "status": "ok", "ms": 98012}
+//! ]
+//! ```
+//!
+//! The perf stage runs this binary against the artifact produced so
+//! far, so a malformed writer breaks CI immediately instead of
+//! silently producing garbage dashboards. Validation is deliberately
+//! strict: top level must be an array of objects, each object must
+//! carry exactly the keys `stage` (non-empty string, unique across the
+//! file), `status` (`ok`, `fail`, or `skip`), and `ms` (non-negative
+//! integer). No other JSON shapes are tolerated — the writer is ours,
+//! so any deviation is a bug, not an interop concern.
+//!
+//! Usage: `check_timings <path>`; exit 0 when valid (prints a one-line
+//! summary), exit 1 with a diagnostic otherwise.
+
+use std::process::ExitCode;
+
+/// One validated entry.
+struct Entry {
+    stage: String,
+    status: String,
+    ms: u64,
+}
+
+/// A character cursor with strict, whitespace-tolerant helpers.
+struct Cursor<'a> {
+    text: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Cursor<'a> {
+        Cursor {
+            text: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .text
+            .get(self.pos)
+            .is_some_and(|b| b" \t\r\n".contains(b))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.text.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(b) => Err(format!(
+                "byte {}: expected {:?}, found {:?}",
+                self.pos,
+                byte as char,
+                b as char
+            )),
+            None => Err(format!(
+                "byte {}: expected {:?}, found end of input",
+                self.pos, byte as char
+            )),
+        }
+    }
+
+    /// Parses a JSON string without escapes (the writer never emits
+    /// any; an escape here means the writer is broken).
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        loop {
+            match self.text.get(self.pos) {
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    return Err(format!(
+                        "byte {}: escape sequences are not part of the timings schema",
+                        self.pos
+                    ))
+                }
+                Some(_) => self.pos += 1,
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+        let s = std::str::from_utf8(&self.text[start..self.pos])
+            .map_err(|e| format!("invalid UTF-8 in string: {e}"))?
+            .to_string();
+        self.pos += 1;
+        Ok(s)
+    }
+
+    /// Parses a non-negative integer (the only number shape allowed).
+    fn integer(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.text.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!(
+                "byte {}: expected a non-negative integer",
+                self.pos
+            ));
+        }
+        std::str::from_utf8(&self.text[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("byte {start}: bad integer: {e}"))
+    }
+}
+
+/// Parses and validates the whole artifact.
+fn validate(text: &str) -> Result<Vec<Entry>, String> {
+    let mut cur = Cursor::new(text);
+    let mut entries = Vec::new();
+    cur.expect(b'[')?;
+    if cur.peek() == Some(b']') {
+        cur.pos += 1;
+    } else {
+        loop {
+            entries.push(entry(&mut cur)?);
+            match cur.peek() {
+                Some(b',') => cur.pos += 1,
+                Some(b']') => {
+                    cur.pos += 1;
+                    break;
+                }
+                other => {
+                    return Err(format!(
+                        "byte {}: expected ',' or ']' after entry, found {other:?}",
+                        cur.pos
+                    ))
+                }
+            }
+        }
+    }
+    if cur.peek().is_some() {
+        return Err(format!("byte {}: trailing content after array", cur.pos));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for e in &entries {
+        if !seen.insert(e.stage.as_str()) {
+            return Err(format!("duplicate stage entry {:?}", e.stage));
+        }
+    }
+    Ok(entries)
+}
+
+/// Parses one `{"stage": ..., "status": ..., "ms": ...}` object, keys
+/// in any order but each exactly once and nothing else.
+fn entry(cur: &mut Cursor<'_>) -> Result<Entry, String> {
+    cur.expect(b'{')?;
+    let mut stage: Option<String> = None;
+    let mut status: Option<String> = None;
+    let mut ms: Option<u64> = None;
+    loop {
+        let key = cur.string()?;
+        cur.expect(b':')?;
+        match key.as_str() {
+            "stage" if stage.is_none() => {
+                let v = cur.string()?;
+                if v.is_empty() {
+                    return Err("empty stage name".to_string());
+                }
+                stage = Some(v);
+            }
+            "status" if status.is_none() => {
+                let v = cur.string()?;
+                if !["ok", "fail", "skip"].contains(&v.as_str()) {
+                    return Err(format!(
+                        "bad status {v:?} (expected ok, fail, or skip)"
+                    ));
+                }
+                status = Some(v);
+            }
+            "ms" if ms.is_none() => ms = Some(cur.integer()?),
+            "stage" | "status" | "ms" => return Err(format!("duplicate key {key:?}")),
+            other => return Err(format!("unexpected key {other:?}")),
+        }
+        match cur.peek() {
+            Some(b',') => cur.pos += 1,
+            Some(b'}') => {
+                cur.pos += 1;
+                break;
+            }
+            other => {
+                return Err(format!(
+                    "byte {}: expected ',' or '}}' in entry, found {other:?}",
+                    cur.pos
+                ))
+            }
+        }
+    }
+    match (stage, status, ms) {
+        (Some(stage), Some(status), Some(ms)) => Ok(Entry { stage, status, ms }),
+        (stage, status, ms) => Err(format!(
+            "entry missing keys: stage={} status={} ms={}",
+            stage.is_some(),
+            status.is_some(),
+            ms.is_some()
+        )),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: check_timings <ci_timings.json>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("check_timings: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate(&text) {
+        Ok(entries) => {
+            let total: u64 = entries.iter().map(|e| e.ms).sum();
+            let ok = entries.iter().filter(|e| e.status == "ok").count();
+            println!(
+                "check_timings: {path} valid ({} stage(s), {ok} ok, {total} ms total)",
+                entries.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("check_timings: {path} INVALID: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_the_writer_format() {
+        let text = "[\n  {\"stage\": \"build\", \"status\": \"ok\", \"ms\": 41250},\n  {\"stage\": \"test\", \"status\": \"fail\", \"ms\": 0}\n]\n";
+        let entries = validate(text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].stage, "build");
+        assert_eq!(entries[1].status, "fail");
+        assert_eq!(entries[0].ms, 41250);
+    }
+
+    #[test]
+    fn accepts_an_empty_array() {
+        assert!(validate("[]").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        for bad in [
+            "",                                                     // no array
+            "{}",                                                   // wrong top level
+            "[{\"stage\": \"a\", \"status\": \"ok\"}]",             // missing ms
+            "[{\"stage\": \"a\", \"status\": \"meh\", \"ms\": 1}]", // bad status
+            "[{\"stage\": \"\", \"status\": \"ok\", \"ms\": 1}]",   // empty stage
+            "[{\"stage\": \"a\", \"status\": \"ok\", \"ms\": -1}]", // negative ms
+            "[{\"stage\": \"a\", \"status\": \"ok\", \"ms\": 1.5}]", // float ms
+            "[{\"stage\": \"a\", \"status\": \"ok\", \"ms\": 1, \"extra\": 2}]", // extra key
+            "[{\"stage\": \"a\", \"stage\": \"b\", \"status\": \"ok\", \"ms\": 1}]", // dup key
+            "[{\"stage\": \"a\", \"status\": \"ok\", \"ms\": 1}] trailing", // trailing junk
+        ] {
+            assert!(validate(bad).is_err(), "accepted invalid input: {bad:?}");
+        }
+        // Duplicate stage across entries.
+        let dup = "[{\"stage\": \"a\", \"status\": \"ok\", \"ms\": 1}, {\"stage\": \"a\", \"status\": \"ok\", \"ms\": 2}]";
+        assert!(validate(dup).is_err());
+    }
+}

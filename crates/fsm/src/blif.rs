@@ -420,6 +420,16 @@ fn build_cover(
         // Empty cover = constant 0.
         return b.gate_named(out_name, GateKind::Const0, &[]);
     };
+    // Canonical covers (the shapes the printer emits) elaborate to a
+    // single gate carrying the cover's own output name. Without this the
+    // print→parse cycle wraps every gate in fresh `Not`/`Buf` layers and
+    // a serialized network grows without bound instead of reaching a
+    // fixed point.
+    if !negate {
+        if let Some(net) = build_canonical(b, ins, &patterns, out_name) {
+            return net;
+        }
+    }
     let mut terms: Vec<NetId> = Vec::with_capacity(patterns.len());
     for pattern in patterns {
         let mut literals: Vec<NetId> = Vec::new();
@@ -459,6 +469,82 @@ fn build_cover(
     }
 }
 
+/// Recognizes on-set covers in the shapes the printer emits and builds a
+/// single gate carrying the cover's own output name. Returns `None` for
+/// anything else; the generic sum-of-products path handles those.
+fn build_canonical(
+    b: &mut CircuitBuilder,
+    ins: &[NetId],
+    patterns: &[&String],
+    out_name: &str,
+) -> Option<NetId> {
+    if patterns.len() == 1 {
+        let p = patterns[0].as_str();
+        let one_pos: Vec<usize> = p.char_indices().filter(|&(_, c)| c == '1').map(|(i, _)| i).collect();
+        let zero_pos: Vec<usize> = p.char_indices().filter(|&(_, c)| c == '0').map(|(i, _)| i).collect();
+        let (kind, pos) = match (one_pos.len(), zero_pos.len()) {
+            (0, 0) => (GateKind::Const1, one_pos),
+            (1, 0) => (GateKind::Buf, one_pos),
+            (_, 0) => (GateKind::And, one_pos),
+            (0, 1) => (GateKind::Not, zero_pos),
+            (0, _) => (GateKind::Nor, zero_pos),
+            // Mixed polarities need intermediate inverters.
+            _ => return None,
+        };
+        let nets: Vec<NetId> = pos.iter().map(|&i| ins[i]).collect();
+        return Some(b.gate_named(out_name, kind, &nets));
+    }
+    // Exactly one literal of polarity `lit` and dashes elsewhere.
+    let single = |p: &str, lit: char| -> Option<usize> {
+        let mut pos = None;
+        for (i, c) in p.char_indices() {
+            if c == lit {
+                if pos.is_some() {
+                    return None;
+                }
+                pos = Some(i);
+            } else if c != '-' {
+                return None;
+            }
+        }
+        pos
+    };
+    // OR: one '1' per row (sum of positive literals). NAND: one '0' per
+    // row (De Morgan: sum of negative literals).
+    for (lit, kind) in [('1', GateKind::Or), ('0', GateKind::Nand)] {
+        if let Some(pos) = patterns
+            .iter()
+            .map(|p| single(p, lit))
+            .collect::<Option<Vec<usize>>>()
+        {
+            let nets: Vec<NetId> = pos.iter().map(|&i| ins[i]).collect();
+            return Some(b.gate_named(out_name, kind, &nets));
+        }
+    }
+    // XOR/XNOR: the full parity enumeration (all odd- or even-count rows).
+    let arity = ins.len();
+    if (2..=12).contains(&arity) && patterns.len() == 1usize << (arity - 1) {
+        let rows: std::collections::HashSet<&str> =
+            patterns.iter().map(|p| p.as_str()).collect();
+        if rows.len() == patterns.len() && rows.iter().all(|p| !p.contains('-')) {
+            for (parity, kind) in [(1, GateKind::Xor), (0, GateKind::Xnor)] {
+                let matches = (0..1u32 << arity)
+                    .filter(|bits| bits.count_ones() % 2 == parity)
+                    .all(|bits| {
+                        let row: String = (0..arity)
+                            .map(|i| if bits >> i & 1 == 1 { '1' } else { '0' })
+                            .collect();
+                        rows.contains(row.as_str())
+                    });
+                if matches {
+                    return Some(b.gate_named(out_name, kind, ins));
+                }
+            }
+        }
+    }
+    None
+}
+
 /// Serialises a circuit to BLIF.
 ///
 /// # Example
@@ -483,12 +569,36 @@ pub fn print_blif(circuit: &Circuit) -> String {
     if !input_names.is_empty() {
         let _ = writeln!(out, ".inputs {}", input_names.join(" "));
     }
-    // Output port names can collide with net names; emit dedicated nets.
-    let port_names: Vec<String> = circuit
-        .outputs()
-        .iter()
-        .map(|o| format!("po_{}", o.name))
+    // A port whose name already names its own net serializes directly;
+    // anything else gets an alias cover, reusing the port name when free
+    // and minting a `po_` name only on a genuine collision. Direct
+    // emission makes parse→print a fixed point instead of stacking one
+    // buffer gate per output per round trip.
+    let net_names: std::collections::HashSet<&str> = (0..circuit.num_nets())
+        .map(|n| circuit.net_name(NetId(n as u32)))
         .collect();
+    let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut port_names: Vec<String> = Vec::with_capacity(circuit.outputs().len());
+    let mut aliases: Vec<(String, String)> = Vec::new();
+    for port in circuit.outputs() {
+        let src = circuit.net_name(port.net).to_owned();
+        if port.name == src && used.insert(src.clone()) {
+            port_names.push(src);
+            continue;
+        }
+        let alias = if !net_names.contains(port.name.as_str()) && !used.contains(&port.name) {
+            port.name.clone()
+        } else {
+            let mut a = format!("po_{}", port.name);
+            while net_names.contains(a.as_str()) || used.contains(&a) {
+                a.push('_');
+            }
+            a
+        };
+        used.insert(alias.clone());
+        aliases.push((src, alias.clone()));
+        port_names.push(alias);
+    }
     let _ = writeln!(out, ".outputs {}", port_names.join(" "));
     for latch in circuit.latches() {
         let _ = writeln!(
@@ -505,9 +615,8 @@ pub fn print_blif(circuit: &Circuit) -> String {
         let _ = writeln!(out, ".names {} {}", ins.join(" "), name);
         write_gate_cover(&mut out, gate.kind, ins.len());
     }
-    for (port, pname) in circuit.outputs().iter().zip(&port_names) {
-        let src = circuit.net_name(port.net);
-        let _ = writeln!(out, ".names {src} {pname}");
+    for (src, alias) in &aliases {
+        let _ = writeln!(out, ".names {src} {alias}");
         let _ = writeln!(out, "1 1");
     }
     // Source of each latch input: make sure inputs driven directly by
@@ -515,6 +624,66 @@ pub fn print_blif(circuit: &Circuit) -> String {
     let _ = writeln!(out, ".end");
     // Normalize possible double spaces from empty input lists.
     out.replace(".names  ", ".names ")
+}
+
+/// Checks that a circuit survives BLIF serialization: the printed text
+/// must re-parse, the re-parsed network must match the original port
+/// profile and 16-step behaviour, and one parse→print normalization round
+/// must reach a textual fixed point (so repeated round trips can never
+/// grow the netlist). Used as an oracle by the fuzzing harness.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violated property.
+pub fn blif_round_trip(circuit: &Circuit) -> Result<(), String> {
+    let t1 = print_blif(circuit);
+    let reparsed = parse_blif(&t1)
+        .map_err(|e| format!("printed BLIF does not re-parse: {e}\n--- text ---\n{t1}"))?;
+    if reparsed.num_inputs() != circuit.num_inputs()
+        || reparsed.num_latches() != circuit.num_latches()
+        || reparsed.num_outputs() != circuit.num_outputs()
+    {
+        return Err(format!(
+            "port profile changed across print→parse: inputs {}→{}, latches {}→{}, outputs {}→{}",
+            circuit.num_inputs(),
+            reparsed.num_inputs(),
+            circuit.num_latches(),
+            reparsed.num_latches(),
+            circuit.num_outputs(),
+            reparsed.num_outputs(),
+        ));
+    }
+    if reparsed.initial_state() != circuit.initial_state() {
+        return Err("initial state changed across print→parse".to_owned());
+    }
+    let mut state_a = circuit.initial_state();
+    let mut state_b = reparsed.initial_state();
+    for step in 0..16u32 {
+        let inputs: Vec<bool> = (0..circuit.num_inputs())
+            .map(|i| (step.wrapping_mul(2654435761) >> i) & 1 == 1)
+            .collect();
+        let (outs_a, next_a) = circuit.simulate(&inputs, &state_a);
+        let (outs_b, next_b) = reparsed.simulate(&inputs, &state_b);
+        if outs_a != outs_b {
+            return Err(format!(
+                "outputs diverged at step {step}: {outs_a:?} vs {outs_b:?}\n--- text ---\n{t1}"
+            ));
+        }
+        state_a = next_a;
+        state_b = next_b;
+    }
+    // One normalization round (hand-built circuits may legitimately need
+    // it, e.g. renamed output ports), after which the text must be stable.
+    let t2 = print_blif(&reparsed);
+    let c3 = parse_blif(&t2)
+        .map_err(|e| format!("second-generation BLIF does not re-parse: {e}\n--- text ---\n{t2}"))?;
+    let t3 = print_blif(&c3);
+    if t2 != t3 {
+        return Err(format!(
+            "printer is not a fixed point\n--- round 2 ---\n{t2}\n--- round 3 ---\n{t3}"
+        ));
+    }
+    Ok(())
 }
 
 fn write_gate_cover(out: &mut String, kind: GateKind, arity: usize) {
@@ -832,6 +1001,82 @@ b
 ";
         let c = parse_blif(src).unwrap();
         assert_eq!(c.num_inputs(), 2);
+    }
+
+    #[test]
+    fn canonical_covers_elaborate_to_single_gates() {
+        // Each printer-canonical cover shape parses back to exactly one
+        // gate named after its target — no fresh `Not`/`Buf` wrappers.
+        let cases = [
+            (".names a y\n1 1\n", GateKind::Buf),
+            (".names a y\n0 1\n", GateKind::Not),
+            (".names a b y\n11 1\n", GateKind::And),
+            (".names a b y\n1- 1\n-1 1\n", GateKind::Or),
+            (".names a b y\n0- 1\n-0 1\n", GateKind::Nand),
+            (".names a b y\n00 1\n", GateKind::Nor),
+            (".names a b y\n10 1\n01 1\n", GateKind::Xor),
+            (".names a b y\n00 1\n11 1\n", GateKind::Xnor),
+            (".names y\n1\n", GateKind::Const1),
+            (".names y\n", GateKind::Const0),
+        ];
+        for (cover, kind) in cases {
+            let src = format!(".model m\n.inputs a b\n.outputs y\n{cover}.end\n");
+            let c = parse_blif(&src).unwrap_or_else(|e| panic!("{cover:?}: {e}"));
+            assert_eq!(c.gates().len(), 1, "cover {cover:?} grew extra gates");
+            assert_eq!(c.gates()[0].kind, kind, "cover {cover:?}");
+            assert_eq!(c.net_name(c.gates()[0].output), "y");
+        }
+    }
+
+    #[test]
+    fn printer_reaches_textual_fixed_point() {
+        // Parser-produced circuits are already canonical: one round trip
+        // reproduces the text byte for byte.
+        let sources = [
+            ".model m\n.inputs a b\n.outputs y\n.names a b y\n01 1\n10 1\n.end\n",
+            ".model m\n.inputs a b c\n.outputs y\n.names a b c y\n1-0 1\n01- 1\n.end\n",
+            ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n",
+            ".model m\n.outputs one zero\n.names one\n1\n.names zero\n.end\n",
+            ".model m\n.inputs d\n.outputs q\n.latch d q 1\n.end\n",
+        ];
+        for src in sources {
+            let c1 = parse_blif(src).unwrap();
+            let t1 = print_blif(&c1);
+            let c2 = parse_blif(&t1).unwrap_or_else(|e| panic!("{e}\n{t1}"));
+            let t2 = print_blif(&c2);
+            assert_eq!(t1, t2, "printer not a fixed point for:\n{src}");
+        }
+    }
+
+    #[test]
+    fn blif_round_trip_accepts_generators() {
+        for circuit in [
+            generators::counter("c", 3),
+            generators::lfsr("l", 4, 0b1001),
+            generators::traffic_light(),
+            generators::random_fsm("r", 4, 3, 7),
+        ] {
+            blif_round_trip(&circuit)
+                .unwrap_or_else(|e| panic!("{} failed round trip: {e}", circuit.name()));
+        }
+    }
+
+    #[test]
+    fn output_port_collisions_get_fresh_aliases() {
+        // Two ports with the same name, one of them renamed from its net:
+        // the printer must keep every emitted name unique and still
+        // round-trip behaviour.
+        let mut b = CircuitBuilder::new("m");
+        let a = b.input("a");
+        let g = b.gate_named("g", GateKind::Not, &[a]);
+        b.output("g", g); // direct: port name == net name
+        b.output("a", g); // collides with the input net name
+        b.output("a", a); // duplicate port name, different net
+        let c = b.build();
+        blif_round_trip(&c).unwrap_or_else(|e| panic!("{e}"));
+        let text = print_blif(&c);
+        let reparsed = parse_blif(&text).unwrap();
+        assert_eq!(reparsed.num_outputs(), 3);
     }
 
     #[test]

@@ -47,7 +47,7 @@ mod tr_min;
 #[cfg(all(test, feature = "proptest"))]
 mod proptests;
 
-pub use blif::{parse_blif, print_blif, ParseBlifError};
+pub use blif::{blif_round_trip, parse_blif, print_blif, ParseBlifError};
 pub use circuit::{
     Circuit, CircuitBuilder, Gate, GateKind, Latch, NetId, NetSource, OutputPort,
 };

@@ -77,13 +77,19 @@ pub fn serialize(inst: &Instance, oracle: Oracle, provenance: &str) -> String {
         u8::from(inst.chaos.flush_between),
         u8::from(inst.chaos.gc_between)
     ));
-    // Budget fields are emitted only when armed, so entries from before
-    // the budget oracle stay byte-identical.
+    // Budget/reorder/chain fields are emitted only when armed, so
+    // entries from before each oracle existed stay byte-identical.
     if let Some(steps) = inst.chaos.step_budget {
         out.push_str(&format!(" steps={steps}"));
     }
     if let Some(nodes) = inst.chaos.node_budget {
         out.push_str(&format!(" nodes={nodes}"));
+    }
+    if inst.chaos.reorder_between {
+        out.push_str(" reorder=1");
+    }
+    if inst.chaos.chain_build {
+        out.push_str(" chain=1");
     }
     out.push('\n');
     out
@@ -169,6 +175,8 @@ fn parse_chaos(value: &str) -> Result<ChaosPlan, CorpusError> {
                     CorpusError::new(format!("bad chaos nodes value {v:?}: {e}"))
                 })?);
             }
+            "reorder" => plan.reorder_between = flag()?,
+            "chain" => plan.chain_build = flag()?,
             _ => return Err(CorpusError::new(format!("unknown chaos field {key:?}"))),
         }
     }
@@ -235,6 +243,24 @@ mod tests {
         assert_eq!(entry.instance.chaos.node_budget, None);
         let entry = parse("oracle: invariance\nspec: (d1 01)\n").unwrap();
         assert_eq!(entry.instance.chaos, ChaosPlan::NONE);
+    }
+
+    #[test]
+    fn chaos_reorder_and_chain_fields_round_trip() {
+        let entry =
+            parse("oracle: cover\nspec: (d1 01)\nchaos: flush=0 gc=0 reorder=1 chain=1\n").unwrap();
+        assert!(entry.instance.chaos.reorder_between);
+        assert!(entry.instance.chaos.chain_build);
+        let text = serialize(&entry.instance, entry.oracle, "");
+        assert!(text.contains("chaos: flush=0 gc=0 reorder=1 chain=1"));
+        assert_eq!(parse(&text).unwrap(), entry);
+        // Unarmed plans never emit the new fields (old entries stable).
+        let plain = Instance::new(vec![None, Some(true)], ChaosPlan::NONE);
+        let text = serialize(&plain, Oracle::Cover, "");
+        assert!(!text.contains("reorder=") && !text.contains("chain="));
+        // Garbage values are hard errors.
+        assert!(parse("oracle: cover\nspec: (d1 01)\nchaos: reorder=2\n").is_err());
+        assert!(parse("oracle: cover\nspec: (d1 01)\nchaos: chain=x\n").is_err());
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub mod corpus;
 pub mod gen;
 pub mod oracle;
 pub mod runner;
+pub mod sched;
 pub mod shrink;
+pub mod structured;
+pub mod surface;
 
 pub use corpus::{parse as parse_corpus, serialize as serialize_corpus, CorpusEntry};
 pub use gen::{random_instance, ChaosPlan, Instance};

@@ -28,7 +28,7 @@ use bddmin_core::{
     CliqueOptions, ExactConfig, Heuristic, Isf, LevelAccel, MatchCriterion, SiblingConfig,
 };
 
-use crate::gen::{care_is_cube, Instance};
+use crate::gen::{care_is_cube, ChaosPlan, Instance};
 
 /// One correctness contract the fuzzer checks per instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -351,13 +351,20 @@ fn apply_heuristic(bdd: &mut Bdd, h: Heuristic, isf: Isf, mutant: Mutant) -> Edg
     }
 }
 
-/// Injects the instance's chaos plan between heuristic invocations.
-fn inject_chaos(bdd: &mut Bdd, inst: &Instance, roots: &[Edge]) {
-    if inst.chaos.flush_between {
+/// Injects a chaos plan between heuristic invocations. The plan is
+/// passed explicitly (rather than read off the instance) because the
+/// invariance oracle must strip reorder injection from its paired runs:
+/// a sift between two invocations legitimately changes which cover a
+/// heuristic picks, so only the validity oracles may reorder mid-flight.
+fn inject_chaos(bdd: &mut Bdd, plan: ChaosPlan, roots: &[Edge]) {
+    if plan.flush_between {
         bdd.clear_caches();
     }
-    if inst.chaos.gc_between {
+    if plan.gc_between {
         bdd.collect_garbage(roots);
+    }
+    if plan.reorder_between {
+        bdd.reorder_roots(&ReorderSettings::default(), roots);
     }
 }
 
@@ -393,7 +400,7 @@ fn check_cover(inst: &Instance, mutant: Mutant) -> Verdict {
     let isf = inst.build(&mut bdd);
     let mut roots = vec![isf.f, isf.c];
     for h in registry() {
-        inject_chaos(&mut bdd, inst, &roots);
+        inject_chaos(&mut bdd, inst.chaos, &roots);
         let g = apply_heuristic(&mut bdd, h, isf, mutant);
         roots.push(g);
         if !isf.is_cover(&mut bdd, g) {
@@ -588,10 +595,11 @@ fn check_invariance(inst: &Instance, mutant: Mutant) -> Verdict {
         let g1 = apply_heuristic(&mut bdd, h, isf, mutant);
         roots.push(g1);
         // Baseline disturbance between the two runs, plus whatever the
-        // instance's chaos plan adds.
+        // instance's chaos plan adds — minus reorder injection, which
+        // would legitimately change the cover a heuristic picks.
         bdd.clear_caches();
         bdd.collect_garbage(&roots);
-        inject_chaos(&mut bdd, inst, &roots);
+        inject_chaos(&mut bdd, inst.chaos.without_reorder(), &roots);
         let g2 = apply_heuristic(&mut bdd, h, isf, mutant);
         roots.pop();
         if g1 != g2 {

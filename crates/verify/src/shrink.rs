@@ -83,6 +83,12 @@ fn candidates(inst: &Instance) -> Vec<Instance> {
     if inst.chaos.node_budget.is_some() {
         chaos_drops.push(ChaosPlan { node_budget: None, ..inst.chaos });
     }
+    if inst.chaos.reorder_between {
+        chaos_drops.push(ChaosPlan { reorder_between: false, ..inst.chaos });
+    }
+    if inst.chaos.chain_build {
+        chaos_drops.push(ChaosPlan { chain_build: false, ..inst.chaos });
+    }
     for chaos in chaos_drops {
         out.push(Instance {
             leaves: inst.leaves.clone(),
@@ -143,11 +149,149 @@ pub fn shrink(inst: &Instance, oracle: Oracle, mutant: Mutant) -> ShrinkOutcome 
     }
 }
 
+/// Shrinkable structured value: the surface analogue of the instance
+/// shrinker's candidate moves. Implementations must make every element
+/// of [`Reduce::reductions`] strictly smaller under [`Reduce::measure`]
+/// — that is the whole termination argument of [`shrink_with`].
+pub trait Reduce: Clone {
+    /// The size measure greedy shrinking strictly decreases.
+    fn measure(&self) -> usize;
+
+    /// All single-step reduction candidates, in deterministic order.
+    fn reductions(&self) -> Vec<Self>;
+}
+
+/// Greedily minimizes `value` while `still_fails` holds, taking the
+/// first still-failing reduction at each step (deterministic, like the
+/// instance shrinker). Returns the minimal value and the accepted step
+/// count.
+pub fn shrink_with<T: Reduce>(value: &T, still_fails: impl Fn(&T) -> bool) -> (T, usize) {
+    let mut cur = value.clone();
+    let mut steps = 0;
+    loop {
+        let size = cur.measure();
+        let next = cur.reductions().into_iter().find(|cand| {
+            debug_assert!(
+                cand.measure() < size,
+                "reduction did not decrease the measure"
+            );
+            still_fails(cand)
+        });
+        match next {
+            Some(cand) => {
+                cur = cand;
+                steps += 1;
+            }
+            None => return (cur, steps),
+        }
+    }
+}
+
+impl Reduce for crate::structured::BlifProgram {
+    fn measure(&self) -> usize {
+        self.inputs.len()
+            + self.outputs.len()
+            + 2 * self.latches.len()
+            + self
+                .names
+                .iter()
+                .map(|n| 1 + n.inputs.len() + n.rows.len())
+                .sum::<usize>()
+            + usize::from(!self.end)
+    }
+
+    fn reductions(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        // Restoring a missing `.end` removes the anomaly (weight 1).
+        if !self.end {
+            let mut p = self.clone();
+            p.end = true;
+            out.push(p);
+        }
+        // Whole-line deletions: logic nodes, latches, outputs, inputs.
+        for i in 0..self.names.len() {
+            let mut p = self.clone();
+            p.names.remove(i);
+            out.push(p);
+        }
+        for i in 0..self.latches.len() {
+            let mut p = self.clone();
+            p.latches.remove(i);
+            out.push(p);
+        }
+        for i in 0..self.outputs.len() {
+            let mut p = self.clone();
+            p.outputs.remove(i);
+            out.push(p);
+        }
+        for i in 0..self.inputs.len() {
+            let mut p = self.clone();
+            p.inputs.remove(i);
+            out.push(p);
+        }
+        // Row merges: adjacent cover rows collapse into the first (the
+        // line-merge move — deleting the second row of the pair).
+        for (n, node) in self.names.iter().enumerate() {
+            for r in 0..node.rows.len() {
+                let mut p = self.clone();
+                p.names[n].rows.remove(r);
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+impl Reduce for crate::structured::ExprInput {
+    fn measure(&self) -> usize {
+        self.function.size() + self.care.size() + usize::from(self.mangle.is_some())
+    }
+
+    fn reductions(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if self.mangle.is_some() {
+            let mut p = self.clone();
+            p.mangle = None;
+            out.push(p);
+        }
+        for f in self.function.reductions() {
+            let mut p = self.clone();
+            p.function = f;
+            out.push(p);
+        }
+        for c in self.care.reductions() {
+            let mut p = self.clone();
+            p.care = c;
+            out.push(p);
+        }
+        out
+    }
+}
+
+impl Reduce for crate::structured::ArgVec {
+    fn measure(&self) -> usize {
+        self.args.iter().map(|a| 1 + a.len()).sum()
+    }
+
+    fn reductions(&self) -> Vec<Self> {
+        // Drop one token at a time; validity expectations carry over so
+        // the predicate re-checks the same contract.
+        (0..self.args.len())
+            .map(|i| {
+                let mut p = self.clone();
+                p.args.remove(i);
+                p
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::gen::random_instance;
     use crate::oracle::Verdict;
+    use crate::structured::{ArgVec, BlifProgram, ExprInput, Generate};
     use bddmin_core::rng::XorShift64;
 
     /// A failing (instance, oracle) pair obtained by fuzzing a mutant.
@@ -222,6 +366,68 @@ mod tests {
                 assert!(instance_size(&cand) < size);
                 assert!(cand.leaves.len().is_power_of_two());
             }
+        }
+    }
+
+    #[test]
+    fn surface_reductions_strictly_decrease_their_measures() {
+        let mut rng = XorShift64::seed_from_u64(51);
+        for round in 0..30 {
+            let b = BlifProgram::generate(&mut rng, round);
+            for r in b.reductions() {
+                assert!(r.measure() < b.measure(), "blif round {round}");
+            }
+            let e = ExprInput::generate(&mut rng, round);
+            for r in e.reductions() {
+                assert!(r.measure() < e.measure(), "expr round {round}");
+            }
+            let a = ArgVec::generate(&mut rng, round);
+            for r in a.reductions() {
+                assert!(r.measure() < a.measure(), "args round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_with_finds_a_local_minimum() {
+        // Predicate: the vector still contains the token "spec". The
+        // minimum is the single-token vector.
+        let v = ArgVec {
+            args: ["spec", "d1 01", "--exact", "--isop"].map(str::to_owned).to_vec(),
+            expect_valid: true,
+        };
+        let (min, steps) = shrink_with(&v, |c| c.args.iter().any(|a| a == "spec"));
+        assert_eq!(min.args, vec!["spec".to_owned()]);
+        assert_eq!(steps, 3);
+        // Deterministic: same input, same outcome.
+        let (again, _) = shrink_with(&v, |c| c.args.iter().any(|a| a == "spec"));
+        assert_eq!(again.args, min.args);
+    }
+
+    #[test]
+    fn shrink_with_reduces_expression_trees_to_the_failing_core() {
+        use crate::structured::ExprTree;
+        // Predicate: the function still mentions variable 2 somewhere.
+        fn mentions(t: &ExprTree, var: usize) -> bool {
+            match t {
+                ExprTree::Const(_) => false,
+                ExprTree::Var(i) => *i == var,
+                ExprTree::Not(c) => mentions(c, var),
+                ExprTree::Bin(_, l, r) => mentions(l, var) || mentions(r, var),
+            }
+        }
+        let mut rng = XorShift64::seed_from_u64(53);
+        for round in 0..20 {
+            let input = ExprInput::generate(&mut rng, round);
+            if !mentions(&input.function, 2) {
+                continue;
+            }
+            let (min, _) = shrink_with(&input, |c| mentions(&c.function, 2));
+            // Locally minimal: the function should be exactly `Var(2)`
+            // (size 2) and the care a constant (size 1).
+            assert_eq!(min.function, ExprTree::Var(2), "round {round}");
+            assert_eq!(min.function.size() + min.care.size(), 3, "round {round}");
+            assert!(min.mangle.is_none());
         }
     }
 

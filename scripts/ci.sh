@@ -18,15 +18,27 @@
 #   chain        chain-invariance oracle fuzz + break-chain mutant gate
 #                + chain_storm quick run (BENCH_7 schema) + chain-on/off
 #                stdout determinism diff
-#   perf         perf_smoke --quick + JSON schema check
+#   perf         perf_smoke --quick + JSON schema checks (BENCH_5 and
+#                the ci_timings.json wall-clock artifact)
+#
+# Opt-in stages (valid for --stage, excluded from the default run):
+#   fuzz-deep    sustained structured fuzz: 60 s budget, bandit over all
+#                seven generator arms, all ten oracles, instance floors
+#                (>= 1000 instances, >= 16/s); shrunk reproducers land in
+#                fuzz-scratch/deep with a loud diff against tests/corpus
+#
+# After every completed stage the per-stage wall clock is rewritten to
+# ci_timings.json ([{"stage": ..., "status": ..., "ms": ...}, ...]); the
+# perf stage validates that artifact with the check_timings binary.
 #
 # Everything works with no network access: the workspace has no external
 # dependencies (proptest/criterion suites are feature-gated off; the
 # randomized suites run on the in-tree xorshift generator).
 #
-# Usage: scripts/ci.sh [--stage <name>]...
-#   With no arguments every stage runs in order. Each --stage selects
-#   one stage; repeat the flag to run several. A per-stage wall-clock
+# Usage: scripts/ci.sh [--stage <name>]... [--list-stages]
+#   With no arguments every default stage runs in order. Each --stage
+#   selects one stage; repeat the flag to run several. --list-stages
+#   prints every valid stage name and exits. A per-stage wall-clock
 #   summary is printed at the end either way.
 #
 
@@ -35,6 +47,8 @@ cd "$(dirname "$0")/.."
 
 # ---------------------------------------------------------------- staging
 ALL_STAGES=(build test lint invariance determinism fuzz-smoke degradation reorder chain perf)
+# Valid for --stage but never part of the default sweep.
+EXTRA_STAGES=(fuzz-deep)
 SELECTED=()
 while [[ $# -gt 0 ]]; do
     case "$1" in
@@ -43,8 +57,17 @@ while [[ $# -gt 0 ]]; do
             SELECTED+=("$2")
             shift 2
             ;;
+        --list-stages)
+            for stage in "${ALL_STAGES[@]}"; do
+                echo "$stage"
+            done
+            for stage in "${EXTRA_STAGES[@]}"; do
+                echo "$stage (opt-in)"
+            done
+            exit 0
+            ;;
         -h|--help)
-            sed -n '2,26p' "$0" | sed 's/^# \{0,1\}//'
+            sed -n '2,40p' "$0" | sed 's/^# \{0,1\}//'
             exit 0
             ;;
         *)
@@ -58,30 +81,68 @@ if [[ ${#SELECTED[@]} -eq 0 ]]; then
 fi
 for stage in "${SELECTED[@]}"; do
     ok=0
-    for known in "${ALL_STAGES[@]}"; do
+    for known in "${ALL_STAGES[@]}" "${EXTRA_STAGES[@]}"; do
         [[ "$stage" == "$known" ]] && ok=1
     done
     [[ $ok -eq 1 ]] || {
-        echo "ci.sh: unknown stage '$stage' (known: ${ALL_STAGES[*]})" >&2
+        echo "ci.sh: unknown stage '$stage' (known: ${ALL_STAGES[*]} ${EXTRA_STAGES[*]})" >&2
         exit 2
     }
 done
 
 STAGE_NAMES=()
+STAGE_STATUS=()
 STAGE_TIMES_MS=()
+TIMINGS_FILE="ci_timings.json"
+CURRENT_STAGE=""
+CURRENT_T0=0
 now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+# Rewrites the machine-readable wall-clock artifact from the stage
+# arrays. Called after every completed stage (and from the EXIT trap on
+# a mid-stage failure) so the artifact is always current and valid.
+write_timings() {
+    {
+        echo "["
+        local i last=$(( ${#STAGE_NAMES[@]} - 1 ))
+        for i in "${!STAGE_NAMES[@]}"; do
+            local comma=","
+            [[ $i -eq $last ]] && comma=""
+            printf '  {"stage": "%s", "status": "%s", "ms": %d}%s\n' \
+                "${STAGE_NAMES[$i]}" "${STAGE_STATUS[$i]}" "${STAGE_TIMES_MS[$i]}" "$comma"
+        done
+        echo "]"
+    } >"$TIMINGS_FILE"
+}
+
+# A stage aborting under `set -e` still gets a timings entry, marked
+# failed, so the artifact tells the whole story of the run.
+on_exit() {
+    local code=$?
+    if [[ $code -ne 0 && -n "$CURRENT_STAGE" ]]; then
+        STAGE_NAMES+=("$CURRENT_STAGE")
+        STAGE_STATUS+=(fail)
+        STAGE_TIMES_MS+=($(( $(now_ms) - CURRENT_T0 )))
+        write_timings
+    fi
+}
+trap on_exit EXIT
 
 run_stage() {
     local name="$1"
     for want in "${SELECTED[@]}"; do
         if [[ "$want" == "$name" ]]; then
             echo "==> stage: $name"
-            local t0 t1
-            t0=$(now_ms)
+            CURRENT_STAGE="$name"
+            CURRENT_T0=$(now_ms)
             "stage_${name//-/_}"
+            local t1
             t1=$(now_ms)
             STAGE_NAMES+=("$name")
-            STAGE_TIMES_MS+=($(( t1 - t0 )))
+            STAGE_STATUS+=(ok)
+            STAGE_TIMES_MS+=($(( t1 - CURRENT_T0 )))
+            CURRENT_STAGE=""
+            write_timings
             return
         fi
     done
@@ -133,6 +194,31 @@ stage_fuzz_smoke() {
             >/dev/null
     done
     echo "    all ten oracles fired and shrank their mutants"
+    echo "    structured fuzz: bandit over all seven arms, every input surface"
+    ./target/release/verify --structured --corpus-seed tests/corpus \
+        --seed 1..2 --budget-ms 10000 --no-write
+    echo "    structured rotation green across instances, BLIF, expr, and CLI args"
+}
+
+stage_fuzz_deep() {
+    cargo build --release -q -p bddmin-verify
+    local scratch="fuzz-scratch/deep"
+    rm -rf "$scratch"
+    mkdir -p "$scratch"
+    echo "    sustained structured fuzz: 60 s budget, all ten oracles,"
+    echo "    floors: >= 1000 instances and >= 16 instances/s"
+    if ! ./target/release/verify --structured --corpus-seed tests/corpus \
+        --seed 17..20 --budget-ms 60000 --corpus-dir "$scratch" \
+        --min-instances 1000 --min-rate 16; then
+        echo "ci.sh: fuzz-deep FAILED; shrunk reproducers in $scratch/" >&2
+        echo "ci.sh: ---- diff against the committed corpus ----------------" >&2
+        diff -ru tests/corpus "$scratch" >&2 || true
+        echo "ci.sh: ---------------------------------------------------------" >&2
+        echo "ci.sh: triage the reproducers above; real bugs get a fix plus a" >&2
+        echo "ci.sh: committed tests/corpus/ entry replayed by corpus_replay" >&2
+        exit 1
+    fi
+    echo "    fuzz-deep sustained the floors with zero failures"
 }
 
 stage_degradation() {
@@ -226,18 +312,24 @@ stage_perf() {
         }
     done
     echo "    BENCH_5.quick.json schema ok"
+    # Validate the wall-clock artifact accumulated so far this run (an
+    # empty array when perf is the first selected stage — still valid).
+    cargo build --release -q -p bddmin-eval --bin check_timings
+    write_timings
+    ./target/release/check_timings "$TIMINGS_FILE"
 }
 
 # ---------------------------------------------------------------- driver
-for stage in "${ALL_STAGES[@]}"; do
+for stage in "${ALL_STAGES[@]}" "${EXTRA_STAGES[@]}"; do
     run_stage "$stage"
 done
 
-echo "==> ci.sh: stage timing summary"
+echo "==> ci.sh: stage timing summary (also written to $TIMINGS_FILE)"
 total=0
 for i in "${!STAGE_NAMES[@]}"; do
-    printf '    %-12s %8d ms\n' "${STAGE_NAMES[$i]}" "${STAGE_TIMES_MS[$i]}"
+    printf '    %-12s %-5s %8d ms\n' "${STAGE_NAMES[$i]}" "${STAGE_STATUS[$i]}" \
+        "${STAGE_TIMES_MS[$i]}"
     total=$(( total + STAGE_TIMES_MS[i] ))
 done
-printf '    %-12s %8d ms\n' total "$total"
+printf '    %-12s %-5s %8d ms\n' total "" "$total"
 echo "==> ci.sh: all selected stages passed"
