@@ -12,9 +12,13 @@
 //! * a **node limit** — a ceiling on live nodes, checked exactly when the
 //!   unique table is about to allocate a node (find-or-add hits never
 //!   trip it). Also deterministic;
-//! * a **deadline** — an optional wall-clock cutoff, polled coarsely
-//!   (every 1024 steps) so the common path stays branch-cheap. The
-//!   deadline is inherently nondeterministic and must be kept out of any
+//! * a **deadline** — an optional wall-clock cutoff, polled adaptively
+//!   so the common path stays branch-cheap: the poll stride starts at 1
+//!   step and doubles after each check that lands in the first half of
+//!   the armed window (capped at 1024), then halves (floor 1) on every
+//!   check past the midpoint, so the trip lands close to the deadline
+//!   instead of overshooting by a full coarse stride. The deadline is
+//!   inherently nondeterministic and must be kept out of any
 //!   determinism-gated path (invariance suites, byte-identical table
 //!   diffs); the deterministic limits are safe everywhere.
 //!

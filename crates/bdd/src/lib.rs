@@ -79,6 +79,7 @@ pub use manager::{Bdd, BddStats};
 pub use node::Node;
 pub use reorder::{ReorderMethod, ReorderSettings, ReorderStats};
 pub use sig::{SigEvaluator, SIG_LANES, SIG_SEED};
+pub use transfer::TransferError;
 pub use util::{FastBuild, FastHasher};
 
 // Property-based suite: needs the external `proptest` crate, which the

@@ -181,6 +181,17 @@ pub struct Bdd {
     /// is one add per recursion step — so reports can show work done even
     /// without limits.
     pub(crate) steps: u64,
+    /// Adaptive deadline polling: the step count at which the clock is
+    /// next consulted (see [`Bdd::charge_step`]). `u64::MAX` with no
+    /// deadline armed, so the common path is a single compare.
+    next_deadline_poll: u64,
+    /// Current gap (in steps) between deadline polls: ramps up 1 → 2 →
+    /// … → `DEADLINE_POLL_GAP_MAX` (1024) while the first half of the armed
+    /// window lasts, halves on every poll past the midpoint.
+    deadline_poll_gap: u64,
+    /// Midpoint of the armed wall-clock window (arm instant + half the
+    /// allowance), the threshold past which polls tighten.
+    deadline_half: Option<std::time::Instant>,
     /// Chain-reduced (CBDD) mode: fixed at construction. When set, `mk`
     /// fuses don't-care/or-chain patterns into range nodes; when clear,
     /// every node is plain (`bot == var`) and the kernel behaves
@@ -199,6 +210,11 @@ pub struct Bdd {
 /// (unchecked paths) well before the stack actually runs out, including
 /// on the 2 MiB default test-thread stacks of debug builds.
 pub(crate) const MAX_REC_DEPTH: u32 = 1500;
+
+/// Hard cap on the gap (in governed steps) between two wall-clock
+/// deadline polls; the adaptive schedule of [`Bdd::charge_step`] ramps up
+/// to it and back down near the deadline.
+pub(crate) const DEADLINE_POLL_GAP_MAX: u64 = 1024;
 
 /// Live-node floor below which automatic GC never triggers.
 const MIN_AUTO_GC_THRESHOLD: usize = 1 << 14;
@@ -290,6 +306,9 @@ impl Bdd {
             reorder_swaps: 0,
             budget: Budget::UNLIMITED,
             steps: 0,
+            next_deadline_poll: u64::MAX,
+            deadline_poll_gap: 1,
+            deadline_half: None,
             chain_mode,
             chain_nodes: 0,
             peak_live: 1,
@@ -547,6 +566,18 @@ impl Bdd {
     pub fn set_budget(&mut self, budget: Budget) {
         self.budget = budget;
         self.steps = 0;
+        // Reset the adaptive deadline-poll schedule: poll at the very
+        // first step (a deadline already in the past must trip before
+        // any real work), then ramp the gap up while time is plentiful.
+        self.deadline_poll_gap = 1;
+        if let Some(deadline) = budget.deadline {
+            let now = std::time::Instant::now();
+            self.next_deadline_poll = 1;
+            self.deadline_half = Some(now + deadline.saturating_duration_since(now) / 2);
+        } else {
+            self.next_deadline_poll = u64::MAX;
+            self.deadline_half = None;
+        }
     }
 
     /// Disarms all resource limits (equivalent to arming
@@ -570,8 +601,15 @@ impl Bdd {
     /// The kernel recursions call this once per recursive step; layered
     /// minimization recursions (the `bddmin-core` pipeline) call it so
     /// their own traversal work counts too. The step count is
-    /// deterministic; the optional deadline is polled only every 1024
-    /// steps to keep the common path cheap.
+    /// deterministic; the optional deadline is polled **adaptively**: the
+    /// first step after arming always checks the clock, then the gap
+    /// between polls doubles (up to `DEADLINE_POLL_GAP_MAX` (1024)) while the
+    /// first half of the armed window lasts, and halves on every poll
+    /// past the midpoint. A fixed coarse stride let a single run of
+    /// expensive steps (one wide apply) overshoot a tight deadline by the
+    /// whole stride; with the ramp the overshoot is bounded by the
+    /// current gap, which never exceeds the number of steps the first
+    /// half of the window accommodated (nor the hard cap).
     #[inline]
     pub fn charge_step(&mut self) -> Result<(), BudgetExceeded> {
         self.steps += 1;
@@ -580,11 +618,21 @@ impl Bdd {
                 return Err(BudgetExceeded::STEPS);
             }
         }
-        if let Some(deadline) = self.budget.deadline {
-            // Poll coarsely: at the first step after arming, then every
-            // 1024th, so the common path never touches the clock.
-            if self.steps & 1023 == 1 && std::time::Instant::now() >= deadline {
-                return Err(BudgetExceeded::TIME);
+        // The common path is one compare: `next_deadline_poll` is
+        // `u64::MAX` unless a deadline is armed.
+        if self.steps >= self.next_deadline_poll {
+            if let Some(deadline) = self.budget.deadline {
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(BudgetExceeded::TIME);
+                }
+                if self.deadline_half.is_some_and(|half| now >= half) {
+                    self.deadline_poll_gap = (self.deadline_poll_gap / 2).max(1);
+                } else {
+                    self.deadline_poll_gap =
+                        (self.deadline_poll_gap * 2).min(DEADLINE_POLL_GAP_MAX);
+                }
+                self.next_deadline_poll = self.steps + self.deadline_poll_gap;
             }
         }
         Ok(())
@@ -1104,5 +1152,86 @@ mod tests {
         assert!(bdd.unpin(f));
         assert!(bdd.unpin(f));
         assert!(!bdd.unpin(f));
+    }
+
+    #[test]
+    fn past_deadline_trips_on_the_very_first_step() {
+        // The poll schedule starts at step 1: a deadline that is already
+        // gone must trip before any real work happens, no matter how
+        // coarse the steady-state gap is.
+        let mut bdd = Bdd::new(2);
+        bdd.set_budget(Budget::default().deadline(std::time::Instant::now()));
+        assert_eq!(
+            bdd.charge_step().unwrap_err(),
+            BudgetExceeded::TIME,
+            "stale deadline survived the first step"
+        );
+    }
+
+    #[test]
+    fn adaptive_polling_bounds_deadline_overshoot() {
+        use std::time::{Duration, Instant};
+        // Simulate a run of uniformly expensive governed steps (one wide
+        // apply): each step burns ~200 µs of wall clock before charging.
+        // Under the historical fixed 1024-step stride the second poll
+        // would land at step 1025 ≈ 205 ms — a 5× overshoot of the 40 ms
+        // window. The adaptive ramp polls on a doubling schedule in the
+        // first half of the window and a halving one in the second, so
+        // the trip must arrive close to the deadline.
+        let window = Duration::from_millis(40);
+        let mut bdd = Bdd::new(2);
+        let t0 = Instant::now();
+        bdd.set_budget(Budget::default().deadline(t0 + window));
+        let err = loop {
+            let step_start = Instant::now();
+            while step_start.elapsed() < Duration::from_micros(200) {
+                std::hint::spin_loop();
+            }
+            if let Err(e) = bdd.charge_step() {
+                break e;
+            }
+            assert!(
+                t0.elapsed() < window * 6,
+                "deadline overshoot unbounded: {:?} elapsed for a {:?} window",
+                t0.elapsed(),
+                window
+            );
+        };
+        assert_eq!(err, BudgetExceeded::TIME);
+        // Generous CI bound: the trip must land within 3× the window
+        // (the fixed stride needed >5×; typical adaptive overshoot is
+        // well under 1 ms here).
+        assert!(
+            t0.elapsed() < window * 3,
+            "deadline overshoot too large: {:?} for a {:?} window",
+            t0.elapsed(),
+            window
+        );
+    }
+
+    #[test]
+    fn deadline_poll_gap_halves_past_the_window_midpoint() {
+        use std::time::{Duration, Instant};
+        // White-box: drive charge_step with a deadline whose midpoint is
+        // already behind us; every poll must now tighten the gap.
+        let mut bdd = Bdd::new(2);
+        bdd.set_budget(Budget::default().deadline(Instant::now() + Duration::from_secs(600)));
+        // Ramp up: polls before the midpoint double the gap.
+        for _ in 0..50_000 {
+            bdd.charge_step().unwrap();
+        }
+        let ramped = bdd.deadline_poll_gap;
+        assert_eq!(ramped, DEADLINE_POLL_GAP_MAX, "gap never reached the cap");
+        // Force the midpoint into the past; the next polls must halve.
+        bdd.deadline_half = Some(Instant::now() - Duration::from_millis(1));
+        for _ in 0..4 * DEADLINE_POLL_GAP_MAX {
+            bdd.charge_step().unwrap();
+        }
+        assert!(
+            bdd.deadline_poll_gap <= ramped / 4,
+            "gap did not tighten past the midpoint: {} vs {}",
+            bdd.deadline_poll_gap,
+            ramped
+        );
     }
 }

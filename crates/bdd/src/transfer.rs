@@ -9,10 +9,69 @@
 //!   dropping all dead nodes and cache history.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use crate::edge::{Edge, Var};
 use crate::manager::Bdd;
 use crate::util::FastBuild;
+
+/// A request-reachable defect in a variable mapping handed to
+/// [`Bdd::try_transfer`].
+///
+/// A variable map comes from the outside world (a job's permutation, a
+/// CLI flag, an experiment config), so a bad one is an *input* error, not
+/// a kernel invariant: long-lived managers must reject it and keep
+/// serving. The panicking [`Bdd::transfer`] wrapper is retained for the
+/// call sites that construct their own (infallible) maps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TransferError {
+    /// Two source variables map to the same target variable, so the
+    /// rebuilt function would conflate them.
+    NotInjective {
+        /// The first source variable seen mapping to `target`.
+        first: Var,
+        /// The second source variable mapping to `target`.
+        second: Var,
+        /// The shared image.
+        target: Var,
+    },
+    /// The map sends a support variable outside the target manager's
+    /// declared variables.
+    UndeclaredTarget {
+        /// The source variable being mapped.
+        source: Var,
+        /// Its (out-of-range) image.
+        target: Var,
+        /// How many variables the target manager declares.
+        declared: usize,
+    },
+}
+
+impl fmt::Display for TransferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TransferError::NotInjective {
+                first,
+                second,
+                target,
+            } => write!(
+                f,
+                "variable map not injective: {first} and {second} both map to {target}"
+            ),
+            TransferError::UndeclaredTarget {
+                source,
+                target,
+                declared,
+            } => write!(
+                f,
+                "target variable {target} not declared \
+                 ({source} maps to it, target manager has {declared} variables)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
 
 impl Bdd {
     /// Rebuilds `f` (a function of *this* manager) inside `target`,
@@ -30,7 +89,8 @@ impl Bdd {
     /// # Panics
     ///
     /// Panics if the mapping is not injective on the support of `f`, or
-    /// maps to undeclared target variables.
+    /// maps to undeclared target variables. Call [`Bdd::try_transfer`]
+    /// instead when the map comes from untrusted input.
     ///
     /// # Example
     ///
@@ -53,18 +113,60 @@ impl Bdd {
         target: &mut Bdd,
         var_map: impl Fn(Var) -> Var,
     ) -> Edge {
-        // Map the support and check injectivity.
+        match self.try_transfer(f, target, var_map) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Bdd::transfer`] with the variable map validated instead of
+    /// trusted: a non-injective map or one that maps support variables to
+    /// undeclared target variables returns a structured
+    /// [`TransferError`], leaving both managers untouched, so a malformed
+    /// request cannot kill a long-lived manager.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bddmin_bdd::{Bdd, TransferError, Var};
+    /// let mut src = Bdd::new(2);
+    /// let a = src.var(Var(0));
+    /// let b = src.var(Var(1));
+    /// let f = src.and(a, b);
+    /// let mut dst = Bdd::new(2);
+    /// // A malicious identity-collapsing map is rejected, not fatal.
+    /// let err = src.try_transfer(f, &mut dst, |_| Var(0)).unwrap_err();
+    /// assert!(matches!(err, TransferError::NotInjective { .. }));
+    /// // The managers still work.
+    /// let g = src.try_transfer(f, &mut dst, |v| v).unwrap();
+    /// assert_eq!(dst.size(g), src.size(f));
+    /// ```
+    pub fn try_transfer(
+        &mut self,
+        f: Edge,
+        target: &mut Bdd,
+        var_map: impl Fn(Var) -> Var,
+    ) -> Result<Edge, TransferError> {
+        // Map the support and check injectivity. Validation completes
+        // before any node is built, so an error leaves no side effects.
         let support = self.support(f);
         let mut mapping: HashMap<Var, Var> = HashMap::new();
         let mut used: HashMap<Var, Var> = HashMap::new();
         for &v in &support {
             let t = var_map(v);
-            assert!(
-                t.index() < target.num_vars(),
-                "target variable {t} not declared"
-            );
+            if t.index() >= target.num_vars() {
+                return Err(TransferError::UndeclaredTarget {
+                    source: v,
+                    target: t,
+                    declared: target.num_vars(),
+                });
+            }
             if let Some(&prev) = used.get(&t) {
-                panic!("variable map not injective: {prev} and {v} both map to {t}");
+                return Err(TransferError::NotInjective {
+                    first: prev,
+                    second: v,
+                    target: t,
+                });
             }
             used.insert(t, v);
             mapping.insert(v, t);
@@ -77,7 +179,7 @@ impl Bdd {
         by_target.sort_by_key(|&(t, s)| (target.level_of_var(t), s));
         let plan: Vec<(Var, Var)> = by_target; // (target var, source var)
         let mut memo: HashMap<(Edge, usize), Edge, FastBuild> = HashMap::default();
-        self.transfer_rec(f, target, &plan, 0, &mut memo)
+        Ok(self.transfer_rec(f, target, &plan, 0, &mut memo))
     }
 
     fn transfer_rec(
@@ -246,6 +348,47 @@ mod tests {
         let a = src.var(Var(0));
         let mut dst = Bdd::new(1);
         let _ = src.transfer(a, &mut dst, |_| Var(5));
+    }
+
+    #[test]
+    fn try_transfer_rejects_bad_maps_and_keeps_managers_alive() {
+        let mut src = Bdd::new(3);
+        let a = src.var(Var(0));
+        let b = src.var(Var(1));
+        let f = src.and(a, b);
+        let mut dst = Bdd::new(2);
+        // Non-injective: both support variables collapse onto v0.
+        let err = src.try_transfer(f, &mut dst, |_| Var(0)).unwrap_err();
+        match err {
+            TransferError::NotInjective { first, second, target } => {
+                assert_eq!(first, Var(0));
+                assert_eq!(second, Var(1));
+                assert_eq!(target, Var(0));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert!(err.to_string().contains("not injective"), "{err}");
+        // Out-of-range image carries the full context.
+        let err = src.try_transfer(f, &mut dst, |v| Var(v.0 + 7)).unwrap_err();
+        match err {
+            TransferError::UndeclaredTarget { source, target, declared } => {
+                assert_eq!(source, Var(0));
+                assert_eq!(target, Var(7));
+                assert_eq!(declared, 2);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert!(err.to_string().contains("not declared"), "{err}");
+        // The rejections are side-effect free: the same managers still
+        // serve well-formed requests (the long-lived-manager contract).
+        let g = src.try_transfer(f, &mut dst, |v| v).unwrap();
+        assert_eq!(dst.size(g), src.size(f));
+        for bits in 0..4u32 {
+            let assign: Vec<bool> = (0..2).map(|i| bits >> i & 1 == 1).collect();
+            let mut full = assign.clone();
+            full.push(false);
+            assert_eq!(src.eval(f, &full), dst.eval(g, &assign));
+        }
     }
 
     #[test]

@@ -42,7 +42,9 @@ impl BudgetOpts {
     }
 
     /// Builds a fresh budget whose wall-clock allowance starts now.
-    fn to_budget(self) -> Budget {
+    /// Public because the serve daemon arms the same per-request budgets
+    /// from its job fields.
+    pub fn to_budget(self) -> Budget {
         let mut budget = Budget::default();
         if let Some(steps) = self.step_limit {
             budget = budget.steps(steps);
@@ -96,6 +98,12 @@ impl HeuristicFilter {
     /// with at most one `*` (matched as prefix + suffix over the registry
     /// names). A glob may match nothing, but a filter whose *total*
     /// selection is empty is an error carrying the offending string.
+    ///
+    /// Empty segments (`"osm_td,,tsm_td"`, trailing commas) are rejected
+    /// with the 1-based segment position, never silently dropped; a
+    /// wholly blank filter gets the "no heuristic selected" error
+    /// instead. Serve-side job parsing goes through this same function,
+    /// so the cli and the service agree on every rejection.
     pub fn parse(raw: &str) -> Result<HeuristicFilter, CliError> {
         let mut selected: Vec<Heuristic> = Vec::new();
         let push = |h: Heuristic, selected: &mut Vec<Heuristic>| {
@@ -103,9 +111,20 @@ impl HeuristicFilter {
                 selected.push(h);
             }
         };
-        for token in raw.split(',').map(str::trim) {
+        for (pos, segment) in raw.split(',').enumerate() {
+            let token = segment.trim();
             if token.is_empty() {
-                continue;
+                if raw.trim().is_empty() {
+                    // A wholly blank filter is "nothing selected", not a
+                    // stray comma; report it through empty_error below.
+                    break;
+                }
+                return Err(CliError(format!(
+                    "--heuristic: empty segment at position {} of {:?} \
+                     (remove the stray comma)",
+                    pos + 1,
+                    raw
+                )));
             }
             if token == "all" {
                 for h in Self::registry() {
@@ -866,6 +885,40 @@ mod tests {
         // Unknown exact names and double-star patterns are still errors.
         assert!(HeuristicFilter::parse("bogus").is_err());
         assert!(HeuristicFilter::parse("*sm*").is_err());
+    }
+
+    #[test]
+    fn empty_comma_segments_are_rejected_with_their_position() {
+        // Historical bug: empty segments were silently skipped, so a typo
+        // like "osm_td,,tsm_td" parsed as if the stray comma were fine
+        // and the error text (when the rest also failed) never named the
+        // offending spot. Now every empty segment is a structured error
+        // carrying its 1-based position and the raw filter.
+        for (raw, pos) in [
+            ("osm_td,,tsm_td", 2),
+            (",osm_td", 1),
+            ("osm_td,", 2),
+            ("osm_td,tsm_td,", 3),
+            ("osm_td, ,tsm_td", 2),
+        ] {
+            let err = HeuristicFilter::parse(raw).unwrap_err();
+            assert!(
+                err.0.contains(&format!("empty segment at position {pos}")),
+                "missing position for {raw:?}: {err}"
+            );
+            assert!(err.0.contains(raw), "error must echo the filter: {err}");
+        }
+        // A wholly blank filter is "nothing selected", not a stray comma.
+        for raw in ["", "  "] {
+            let err = HeuristicFilter::parse(raw).unwrap_err();
+            assert!(
+                err.0.contains("no heuristic selected"),
+                "blank filter misreported for {raw:?}: {err}"
+            );
+        }
+        // Well-formed lists with interior spaces still parse.
+        let f = HeuristicFilter::parse(" osm_td , tsm_td ").unwrap();
+        assert_eq!(f.selected, vec![Heuristic::OsmTd, Heuristic::TsmTd]);
     }
 
     #[test]

@@ -135,6 +135,47 @@ impl MinReport {
     pub fn first_skip(&self) -> Option<&StepReport> {
         self.steps.iter().find(|s| !s.status.is_completed())
     }
+
+    /// Serializes the report as one JSON object, suitable for embedding
+    /// in a result line of the service protocol. The encoding is total
+    /// and deterministic: fixed key order, no floats, only names drawn
+    /// from [`StepKind::name`] and `BudgetKind::name`, so equal reports
+    /// produce byte-identical JSON.
+    ///
+    /// ```
+    /// use bddmin_core::MinReport;
+    /// assert_eq!(
+    ///     MinReport::new().to_json(),
+    ///     r#"{"steps":[],"completed":0,"skipped":0,"fell_back_to_f":false}"#
+    /// );
+    /// ```
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from(r#"{"steps":["#);
+        for (i, step) in self.steps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, r#"{{"kind":"{}""#, step.kind.name());
+            if let Some(level) = step.level {
+                let _ = write!(out, r#","level":{level}"#);
+            }
+            match step.status {
+                StepStatus::Completed => out.push_str(r#","status":"completed"}"#),
+                StepStatus::Skipped(e) => {
+                    let _ = write!(out, r#","status":"skipped","cause":"{}"}}"#, e.kind.name());
+                }
+            }
+        }
+        let _ = write!(
+            out,
+            r#"],"completed":{},"skipped":{},"fell_back_to_f":{}}}"#,
+            self.completed(),
+            self.skipped(),
+            self.fell_back_to_f
+        );
+        out
+    }
 }
 
 impl std::fmt::Display for MinReport {
@@ -175,6 +216,25 @@ mod tests {
         let first = r.first_skip().unwrap();
         assert_eq!(first.kind, StepKind::TsmLevel);
         assert_eq!(first.level, Some(1));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_names_every_step() {
+        let mut r = MinReport::new();
+        r.push_completed(StepKind::OsmSiblings, Some(0));
+        r.push_skipped(StepKind::TsmLevel, Some(1), BudgetExceeded::STEPS);
+        r.fell_back_to_f = true;
+        assert_eq!(
+            r.to_json(),
+            r#"{"steps":[{"kind":"osm-siblings","level":0,"status":"completed"},{"kind":"tsm-level","level":1,"status":"skipped","cause":"steps"}],"completed":1,"skipped":1,"fell_back_to_f":true}"#
+        );
+        // Level-less steps omit the key entirely rather than emit null.
+        let mut r = MinReport::new();
+        r.push_completed(StepKind::Direct, None);
+        assert_eq!(
+            r.to_json(),
+            r#"{"steps":[{"kind":"direct","status":"completed"}],"completed":1,"skipped":0,"fell_back_to_f":false}"#
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`runner`] — instance interception and measurement,
 //! * [`par`] — the same pipeline with measurement sharded across worker
 //!   threads (`--jobs N`), deterministically merged,
+//! * [`shard`] — the shard/transfer/merge primitives behind that
+//!   determinism contract, shared with the `bddmin-serve` daemon,
 //! * [`tables`] — Table 3 (cumulative sizes/runtimes/ranks), Table 4
 //!   (head-to-head), Figure 3 (robustness curves), prose summary,
 //! * [`report`] — plain-text and CSV rendering.
@@ -34,4 +36,5 @@
 pub mod par;
 pub mod report;
 pub mod runner;
+pub mod shard;
 pub mod tables;

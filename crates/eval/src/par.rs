@@ -14,7 +14,8 @@
 //!    identical to the sequential run's.
 //! 2. *Measure* (parallel): shard the recorded instances round-robin
 //!    across `jobs` workers. Each worker owns a **private `Bdd` manager**;
-//!    instances are copied in via [`Bdd::transfer`] (a semantic rebuild,
+//!    instances are copied in via the checked [`Bdd::try_transfer`]
+//!    (a semantic rebuild,
 //!    so every measured quantity is preserved — BDD sizes are canonical
 //!    under a fixed variable order and do not depend on which manager
 //!    holds the function). Workers run on `std::thread` and never share
@@ -36,6 +37,7 @@ use crate::runner::{
     filter_reason, measure_instance, BudgetLimits, CallRecord, ExperimentConfig,
     ExperimentResults, FilterReason,
 };
+use crate::shard;
 
 /// One instance intercepted during the record phase.
 struct RecordedInstance {
@@ -205,32 +207,33 @@ fn measure_recorded(
     jobs: usize,
     results: &mut ExperimentResults,
 ) -> Vec<Measured> {
-    // Transfers happen up front on this thread: `transfer` needs `&mut`
-    // access to the source manager (it memoises through its caches), and
-    // after this loop the workers are fully independent. Workers inherit
-    // the source manager's representation mode.
-    let mut workers: Vec<(Bdd, Vec<(usize, Isf)>)> = (0..jobs)
-        .map(|_| {
-            let bdd = if config.chain {
-                Bdd::new_chained(src.num_vars())
-            } else {
-                Bdd::new(src.num_vars())
-            };
-            (bdd, Vec::new())
-        })
-        .collect();
+    // Transfers happen up front on this thread: `try_transfer` needs
+    // `&mut` access to the source manager (it memoises through its
+    // caches), and after this loop the workers are fully independent.
+    // Workers inherit the source manager's representation mode. The
+    // shard assignment and the manager construction are the shared
+    // [`shard`] primitives so this pipeline and the serve daemon cannot
+    // drift apart on the determinism contract.
+    let mut workers: Vec<(Bdd, Vec<(usize, Isf)>)> = shard::worker_managers(
+        jobs,
+        src.num_vars(),
+        config.chain,
+    )
+    .into_iter()
+    .map(|bdd| (bdd, Vec::new()))
+    .collect();
     for (i, inst) in recorded.iter().enumerate() {
-        let (wbdd, share) = &mut workers[i % jobs];
-        let f = src.transfer(inst.isf.f, wbdd, |v| v);
-        let c = src.transfer(inst.isf.c, wbdd, |v| v);
-        share.push((i, Isf::new(f, c)));
+        let (wbdd, share) = &mut workers[shard::round_robin(i, jobs)];
+        let isf = shard::transfer_isf(src, inst.isf, wbdd, |v| v)
+            .expect("identity map is injective and all variables are declared");
+        share.push((i, isf));
         src.unpin(inst.isf.f);
         src.unpin(inst.isf.c);
     }
     let heuristics = &config.heuristics;
     let lb_cubes = config.lower_bound_cubes;
     let limits = config.limits;
-    let (mut out, peaks): (Vec<Measured>, Vec<bddmin_bdd::BddStats>) =
+    let (out, peaks): (Vec<Measured>, Vec<bddmin_bdd::BddStats>) =
         std::thread::scope(|scope| {
             let handles: Vec<_> = workers
                 .into_iter()
@@ -273,8 +276,7 @@ fn measure_recorded(
     for stats in &peaks {
         results.fold_peak(stats);
     }
-    out.sort_by_key(|m| m.index);
-    out
+    shard::merge_indexed(out, |m| m.index)
 }
 
 /// Command-line options shared by the table/figure binaries.

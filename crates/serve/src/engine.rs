@@ -1,0 +1,706 @@
+//! The service engine: signature cache, sharded workers, ordered merge.
+//!
+//! # Determinism contract
+//!
+//! The result stream is **byte-identical for every shard count** at a
+//! fixed input order. Three decisions carry that contract:
+//!
+//! 1. **Cache provenance is decided at dispatch time, on the dispatcher
+//!    thread, in input order.** A job is a `hit` iff an identical job
+//!    (same exact ISF after signature confirmation, same filter, budget
+//!    and variable map) appeared *earlier in the input* — even if that
+//!    earlier job is still in flight on a worker. Had provenance been
+//!    decided at completion time, a fast shard could turn a hit into a
+//!    miss and change the output.
+//! 2. **Results are emitted in input order** through an ordered buffer,
+//!    erasing worker completion order. A cache hit aliases an earlier
+//!    index; because emission is index-ordered and the alias target
+//!    precedes the alias, the target's result is always available when
+//!    the alias line is written.
+//! 3. **Shard identity stays out of the output** unless explicitly
+//!    requested (`--emit-shard`), because the assignment is a function
+//!    of the shard count.
+//!
+//! Workers process each job in a fresh manager (history independence:
+//! warm caches would make deterministic step budgets depend on which
+//! jobs a shard saw before) and wrap the job in `catch_unwind`, so a
+//! request that trips a latent panic produces a structured error line
+//! and the worker keeps serving — the long-lived-manager discipline of
+//! CUDD/Sylvan: a bad request degrades, it never kills the process.
+//!
+//! # Signature cache
+//!
+//! Results are content-addressed by the 64-lane [`IsfSig`] semantic
+//! signature plus the request parameters. Signatures are refutation
+//! filters, not identities, so **every hit passes exact-ISF
+//! confirmation**: specs are rebuilt in one dispatcher-owned manager
+//! where hash-consing makes exact equality a pair of pointer compares.
+//! A signature match whose ISF differs is counted as a collision and
+//! served as a miss — a forged or colliding signature can never alias a
+//! wrong result.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+
+use bddmin_bdd::{Bdd, Edge, SigEvaluator, Var, SIG_SEED};
+use bddmin_core::sigfilter::{isf_sig, IsfSig};
+use bddmin_core::{Heuristic, Isf};
+use bddmin_eval::shard;
+use bddmin_fsm::{parse_blif, simplify_report};
+
+use crate::json;
+use crate::protocol::{error_body, parse_job, render_result, CacheLabel, Job, JobKind, SERVE_MAX_VARS};
+
+/// Everything that identifies a cacheable request besides the exact ISF.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Semantic signature of the ISF (refutation-only; see module docs).
+    pub sig: IsfSig,
+    /// Canonical selection: heuristic names in run order.
+    pub filter: String,
+    /// `(step_limit, node_limit, time_limit_ms)`.
+    pub budget: (Option<u64>, Option<u64>, Option<u64>),
+    /// The variable renaming, if any.
+    pub var_map: Option<Vec<u32>>,
+}
+
+/// What the dispatcher decided for one job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CacheDecision {
+    /// Serve from the entry seeded by an earlier identical job.
+    Hit(usize),
+    /// Run the job; its result will seed this entry. Carries the
+    /// signature so hash-sharding can key on it.
+    Miss(usize, IsfSig),
+    /// Not cacheable (blif jobs).
+    Bypass,
+}
+
+struct CacheEntry {
+    f: Edge,
+    c: Edge,
+    /// `(ok, body)` once the seeding job completed.
+    result: Option<(bool, String)>,
+}
+
+/// The cross-request signature cache with exact-ISF confirmation.
+pub struct SigCache {
+    /// Dispatcher-owned manager: every cached spec is rebuilt here, so
+    /// hash-consing turns exact-ISF comparison into edge equality. Never
+    /// garbage collected (stable node ids keep the evaluator memo valid).
+    bdd: Bdd,
+    ev: SigEvaluator,
+    entries: Vec<CacheEntry>,
+    buckets: HashMap<CacheKey, Vec<usize>>,
+    /// Signature matches rejected by exact confirmation.
+    pub collisions: usize,
+}
+
+impl SigCache {
+    /// An empty cache sized for [`SERVE_MAX_VARS`].
+    pub fn new() -> SigCache {
+        SigCache {
+            bdd: Bdd::new(SERVE_MAX_VARS),
+            ev: SigEvaluator::new(SERVE_MAX_VARS, SIG_SEED),
+            entries: Vec::new(),
+            buckets: HashMap::new(),
+            collisions: 0,
+        }
+    }
+
+    /// Decides provenance for `job` (must be called in input order).
+    pub fn probe(&mut self, job: &Job) -> CacheDecision {
+        let JobKind::Spec { spec, var_map } = &job.kind else {
+            return CacheDecision::Bypass;
+        };
+        let (f, c) = spec.build(&mut self.bdd);
+        let sig = isf_sig(&mut self.ev, &self.bdd, Isf::new(f, c));
+        let filter: Vec<&str> = job.filter.selected.iter().map(|h| h.name()).collect();
+        let key = CacheKey {
+            sig,
+            filter: filter.join(","),
+            budget: (
+                job.budget.step_limit,
+                job.budget.node_limit.map(|n| n as u64),
+                job.budget.time_limit_ms,
+            ),
+            var_map: var_map.clone(),
+        };
+        self.lookup(key, f, c)
+    }
+
+    /// The confirmation step, separated from [`SigCache::probe`] so the
+    /// forged-signature path is directly testable: a `key` whose `sig`
+    /// matches an existing entry but whose exact ISF `(f, c)` differs is
+    /// REJECTED (counted as a collision) and becomes a fresh miss.
+    pub fn lookup(&mut self, key: CacheKey, f: Edge, c: Edge) -> CacheDecision {
+        let sig = key.sig;
+        let bucket = self.buckets.entry(key).or_default();
+        for &id in bucket.iter() {
+            let entry = &self.entries[id];
+            if entry.f == f && entry.c == c {
+                return CacheDecision::Hit(id);
+            }
+        }
+        if !bucket.is_empty() {
+            self.collisions += 1;
+        }
+        let id = self.entries.len();
+        bucket.push(id);
+        self.entries.push(CacheEntry {
+            f,
+            c,
+            result: None,
+        });
+        CacheDecision::Miss(id, sig)
+    }
+
+    /// Records the result of the job that seeded `entry`.
+    pub fn fill(&mut self, entry: usize, ok: bool, body: String) {
+        self.entries[entry].result = Some((ok, body));
+    }
+
+    /// The recorded result of `entry`, once filled.
+    pub fn result(&self, entry: usize) -> Option<&(bool, String)> {
+        self.entries[entry].result.as_ref()
+    }
+}
+
+impl Default for SigCache {
+    fn default() -> SigCache {
+        SigCache::new()
+    }
+}
+
+/// FNV-1a over bytes: the deterministic hash behind `--hash-shard` for
+/// jobs that carry no signature (blif sources).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs one job to a `(ok, body)` pair; never panics outward.
+pub fn process_job(job: &Job) -> (bool, String) {
+    match catch_unwind(AssertUnwindSafe(|| run_job(job))) {
+        Ok(Ok(body)) => (true, body),
+        Ok(Err(msg)) => (false, error_body(&msg)),
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("opaque panic payload");
+            (false, error_body(&format!("internal panic: {msg}")))
+        }
+    }
+}
+
+fn run_job(job: &Job) -> Result<String, String> {
+    match &job.kind {
+        JobKind::Spec { spec, var_map } => run_spec_job(job, spec, var_map.as_deref()),
+        JobKind::Blif { source } => run_blif_job(job, source),
+    }
+}
+
+fn run_spec_job(
+    job: &Job,
+    spec: &bddmin_bdd::LeafSpec,
+    var_map: Option<&[u32]>,
+) -> Result<String, String> {
+    let n = spec.num_vars().max(1);
+    let mut builder = Bdd::new(n);
+    let (f, c) = spec.build(&mut builder);
+    // The variable map crosses a manager boundary through the checked
+    // transfer: a non-injective or out-of-range map is a per-job error.
+    let (mut bdd, isf) = match var_map {
+        None => (builder, Isf::new(f, c)),
+        Some(map) => {
+            let mut target = Bdd::new(n);
+            let isf = shard::transfer_isf(&mut builder, Isf::new(f, c), &mut target, |v| {
+                Var(map[v.index()])
+            })
+            .map_err(|e| format!("transfer rejected: {e}"))?;
+            (target, isf)
+        }
+    };
+    let f_size = bdd.size(isf.f);
+    let c_size = bdd.size(isf.c);
+    let mut rows = String::new();
+    let mut best: Option<(usize, Edge, Heuristic)> = None;
+    let mut degraded = false;
+    for (i, &h) in job.filter.selected.iter().enumerate() {
+        // Same measurement discipline as the eval harness: cold caches
+        // per heuristic, so deterministic step budgets see the same
+        // recursion every run.
+        bdd.clear_caches();
+        let (g, report) = if job.budget.armed() {
+            let (g, report) = h.minimize_budgeted(&mut bdd, isf, job.budget.to_budget());
+            (g, Some(report))
+        } else {
+            (h.minimize(&mut bdd, isf), None)
+        };
+        let size = bdd.size(g);
+        if i > 0 {
+            rows.push(',');
+        }
+        let _ = write!(rows, "{{\"name\":\"{}\",\"size\":{size}", h.name());
+        if let Some(report) = &report {
+            degraded |= report.degraded();
+            let _ = write!(rows, ",\"report\":{}", report.to_json());
+        }
+        rows.push('}');
+        if best.is_none_or(|(bs, _, _)| size < bs) {
+            best = Some((size, g, h));
+        }
+    }
+    let (min_size, best_edge, best_h) =
+        best.ok_or_else(|| format!("no heuristic selected by filter {:?}", job.filter.raw))?;
+    let cover = bdd.isop(best_edge, best_edge).to_sop_string(&bdd);
+    Ok(format!(
+        "\"kind\":\"spec\",\"f_size\":{f_size},\"c_size\":{c_size},\
+         \"heuristics\":[{rows}],\"min_size\":{min_size},\"best\":\"{}\",\
+         \"cover\":\"{}\",\"degraded\":{degraded}",
+        best_h.name(),
+        json::escape(&cover)
+    ))
+}
+
+fn run_blif_job(job: &Job, source: &str) -> Result<String, String> {
+    let circuit = parse_blif(source).map_err(|e| format!("bad blif: {e}"))?;
+    let h = job.filter.selected[0];
+    let budget = job.budget;
+    let report = simplify_report(&circuit, |bdd, isf| {
+        if budget.armed() {
+            h.minimize_budgeted(bdd, isf, budget.to_budget()).0
+        } else {
+            h.minimize(bdd, isf)
+        }
+    });
+    let mut nets = String::new();
+    let (mut total_orig, mut total_min) = (0usize, 0usize);
+    for (i, entry) in report.iter().enumerate() {
+        total_orig += entry.original_size;
+        total_min += entry.minimized_size;
+        if i > 0 {
+            nets.push(',');
+        }
+        let _ = write!(
+            nets,
+            "{{\"name\":\"{}\",\"orig\":{},\"min\":{}}}",
+            json::escape(&entry.name),
+            entry.original_size,
+            entry.minimized_size
+        );
+    }
+    Ok(format!(
+        "\"kind\":\"blif\",\"nets\":[{nets}],\"total_orig\":{total_orig},\"total_min\":{total_min}"
+    ))
+}
+
+/// Service configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOpts {
+    /// Worker threads, each owning its own managers (min 1).
+    pub shards: usize,
+    /// Shard on the instance signature instead of round-robin.
+    pub hash_shard: bool,
+    /// Emit the shard id in result lines. Off by default: the
+    /// assignment depends on the shard count, so emitting it breaks the
+    /// byte-identical-across-shard-counts contract.
+    pub emit_shard: bool,
+}
+
+impl Default for ServeOpts {
+    fn default() -> ServeOpts {
+        ServeOpts {
+            shards: 1,
+            hash_shard: false,
+            emit_shard: false,
+        }
+    }
+}
+
+/// What one stream run did; rendered on stderr by the binary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Non-blank input lines.
+    pub jobs: usize,
+    /// `status:"ok"` results.
+    pub ok: usize,
+    /// `status:"error"` results.
+    pub errors: usize,
+    /// Results served from the signature cache.
+    pub cache_hits: usize,
+    /// Signature matches rejected by exact-ISF confirmation.
+    pub sig_collisions: usize,
+    /// Worker count used.
+    pub shards: usize,
+}
+
+impl std::fmt::Display for ServeSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bddmin-serve: {} jobs, {} ok, {} errors, {} cache hits, {} sig collisions, {} shards",
+            self.jobs, self.ok, self.errors, self.cache_hits, self.sig_collisions, self.shards
+        )
+    }
+}
+
+struct WorkItem {
+    index: usize,
+    job: Job,
+}
+
+struct WorkDone {
+    index: usize,
+    ok: bool,
+    body: String,
+}
+
+/// Per-index emission state.
+enum Slot {
+    /// Fully rendered result line.
+    Ready(bool, String),
+    /// Dispatched to a worker; rendered when its result arrives.
+    Waiting {
+        id: Option<String>,
+        cache: CacheLabel,
+        shard: Option<usize>,
+        entry: Option<usize>,
+    },
+    /// Cache hit: rendered at emission from the target entry's result.
+    Alias { id: Option<String>, entry: usize },
+}
+
+/// Maximum dispatched-but-unemitted jobs per shard before the reader
+/// blocks: bounds memory on huge streams without idling workers.
+const INFLIGHT_PER_SHARD: usize = 4;
+
+/// Reads JSON-lines jobs from `input`, writes one result line per job to
+/// `out` in input order, and returns the run summary. This is the whole
+/// daemon minus argument parsing; tests drive it in-process.
+pub fn process_stream(
+    input: impl BufRead,
+    out: &mut impl Write,
+    opts: &ServeOpts,
+) -> io::Result<ServeSummary> {
+    let shards = opts.shards.max(1);
+    let mut cache = SigCache::new();
+    let (done_tx, done_rx) = mpsc::channel::<WorkDone>();
+    let mut senders: Vec<mpsc::Sender<WorkItem>> = Vec::with_capacity(shards);
+    let mut handles = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = mpsc::channel::<WorkItem>();
+        let done = done_tx.clone();
+        handles.push(std::thread::spawn(move || {
+            for item in rx {
+                let (ok, body) = process_job(&item.job);
+                if done
+                    .send(WorkDone {
+                        index: item.index,
+                        ok,
+                        body,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        }));
+        senders.push(tx);
+    }
+    drop(done_tx);
+
+    let mut slots: BTreeMap<usize, Slot> = BTreeMap::new();
+    let mut summary = ServeSummary {
+        shards,
+        ..ServeSummary::default()
+    };
+    let mut next_emit = 0usize;
+    let mut outstanding = 0usize;
+    let mut dispatch_seq = 0usize;
+    let mut index = 0usize;
+
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_job(&line) {
+            Err(msg) => {
+                let rendered =
+                    render_result(index, None, false, CacheLabel::Bypass, None, &error_body(&msg));
+                slots.insert(index, Slot::Ready(false, rendered));
+            }
+            Ok(job) => match cache.probe(&job) {
+                CacheDecision::Hit(entry) => {
+                    summary.cache_hits += 1;
+                    slots.insert(
+                        index,
+                        Slot::Alias {
+                            id: job.id.clone(),
+                            entry,
+                        },
+                    );
+                }
+                decision => {
+                    let (cache_label, entry, sig) = match decision {
+                        CacheDecision::Miss(entry, sig) => {
+                            (CacheLabel::Miss, Some(entry), Some(sig))
+                        }
+                        CacheDecision::Bypass => (CacheLabel::Bypass, None, None),
+                        CacheDecision::Hit(_) => unreachable!("handled above"),
+                    };
+                    let shard_id = if opts.hash_shard {
+                        let h = match (&sig, &job.kind) {
+                            (Some(sig), _) => sig.on ^ sig.c.rotate_left(32),
+                            (None, JobKind::Blif { source }) => fnv1a(source.as_bytes()),
+                            (None, JobKind::Spec { .. }) => 0,
+                        };
+                        (h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % shards
+                    } else {
+                        shard::round_robin(dispatch_seq, shards)
+                    };
+                    dispatch_seq += 1;
+                    slots.insert(
+                        index,
+                        Slot::Waiting {
+                            id: job.id.clone(),
+                            cache: cache_label,
+                            shard: opts.emit_shard.then_some(shard_id),
+                            entry,
+                        },
+                    );
+                    senders[shard_id]
+                        .send(WorkItem { index, job })
+                        .expect("worker alive while its sender is held");
+                    outstanding += 1;
+                }
+            },
+        }
+        index += 1;
+        while outstanding > shards * INFLIGHT_PER_SHARD {
+            let done = done_rx.recv().expect("outstanding results imply live workers");
+            settle(done, &mut slots, &mut cache, &mut outstanding);
+        }
+        while let Ok(done) = done_rx.try_recv() {
+            settle(done, &mut slots, &mut cache, &mut outstanding);
+        }
+        emit_ready(out, &mut slots, &mut next_emit, &cache, &mut summary)?;
+    }
+
+    drop(senders);
+    while outstanding > 0 {
+        let done = done_rx.recv().expect("outstanding results imply live workers");
+        settle(done, &mut slots, &mut cache, &mut outstanding);
+    }
+    emit_ready(out, &mut slots, &mut next_emit, &cache, &mut summary)?;
+    for handle in handles {
+        handle.join().expect("worker threads catch their panics");
+    }
+    debug_assert!(slots.is_empty(), "unemitted results left behind");
+    summary.jobs = index;
+    summary.sig_collisions = cache.collisions;
+    out.flush()?;
+    Ok(summary)
+}
+
+/// Renders a finished worker result into its slot and seeds the cache.
+fn settle(
+    done: WorkDone,
+    slots: &mut BTreeMap<usize, Slot>,
+    cache: &mut SigCache,
+    outstanding: &mut usize,
+) {
+    *outstanding -= 1;
+    let Some(Slot::Waiting {
+        id,
+        cache: label,
+        shard,
+        entry,
+    }) = slots.remove(&done.index)
+    else {
+        unreachable!("worker result for an index that was not dispatched");
+    };
+    if let Some(entry) = entry {
+        cache.fill(entry, done.ok, done.body.clone());
+    }
+    let rendered = render_result(done.index, id.as_deref(), done.ok, label, shard, &done.body);
+    slots.insert(done.index, Slot::Ready(done.ok, rendered));
+}
+
+/// Writes every consecutive finished line starting at `next_emit`.
+fn emit_ready(
+    out: &mut impl Write,
+    slots: &mut BTreeMap<usize, Slot>,
+    next_emit: &mut usize,
+    cache: &SigCache,
+    summary: &mut ServeSummary,
+) -> io::Result<()> {
+    loop {
+        let (ok, line) = match slots.get(next_emit) {
+            Some(Slot::Ready(ok, line)) => (*ok, line.clone()),
+            Some(Slot::Alias { id, entry }) => {
+                // The alias target precedes this index, so its result
+                // was recorded before the target line was emitted.
+                let (ok, body) = cache
+                    .result(*entry)
+                    .expect("alias target emitted before alias");
+                (
+                    *ok,
+                    render_result(*next_emit, id.as_deref(), *ok, CacheLabel::Hit, None, body),
+                )
+            }
+            Some(Slot::Waiting { .. }) | None => return Ok(()),
+        };
+        writeln!(out, "{line}")?;
+        if ok {
+            summary.ok += 1;
+        } else {
+            summary.errors += 1;
+        }
+        slots.remove(next_emit);
+        *next_emit += 1;
+    }
+}
+
+/// A deterministic mixed demo/CI stream of `n` jobs: spec jobs cycling
+/// over a pool of instances and filters (so streams past 30 jobs repeat
+/// combinations and exercise the signature cache), one malformed line,
+/// one non-injective `var_map` job, one budget-starved job, and one BLIF
+/// job. A pure function of `n` — the CI stage and the tests rely on
+/// byte-identical streams.
+pub fn demo_stream(n: usize) -> String {
+    const SPECS: [&str; 6] = [
+        "d1 01",
+        "d1 01 1d 01",
+        "01 1d d1 10",
+        "dd 01 10 11",
+        "0d d1 11 00",
+        "01 10 d0 0d 11 1d 00 dd",
+    ];
+    const FILTERS: [&str; 5] = ["all", "osm_*", "sched", "osm_bt,tsm_td", "restr"];
+    const DEMO_BLIF: &str = ".model demo\\n.inputs a b c\\n.outputs y\\n.names a b t1\\n11 1\\n.names a c t2\\n11 1\\n.names t1 t2 y\\n1- 1\\n-1 1\\n.end\\n";
+    let mut out = String::new();
+    for i in 0..n {
+        match i {
+            2 => out.push_str("{\"id\":\"broken\",\"spec\":\"d1 01\"\n"),
+            3 => out.push_str(
+                "{\"id\":\"clash\",\"spec\":\"d1 01 1d 01\",\"var_map\":[0,0,0]}\n",
+            ),
+            5 => out.push_str(
+                "{\"id\":\"starved\",\"spec\":\"01 1d d1 10\",\"heuristic\":\"sched\",\"step_limit\":1}\n",
+            ),
+            7 => {
+                let _ = writeln!(out, "{{\"id\":\"net\",\"blif\":\"{DEMO_BLIF}\"}}");
+            }
+            i => {
+                let spec = SPECS[(i * 7 + 3) % SPECS.len()];
+                let filter = FILTERS[(i * 2 + 1) % FILTERS.len()];
+                let _ = write!(out, "{{\"id\":\"job{i}\",\"spec\":\"{spec}\",\"heuristic\":\"{filter}\"");
+                if i % 3 == 0 {
+                    let _ = write!(out, ",\"step_limit\":40");
+                }
+                out.push_str("}\n");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(input: &str, shards: usize) -> (String, ServeSummary) {
+        let mut out = Vec::new();
+        let summary = process_stream(
+            input.as_bytes(),
+            &mut out,
+            &ServeOpts {
+                shards,
+                ..ServeOpts::default()
+            },
+        )
+        .unwrap();
+        (String::from_utf8(out).unwrap(), summary)
+    }
+
+    #[test]
+    fn one_result_line_per_job_in_input_order() {
+        let input = "\
+{\"id\":\"a\",\"spec\":\"d1 01\"}\n\
+\n\
+{\"id\":\"b\",\"spec\":\"d1 01 1d 01\",\"heuristic\":\"osm_bt\"}\n\
+not json\n";
+        let (out, summary) = run(input, 2);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "blank lines are skipped: {out}");
+        for (i, line) in lines.iter().enumerate() {
+            assert!(
+                line.starts_with(&format!("{{\"index\":{i},")),
+                "out of order: {line}"
+            );
+        }
+        assert!(lines[2].contains("\"status\":\"error\""));
+        assert_eq!(summary.jobs, 3);
+        assert_eq!(summary.ok, 2);
+        assert_eq!(summary.errors, 1);
+    }
+
+    #[test]
+    fn forged_signature_is_rejected_by_exact_confirmation() {
+        let mut cache = SigCache::new();
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(Var(0));
+        let b = bdd.var(Var(1));
+        let key = |sig| CacheKey {
+            sig,
+            filter: "osm_bt".to_owned(),
+            budget: (None, None, None),
+            var_map: None,
+        };
+        let sig_a = IsfSig { on: 7, c: 0xFF };
+        // Seed the cache with ISF A under signature sig_a.
+        let seeded = cache.lookup(key(sig_a), a, b);
+        let CacheDecision::Miss(entry, _) = seeded else {
+            panic!("first lookup must miss: {seeded:?}");
+        };
+        cache.fill(entry, true, "\"x\":1".to_owned());
+        // An identical repeat is a confirmed hit.
+        assert_eq!(cache.lookup(key(sig_a), a, b), CacheDecision::Hit(entry));
+        // The forgery: same signature, different exact ISF. Must be
+        // rejected (fresh miss) and counted as a collision.
+        let ab = bdd.and(a, b);
+        match cache.lookup(key(sig_a), ab, b) {
+            CacheDecision::Miss(forged_entry, _) => assert_ne!(forged_entry, entry),
+            other => panic!("forged signature must not hit: {other:?}"),
+        }
+        assert_eq!(cache.collisions, 1);
+    }
+
+    #[test]
+    fn panicking_job_becomes_a_structured_error_line() {
+        // No protocol-reachable panic is known (that is the point of the
+        // try_transfer satellite) — force one through the process_job
+        // seam to prove the containment works.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            panic!("synthetic worker bug");
+        }));
+        assert!(result.is_err());
+        // process_job on a real job never panics outward even for the
+        // adversarial var_map.
+        let job = parse_job("{\"spec\":\"d1 01 1d 01\",\"var_map\":[0,0,0]}").unwrap();
+        let (ok, body) = process_job(&job);
+        assert!(!ok);
+        assert!(body.contains("not injective"), "{body}");
+    }
+}

@@ -1,0 +1,68 @@
+//! `bddmin-serve` — the minimization daemon.
+//!
+//! Reads JSON-lines jobs on stdin, writes one JSON result line per job
+//! on stdout (in input order), and a one-line run summary on stderr.
+//! Exit status is 0 even when individual jobs fail — per-job failures
+//! are part of the protocol — and 2 on argument errors.
+
+use std::io::{self, BufWriter, Write};
+
+use bddmin_serve::{process_stream, ServeOpts};
+
+const USAGE: &str = "\
+bddmin-serve — sharded, budget-governed BDD minimization service
+
+USAGE:
+  bddmin-job --demo 50 | bddmin-serve [--shards N] [--hash-shard] [--emit-shard]
+
+OPTIONS:
+  --shards N     worker threads, each owning its own BDD managers (default 1)
+  --hash-shard   dispatch on the instance signature instead of round-robin
+  --emit-shard   include the shard id in result lines (breaks the
+                 byte-identical-across-shard-counts contract; off by default)
+
+One JSON job per stdin line; one JSON result line per job on stdout, in
+input order; summary on stderr. See DESIGN.md §14 for the job grammar.
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = ServeOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shards" => {
+                let value = it.next().unwrap_or_else(|| {
+                    eprintln!("--shards requires a count\n\n{USAGE}");
+                    std::process::exit(2);
+                });
+                opts.shards = value.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --shards value {value:?}\n\n{USAGE}");
+                    std::process::exit(2);
+                });
+            }
+            "--hash-shard" => opts.hash_shard = true,
+            "--emit-shard" => opts.emit_shard = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let stdin = io::stdin();
+    let mut out = BufWriter::new(io::stdout().lock());
+    match process_stream(stdin.lock(), &mut out, &opts) {
+        Ok(summary) => {
+            let _ = out.flush();
+            eprintln!("{summary}");
+        }
+        Err(e) => {
+            eprintln!("bddmin-serve: I/O error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -37,6 +37,7 @@ fn unknown_stage_names_are_rejected_with_the_inventory() {
         "degradation",
         "reorder",
         "chain",
+        "serve",
         "perf",
         "fuzz-deep",
     ] {
@@ -81,6 +82,7 @@ fn list_stages_prints_the_full_inventory_and_exits_zero() {
         "degradation",
         "reorder",
         "chain",
+        "serve",
         "perf",
     ];
     assert!(lines.len() > expected_defaults.len(), "{stdout}");

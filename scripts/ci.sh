@@ -18,6 +18,11 @@
 #   chain        chain-invariance oracle fuzz + break-chain mutant gate
 #                + chain_storm quick run (BENCH_7 schema) + chain-on/off
 #                stdout determinism diff
+#   serve        service-layer gate: the 50-job demo stream through 1 and
+#                4 shards must be byte-identical, malformed and
+#                non-injective jobs must come back as structured error
+#                lines with exit 0, and the signature cache must score
+#                nonzero hits
 #   perf         perf_smoke --quick + JSON schema checks (BENCH_5 and
 #                the ci_timings.json wall-clock artifact)
 #
@@ -46,7 +51,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # ---------------------------------------------------------------- staging
-ALL_STAGES=(build test lint invariance determinism fuzz-smoke degradation reorder chain perf)
+ALL_STAGES=(build test lint invariance determinism fuzz-smoke degradation reorder chain serve perf)
 # Valid for --stage but never part of the default sweep.
 EXTRA_STAGES=(fuzz-deep)
 SELECTED=()
@@ -67,7 +72,7 @@ while [[ $# -gt 0 ]]; do
             exit 0
             ;;
         -h|--help)
-            sed -n '2,40p' "$0" | sed 's/^# \{0,1\}//'
+            sed -n '2,47p' "$0" | sed 's/^# \{0,1\}//'
             exit 0
             ;;
         *)
@@ -298,6 +303,38 @@ stage_chain() {
     ./target/release/table3 --quick --only tlc --no-times --chain on \
         >"$tmpdir/on.txt"
     diff -u "$tmpdir/off.txt" "$tmpdir/on.txt"
+    rm -rf "$tmpdir"
+}
+
+stage_serve() {
+    cargo build --release -q -p bddmin-serve
+    echo "    shard invariance: 50-job demo stream through 1 and 4 shards"
+    local tmpdir
+    tmpdir="$(mktemp -d)"
+    ./target/release/bddmin-job --demo 50 >"$tmpdir/jobs.jsonl"
+    # `set -e` makes the exit-0 requirement an assertion: any nonzero
+    # status here (a panic escaping a worker, an I/O failure) kills the
+    # stage. Per-job failures must stay in-band as error lines.
+    ./target/release/bddmin-serve --shards 1 <"$tmpdir/jobs.jsonl" \
+        >"$tmpdir/s1.jsonl" 2>"$tmpdir/s1.summary"
+    ./target/release/bddmin-serve --shards 4 <"$tmpdir/jobs.jsonl" \
+        >"$tmpdir/s4.jsonl" 2>"$tmpdir/s4.summary"
+    diff -u "$tmpdir/s1.jsonl" "$tmpdir/s4.jsonl"
+    echo "    result stream byte-identical at shards 1 and 4"
+    for needle in 'malformed job' 'not injective' '"status":"error"' \
+                  '"degraded":true' '"cache":"hit"'; do
+        grep -q -- "$needle" "$tmpdir/s1.jsonl" || {
+            echo "demo stream lost its '$needle' result" >&2
+            exit 1
+        }
+    done
+    echo "    malformed + non-injective jobs answered as structured errors"
+    grep -Eq '[1-9][0-9]* cache hits' "$tmpdir/s1.summary" || {
+        echo "expected nonzero signature-cache hits in the summary:" >&2
+        cat "$tmpdir/s1.summary" >&2
+        exit 1
+    }
+    sed 's/^/    /' "$tmpdir/s1.summary"
     rm -rf "$tmpdir"
 }
 
