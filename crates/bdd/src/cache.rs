@@ -34,13 +34,15 @@ pub(crate) enum Op {
     Forall,
     Constrain,
     Restrict,
+    AndExists,
     Compose(u32),
 }
 
 impl Op {
-    /// Injective encoding into a `u32` word: the five plain tags take
-    /// 0..=4 and `Compose(v)` maps to `5 + 8v`, which never collides with
-    /// a plain tag (it is ≥ 5) nor with another `Compose` (affine in `v`).
+    /// Injective encoding into a `u32` word: the plain tags take 0..=4
+    /// and 6, while `Compose(v)` maps to `5 + 8v`, which never collides
+    /// with a plain tag (it is ≡ 5 mod 8 and ≥ 5) nor with another
+    /// `Compose` (affine in `v`).
     #[inline]
     fn word(self) -> u32 {
         match self {
@@ -49,6 +51,7 @@ impl Op {
             Op::Forall => 2,
             Op::Constrain => 3,
             Op::Restrict => 4,
+            Op::AndExists => 6,
             Op::Compose(v) => {
                 debug_assert!(v < (u32::MAX - 5) / 8, "variable index overflows op word");
                 5 + 8 * v
@@ -67,16 +70,24 @@ impl Op {
             Op::Constrain => 3,
             Op::Restrict => 4,
             Op::Compose(_) => 5,
+            Op::AndExists => 6,
         }
     }
 }
 
 /// Number of operation classes tracked by the per-class counters.
-pub(crate) const OP_CLASS_COUNT: usize = 6;
+pub(crate) const OP_CLASS_COUNT: usize = 7;
 
 /// Display names for the operation classes, indexed by [`Op::class`].
-pub(crate) const OP_CLASS_NAMES: [&str; OP_CLASS_COUNT] =
-    ["ite", "exists", "forall", "constrain", "restrict", "compose"];
+pub(crate) const OP_CLASS_NAMES: [&str; OP_CLASS_COUNT] = [
+    "ite",
+    "exists",
+    "forall",
+    "constrain",
+    "restrict",
+    "compose",
+    "and_exists",
+];
 
 /// One cache entry: the full `(op, a, b, c)` key, the result, and the
 /// generation it was written in. 24 bytes; a 2-way bucket is 48 bytes, so
@@ -437,6 +448,7 @@ mod tests {
             Op::Forall,
             Op::Constrain,
             Op::Restrict,
+            Op::AndExists,
             Op::Compose(0),
             Op::Compose(1),
             Op::Compose(1000),

@@ -201,6 +201,10 @@ pub struct Bdd {
     pub(crate) chain_nodes: usize,
     /// High-water mark of the live-node count.
     pub(crate) peak_live: usize,
+    /// Test hook for the `image-equivalence` mutation gate: widens the
+    /// fused relational product's ⊤ short-circuit to fire unconditionally
+    /// (see [`Bdd::debug_break_and_exists`]). Never set outside tests.
+    pub(crate) break_and_exists: bool,
 }
 
 /// Recursion-depth guard: the kernel recursions descend one variable
@@ -312,6 +316,7 @@ impl Bdd {
             chain_mode,
             chain_nodes: 0,
             peak_live: 1,
+            break_and_exists: false,
         };
         for name in names {
             bdd.add_var(name);
@@ -946,6 +951,16 @@ impl Bdd {
         self.min_memo.next_salt()
     }
 
+    /// Resets the peak-live-node watermark to the current live count.
+    ///
+    /// Benchmarks use this to attribute peak-memory numbers to a specific
+    /// phase (an image-computation sweep, say) rather than to setup work
+    /// such as transition-relation compilation that every compared
+    /// configuration shares.
+    pub fn reset_peak_stats(&mut self) {
+        self.peak_live = self.live_count();
+    }
+
     /// Current manager statistics.
     pub fn stats(&self) -> BddStats {
         BddStats {
@@ -1019,6 +1034,16 @@ impl Bdd {
             }
         }
         false
+    }
+
+    /// Test hook for the `image-equivalence` mutation gate: makes the
+    /// fused `and_exists` drop the `e`-branch at every quantified level —
+    /// as if its ⊤ short-circuit condition were wrong — so relational
+    /// products silently under-approximate. The bug class a broken fused
+    /// kernel would produce. Never call this outside tests.
+    #[doc(hidden)]
+    pub fn debug_break_and_exists(&mut self) {
+        self.break_and_exists = true;
     }
 }
 

@@ -335,16 +335,15 @@ impl Bdd {
     ///
     /// Panics if `vars` is not a positive cube.
     pub fn exists(&mut self, f: Edge, vars: Edge) -> Edge {
+        self.assert_positive_cube(vars);
         self.try_exists(f, vars).expect(BUDGET_PANIC)
     }
 
-    /// Checked [`Bdd::exists`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `vars` is not a positive cube.
+    /// Checked [`Bdd::exists`]. A malformed `vars` (not a positive cube)
+    /// is reported as [`BudgetExceeded::INTERNAL`] instead of panicking,
+    /// so long-running services degrade to a structured error line.
     pub fn try_exists(&mut self, f: Edge, vars: Edge) -> Result<Edge, BudgetExceeded> {
-        self.assert_positive_cube(vars);
+        self.check_positive_cube(vars)?;
         self.begin_op();
         match self.exists_rec(f, vars, 0) {
             Ok(r) => Ok(self.end_op(r)),
@@ -393,16 +392,14 @@ impl Bdd {
     ///
     /// Panics if `vars` is not a positive cube.
     pub fn forall(&mut self, f: Edge, vars: Edge) -> Edge {
+        self.assert_positive_cube(vars);
         self.try_forall(f, vars).expect(BUDGET_PANIC)
     }
 
-    /// Checked [`Bdd::forall`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `vars` is not a positive cube.
+    /// Checked [`Bdd::forall`]. A malformed `vars` is reported as
+    /// [`BudgetExceeded::INTERNAL`] instead of panicking.
     pub fn try_forall(&mut self, f: Edge, vars: Edge) -> Result<Edge, BudgetExceeded> {
-        self.assert_positive_cube(vars);
+        self.check_positive_cube(vars)?;
         if let Some(r) = self.cache.get(Op::Forall, f, vars, Edge::ONE) {
             return Ok(r);
         }
@@ -421,11 +418,107 @@ impl Bdd {
     }
 
     /// Relational product `∃ vars . (f · g)` (the workhorse of image
-    /// computation). Computed as `exists(and(f, g), vars)`; a fused
-    /// implementation is unnecessary at the scales exercised here.
+    /// computation), computed by a **fused** single descent over
+    /// `(f, g, vars)` in the style of CUDD's `bddAndAbstract`: the
+    /// conjunction is never materialized, so zero-products prune before
+    /// recursing, a ⊤ `t`-branch at a quantified level absorbs the
+    /// `e`-branch unseen, and the peak live-node count stays far below
+    /// the unfused `exists(and(f, g), vars)` (which this is proven
+    /// edge-for-edge equal to by the differential suite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is not a positive cube.
     pub fn and_exists(&mut self, f: Edge, g: Edge, vars: Edge) -> Edge {
-        let fg = self.and(f, g);
-        self.exists(fg, vars)
+        self.assert_positive_cube(vars);
+        self.try_and_exists(f, g, vars).expect(BUDGET_PANIC)
+    }
+
+    /// Checked [`Bdd::and_exists`]: aborts cleanly with [`BudgetExceeded`]
+    /// when the armed budget runs out, and reports a malformed `vars` as
+    /// [`BudgetExceeded::INTERNAL`] instead of panicking.
+    pub fn try_and_exists(
+        &mut self,
+        f: Edge,
+        g: Edge,
+        vars: Edge,
+    ) -> Result<Edge, BudgetExceeded> {
+        self.check_positive_cube(vars)?;
+        self.begin_op();
+        match self.and_exists_rec(f, g, vars, 0) {
+            Ok(r) => Ok(self.end_op(r)),
+            Err(e) => {
+                self.abort_op();
+                Err(e)
+            }
+        }
+    }
+
+    /// The fused relational-product recursion. Complement edges are
+    /// handled in the terminal cases (`f = ¬g` prunes to 0 without any
+    /// work); the cache key is canonicalized for commutativity by
+    /// ordering the operands with [`Self::order_before`], so
+    /// `and_exists(f, g, v)` and `and_exists(g, f, v)` share one entry.
+    fn and_exists_rec(
+        &mut self,
+        f: Edge,
+        g: Edge,
+        mut cube: Edge,
+        depth: u32,
+    ) -> Result<Edge, BudgetExceeded> {
+        self.charge_step()?;
+        if depth > MAX_REC_DEPTH {
+            return Err(BudgetExceeded::DEPTH);
+        }
+        // Terminal short-circuits of the conjunction: a zero product never
+        // recurses, and a collapsed product degrades to plain `exists`.
+        if f.is_zero() || g.is_zero() || f == g.complement() {
+            return Ok(Edge::ZERO);
+        }
+        if f.is_one() || f == g {
+            return self.exists_rec(g, cube, depth + 1);
+        }
+        if g.is_one() {
+            return self.exists_rec(f, cube, depth + 1);
+        }
+        // Skip quantified variables above both operands (ordered BDDs
+        // cannot depend on them).
+        let top = self.level(f).min(self.level(g));
+        while !cube.is_constant() && self.level(cube) < top {
+            cube = self.node(cube).hi.complement_if(cube.is_complemented());
+        }
+        // Cube exhausted: the rest is a plain conjunction.
+        if cube.is_constant() {
+            return self.ite_rec(f, g, Edge::ZERO, depth + 1);
+        }
+        // Commutativity canonicalization for the cache key.
+        let (f, g) = if self.order_before(g, f) { (g, f) } else { (f, g) };
+        if let Some(r) = self.cache.get(Op::AndExists, f, g, cube) {
+            return Ok(r);
+        }
+        let (f1, f0) = self.cof_at(f, top);
+        let (g1, g0) = self.cof_at(g, top);
+        let r = if self.level(cube) == top {
+            let next = self.node(cube).hi.complement_if(cube.is_complemented());
+            let t = self.and_exists_rec(f1, g1, next, depth + 1)?;
+            // ⊤ absorbs the disjunction: the e-branch is never visited.
+            // The `break_and_exists` test hook widens the short-circuit to
+            // fire unconditionally — the bug class a wrong short-circuit
+            // condition produces — for the `image-equivalence` mutation
+            // gate.
+            if t.is_one() || self.break_and_exists {
+                t
+            } else {
+                let e = self.and_exists_rec(f0, g0, next, depth + 1)?;
+                self.ite_rec(t, Edge::ONE, e, depth + 1)?
+            }
+        } else {
+            let t = self.and_exists_rec(f1, g1, cube, depth + 1)?;
+            let e = self.and_exists_rec(f0, g0, cube, depth + 1)?;
+            self.mk_checked(top, t, e)?
+        };
+        self.cache.insert(Op::AndExists, f, g, cube, r);
+        Ok(r)
     }
 
     /// Builds the positive cube `v1 · v2 · …` of a set of variables.
@@ -442,21 +535,42 @@ impl Bdd {
         cube
     }
 
-    fn assert_positive_cube(&self, mut cube: Edge) {
+    /// Structured cube validation: `Err(BudgetExceeded::INTERNAL)` when
+    /// `cube` is not a positive cube. The checked `try_*` quantifiers use
+    /// this so a malformed cube reaching a long-running worker degrades to
+    /// a status line instead of tripping `catch_unwind`; the infallible
+    /// quantifiers keep their documented panic via
+    /// [`Self::assert_positive_cube`].
+    fn check_positive_cube(&self, mut cube: Edge) -> Result<(), BudgetExceeded> {
         while !cube.is_constant() {
             let n = self.node(cube);
             // A chain node is never a cube: its uncomplemented reading is a
             // disjunction, and the and-chain reading carries only negative
             // literals, which a positive cube excludes.
-            assert!(!n.is_chain(), "quantifier argument must be a positive cube");
+            if n.is_chain() {
+                return Err(BudgetExceeded::INTERNAL);
+            }
             let (hi, lo) = (
                 n.hi.complement_if(cube.is_complemented()),
                 n.lo.complement_if(cube.is_complemented()),
             );
-            assert!(lo.is_zero(), "quantifier argument must be a positive cube");
+            if !lo.is_zero() {
+                return Err(BudgetExceeded::INTERNAL);
+            }
             cube = hi;
         }
-        assert!(cube.is_one(), "quantifier argument must be a positive cube");
+        if cube.is_one() {
+            Ok(())
+        } else {
+            Err(BudgetExceeded::INTERNAL)
+        }
+    }
+
+    fn assert_positive_cube(&self, cube: Edge) {
+        assert!(
+            self.check_positive_cube(cube).is_ok(),
+            "quantifier argument must be a positive cube"
+        );
     }
 
     /// Substitutes the function `g` for variable `var` in `f` (functional
@@ -739,6 +853,111 @@ mod tests {
         let anded = bdd.and(f, g);
         let separate = bdd.exists(anded, cube);
         assert_eq!(fused, separate);
+    }
+
+    /// Deterministic xorshift for the differential sweep below.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    /// Build a pseudo-random function over `n` vars from a seed.
+    fn random_fn(bdd: &mut Bdd, n: u32, seed: &mut u64) -> Edge {
+        let mut f = if xorshift(seed) & 1 == 0 { Edge::ZERO } else { Edge::ONE };
+        for _ in 0..(2 + (xorshift(seed) % 5)) {
+            let v = bdd.var(Var((xorshift(seed) % n as u64) as u32));
+            let v = if xorshift(seed) & 1 == 0 { bdd.not(v) } else { v };
+            f = match xorshift(seed) % 3 {
+                0 => bdd.and(f, v),
+                1 => bdd.or(f, v),
+                _ => bdd.xor(f, v),
+            };
+        }
+        f
+    }
+
+    #[test]
+    fn fused_matches_unfused_edge_for_edge() {
+        for seed0 in 1..=24u64 {
+            let mut bdd = Bdd::new(6);
+            let mut seed = seed0.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let f = random_fn(&mut bdd, 6, &mut seed);
+            let g = random_fn(&mut bdd, 6, &mut seed);
+            let mask = xorshift(&mut seed) % 63 + 1;
+            let vars: Vec<Var> = (0..6).filter(|i| mask & (1 << i) != 0).map(Var).collect();
+            let cube = bdd.cube_of_vars(&vars);
+            let fused = bdd.and_exists(f, g, cube);
+            let anded = bdd.and(f, g);
+            let separate = bdd.exists(anded, cube);
+            assert_eq!(fused, separate, "seed {seed0} vars {vars:?}");
+        }
+    }
+
+    #[test]
+    fn and_exists_commutative_and_terminal_cases() {
+        let (mut bdd, a, b, c) = setup();
+        let f = bdd.ite(a, b, c);
+        let g = bdd.xor(b, c);
+        let cube = bdd.cube_of_vars(&[Var(1), Var(2)]);
+        assert_eq!(bdd.and_exists(f, g, cube), bdd.and_exists(g, f, cube));
+        // Terminal short-circuits.
+        let nf = bdd.not(f);
+        assert!(bdd.and_exists(f, nf, cube).is_zero());
+        assert!(bdd.and_exists(Edge::ZERO, g, cube).is_zero());
+        assert_eq!(bdd.and_exists(Edge::ONE, g, cube), bdd.exists(g, cube));
+        assert_eq!(bdd.and_exists(f, f, cube), bdd.exists(f, cube));
+        // Cube exhausted (all cube vars above both supports) degrades to and.
+        let bc = bdd.and(b, c);
+        let cube_a = bdd.cube_of_vars(&[Var(0)]);
+        let g2 = bdd.or(b, c);
+        let fused = bdd.and_exists(bc, g2, cube_a);
+        // a is not in either support, so quantifying it is the identity.
+        assert_eq!(fused, bdd.and(bc, g2));
+    }
+
+    #[test]
+    fn try_and_exists_blown_budget_is_error_not_wrong_edge() {
+        let (mut bdd, a, b, c) = setup();
+        let f = bdd.ite(a, b, c);
+        let g = bdd.xor(a, c);
+        let cube = bdd.cube_of_vars(&[Var(1)]);
+        let want = bdd.and_exists(f, g, cube);
+        bdd.set_budget(crate::Budget::default().steps(1));
+        match bdd.try_and_exists(f, g, cube) {
+            Err(e) => assert_eq!(e, BudgetExceeded::STEPS),
+            Ok(r) => assert_eq!(r, want, "a completed op must still be correct"),
+        }
+        bdd.clear_budget();
+        assert_eq!(bdd.and_exists(f, g, cube), want);
+    }
+
+    #[test]
+    fn try_quantifiers_degrade_on_malformed_cube() {
+        let (mut bdd, a, b, _) = setup();
+        let non_cube = bdd.or(a, b);
+        let f = bdd.and(a, b);
+        assert_eq!(bdd.try_exists(f, non_cube), Err(BudgetExceeded::INTERNAL));
+        assert_eq!(bdd.try_forall(f, non_cube), Err(BudgetExceeded::INTERNAL));
+        assert_eq!(bdd.try_and_exists(f, b, non_cube), Err(BudgetExceeded::INTERNAL));
+        // A negative literal is not a positive cube either.
+        let neg = bdd.not(a);
+        assert_eq!(bdd.try_exists(f, neg), Err(BudgetExceeded::INTERNAL));
+    }
+
+    #[test]
+    fn debug_break_and_exists_under_approximates() {
+        let (mut bdd, a, b, c) = setup();
+        let f = bdd.xnor(a, b);
+        let g = bdd.ite(b, c, bdd.not(c));
+        let cube = bdd.cube_of_vars(&[Var(1)]);
+        let good = bdd.and_exists(f, g, cube);
+        bdd.debug_break_and_exists();
+        bdd.clear_caches();
+        let broken = bdd.and_exists(f, g, cube);
+        assert_ne!(broken, good, "the mutant must be observable");
+        assert!(bdd.implies_holds(broken, good), "mutant under-approximates");
     }
 
     #[test]

@@ -19,7 +19,9 @@ use bddmin_bdd::{Bdd, Budget, ReorderMethod, ReorderSettings};
 use bddmin_core::{
     exact_minimum, lower_bound, minimize_all, ExactConfig, Heuristic, Isf,
 };
-use bddmin_fsm::{generators, parse_blif, simplify_report, verify_fsm_equivalence, SymbolicFsm};
+use bddmin_fsm::{
+    generators, parse_blif, simplify_report, verify_fsm_equivalence_with, ImageMethod, SymbolicFsm,
+};
 
 /// Optional resource budget for the minimizing commands. When any field
 /// is armed, minimization runs through the degradation ladder: blown
@@ -214,6 +216,8 @@ pub enum Command {
         right: String,
         /// Frontier-minimization heuristic (default constrain).
         heuristic: Option<Heuristic>,
+        /// Image computation method (default mono).
+        image: ImageMethod,
     },
     /// ODC-simplify a BLIF network.
     Simplify {
@@ -245,7 +249,7 @@ bddmin — heuristic minimization of BDDs using don't cares (Shiple et al., DAC'
 USAGE:
   bddmin spec <LEAFSPEC> [--heuristic FILTER] [--exact] [--isop] [--dot] [--chain] [BUDGET]
   bddmin expr --vars a,b,c --function EXPR --care EXPR [--heuristic FILTER] [--chain] [BUDGET]
-  bddmin verify <LEFT.blif> <RIGHT.blif> [--heuristic NAME]
+  bddmin verify <LEFT.blif> <RIGHT.blif> [--heuristic NAME] [--image {mono,part,range}]
   bddmin simplify <CIRCUIT.blif> [--heuristic NAME]
   bddmin bench
 
@@ -294,6 +298,7 @@ pub fn parse_args(args: &[String], read_file: impl Fn(&str) -> Result<String, Cl
                 || a == "--time-limit"
                 || a == "--reorder"
                 || a == "--reorder-growth"
+                || a == "--image"
             {
                 skip = true;
                 continue;
@@ -414,10 +419,19 @@ pub fn parse_args(args: &[String], read_file: impl Fn(&str) -> Result<String, Cl
             if positionals.len() != 2 {
                 return Err(CliError("verify: need exactly two BLIF files".into()));
             }
+            let image = match rest.iter().position(|a| a == "--image") {
+                None => ImageMethod::Mono,
+                Some(i) => rest
+                    .get(i + 1)
+                    .ok_or_else(|| CliError("--image needs a method".into()))?
+                    .parse::<ImageMethod>()
+                    .map_err(CliError)?,
+            };
             Ok(Command::Verify {
                 left: read_file(&positionals[0])?,
                 right: read_file(&positionals[1])?,
                 heuristic: single(&rest)?,
+                image,
             })
         }
         "simplify" => {
@@ -461,7 +475,8 @@ pub fn run(command: Command) -> Result<String, CliError> {
             left,
             right,
             heuristic,
-        } => run_verify(&left, &right, heuristic),
+            image,
+        } => run_verify(&left, &right, heuristic, image),
         Command::Simplify { blif, heuristic } => run_simplify(&blif, heuristic),
         Command::Bench => Ok(run_bench()),
     }
@@ -686,15 +701,16 @@ fn run_verify(
     left: &str,
     right: &str,
     heuristic: Option<Heuristic>,
+    image: ImageMethod,
 ) -> Result<String, CliError> {
     let a = parse_blif(left).map_err(|e| CliError(format!("left: {e}")))?;
     let b = parse_blif(right).map_err(|e| CliError(format!("right: {e}")))?;
     let verdict = match heuristic {
-        None => verify_fsm_equivalence(&a, &b, None),
+        None => verify_fsm_equivalence_with(&a, &b, None, image),
         Some(h) => {
             let mut hook =
                 move |bdd: &mut Bdd, isf: Isf| h.minimize(bdd, isf);
-            verify_fsm_equivalence(&a, &b, Some(&mut hook))
+            verify_fsm_equivalence_with(&a, &b, Some(&mut hook), image)
         }
     };
     Ok(match verdict {
@@ -931,6 +947,40 @@ mod tests {
         assert!(
             err.0.contains("exactly one heuristic"),
             "wrong error: {err}"
+        );
+    }
+
+    #[test]
+    fn verify_parses_image_method() {
+        for (flag, want) in [
+            ("mono", ImageMethod::Mono),
+            ("part", ImageMethod::Part),
+            ("range", ImageMethod::Range),
+        ] {
+            let cmd = parse_args(
+                &strs(&["verify", "a.blif", "b.blif", "--image", flag]),
+                |_| Ok(String::new()),
+            )
+            .unwrap();
+            match cmd {
+                Command::Verify { image, .. } => assert_eq!(image, want),
+                other => panic!("wrong parse: {other:?}"),
+            }
+        }
+        // Default is mono; unknown methods and a missing value are errors.
+        let cmd = parse_args(&strs(&["verify", "a.blif", "b.blif"]), |_| Ok(String::new()))
+            .unwrap();
+        assert!(matches!(cmd, Command::Verify { image: ImageMethod::Mono, .. }));
+        assert!(parse_args(
+            &strs(&["verify", "a.blif", "b.blif", "--image", "bogus"]),
+            |_| Ok(String::new())
+        )
+        .is_err());
+        assert!(
+            parse_args(&strs(&["verify", "a.blif", "b.blif", "--image"]), |_| Ok(
+                String::new()
+            ))
+            .is_err()
         );
     }
 
@@ -1209,22 +1259,26 @@ mod tests {
 01 1
 .end
 ";
-        let out = run(Command::Verify {
-            left: toggle.into(),
-            right: toggle.into(),
-            heuristic: Some(Heuristic::Restrict),
-        })
-        .unwrap();
-        assert!(out.starts_with("EQUIVALENT"));
-        // An inverted-latch variant must be caught.
-        let broken = toggle.replace("10 1\n01 1", "11 1\n00 1");
-        let out = run(Command::Verify {
-            left: toggle.into(),
-            right: broken,
-            heuristic: None,
-        })
-        .unwrap();
-        assert!(out.starts_with("NOT EQUIVALENT"));
+        for image in ImageMethod::ALL {
+            let out = run(Command::Verify {
+                left: toggle.into(),
+                right: toggle.into(),
+                heuristic: Some(Heuristic::Restrict),
+                image,
+            })
+            .unwrap();
+            assert!(out.starts_with("EQUIVALENT"), "image {image}");
+            // An inverted-latch variant must be caught.
+            let broken = toggle.replace("10 1\n01 1", "11 1\n00 1");
+            let out = run(Command::Verify {
+                left: toggle.into(),
+                right: broken,
+                heuristic: None,
+                image,
+            })
+            .unwrap();
+            assert!(out.starts_with("NOT EQUIVALENT"), "image {image}");
+        }
     }
 
     #[test]

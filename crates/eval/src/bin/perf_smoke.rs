@@ -30,6 +30,14 @@
 //!    wall clock on both modes, peak memory, and a per-root semantic
 //!    identity check (sat_count bit equality + 64-lane signatures) land
 //!    in `BENCH_7.json` (`BENCH_7.quick.json` in quick mode).
+//! 8. **Image storm** — breadth-first reachability sweeps over random
+//!    sequential circuits with the image computed three ways, each in a
+//!    fresh manager: monolithic-unfused (`and(T, S)` materialized, then
+//!    `exists`), the fused `and_exists` kernel, and the partitioned
+//!    early-quantification schedule. Wall clock, peak live nodes, peak
+//!    bytes, and the `exists`-vs-`and_exists` computed-cache hit rates
+//!    land in `BENCH_8.json` (`BENCH_8.quick.json` in quick mode); the
+//!    peak-memory delta is the headline number.
 //!
 //! The first three phases replay byte-for-byte the workload that produced
 //! `BENCH_1.json` (same seed, same operation order), so the JSON written to
@@ -53,6 +61,7 @@ use bddmin_core::rng::XorShift64;
 use bddmin_core::{Heuristic, Isf};
 use bddmin_eval::par::run_experiment_jobs;
 use bddmin_eval::runner::ExperimentConfig;
+use bddmin_fsm::{generators, Circuit, SymbolicFsm};
 
 const NUM_VARS: u32 = 24;
 
@@ -576,6 +585,195 @@ fn chain_storm(quick: bool) -> Vec<ChainCase> {
     cases
 }
 
+/// One image-storm case: the same breadth-first reachability sweep over a
+/// random circuit computed three ways, each in its own fresh manager so
+/// the peak-memory numbers are attributable to the image method alone.
+/// "mono" materializes the unfused conjunction `and(T, S)` before
+/// quantifying, "fused" is the single-descent `and_exists` kernel, and
+/// "part" is the clustered early-quantification schedule.
+struct ImageCase {
+    name: String,
+    latches: usize,
+    steps: usize,
+    clusters: usize,
+    mono_secs: f64,
+    fused_secs: f64,
+    part_secs: f64,
+    mono_peak_live: usize,
+    fused_peak_live: usize,
+    part_peak_live: usize,
+    mono_peak_bytes: usize,
+    fused_peak_bytes: usize,
+    part_peak_bytes: usize,
+    /// Computed-cache hit rate of the `exists` class in the unfused sweep
+    /// vs. the `and_exists` class in the fused/partitioned sweeps.
+    mono_exists_hit_rate: f64,
+    fused_and_exists_hit_rate: f64,
+    part_and_exists_hit_rate: f64,
+    semantics_identical: bool,
+}
+
+impl ImageCase {
+    /// Monolithic-unfused wall clock over the better of the two fused
+    /// sweeps.
+    fn speedup(&self) -> f64 {
+        let best = self.fused_secs.min(self.part_secs);
+        if best > 0.0 {
+            self.mono_secs / best
+        } else {
+            0.0
+        }
+    }
+
+    /// Peak-live-node reduction — the headline number: how much smaller
+    /// the working set is when the `and(T, S)` intermediate is never
+    /// built.
+    fn peak_reduction(&self) -> f64 {
+        let best = self.fused_peak_live.min(self.part_peak_live);
+        if best > 0 {
+            self.mono_peak_live as f64 / best as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Which image computation an [`image_sweep`] uses.
+#[derive(Clone, Copy, PartialEq)]
+enum SweepKind {
+    /// Unfused: materialize `and(T, S)`, then `exists`, then rename.
+    MonoUnfused,
+    /// The fused `and_exists` kernel ([`SymbolicFsm::image`]).
+    Fused,
+    /// Clustered relations with early quantification
+    /// ([`SymbolicFsm::image_partitioned`]).
+    Part,
+}
+
+/// BFS to the reachability fixpoint (capped at `max_steps`); returns the
+/// finished machine, the reached set, the step count, and the sweep's
+/// wall clock. Compilation and (for `Part`) the one-time partition build
+/// happen before the clock starts and before the peak watermark resets,
+/// so both numbers are attributable to the image method alone — the
+/// compile work is identical across the compared modes.
+fn image_sweep(
+    circuit: &Circuit,
+    kind: SweepKind,
+    max_steps: usize,
+) -> (SymbolicFsm, Edge, usize, f64) {
+    let mut fsm = SymbolicFsm::new(circuit);
+    if kind == SweepKind::Part {
+        // A workload committed to partitioned images never holds the
+        // monolithic conjunction — reclaim it so the peak watermark
+        // reflects the partitioned working set.
+        fsm.release_monolithic_relation();
+    }
+    fsm.bdd_mut().reset_peak_stats();
+    let t = Instant::now();
+    let mut reached = fsm.initial_states();
+    let mut steps = 0usize;
+    while steps < max_steps {
+        let image = match kind {
+            SweepKind::MonoUnfused => {
+                let trans = fsm.transition_relation();
+                let cube = fsm.img_quant_cube();
+                let next: Vec<Var> = fsm.next_vars().to_vec();
+                let present: Vec<Var> = fsm.present_vars().to_vec();
+                let bdd = fsm.bdd_mut();
+                let conj = bdd.and(trans, reached);
+                let ns = bdd.exists(conj, cube);
+                bdd.rename(ns, &next, &present)
+            }
+            SweepKind::Fused => fsm.image(reached),
+            SweepKind::Part => fsm.image_partitioned(reached),
+        };
+        let next = fsm.bdd_mut().or(reached, image);
+        if next == reached {
+            break;
+        }
+        reached = next;
+        steps += 1;
+    }
+    (fsm, reached, steps, t.elapsed().as_secs_f64())
+}
+
+/// The image storm: reachability sweeps over random circuits computed
+/// monolithic-unfused, fused, and partitioned — fresh managers per mode so
+/// the peak-memory delta is attributable — with the final reached sets
+/// compared across managers (step counts, sat_count bit equality, 64-lane
+/// signatures, and virtual sizes).
+fn image_storm(quick: bool) -> Vec<ImageCase> {
+    use bddmin_bdd::SigEvaluator;
+
+    let specs: &[(usize, usize, u64)] = if quick {
+        &[(8, 2, 0xDAC5_0001), (10, 2, 0xDAC5_0002)]
+    } else {
+        &[(10, 2, 0xDAC5_0001), (12, 3, 0xDAC5_0002), (14, 3, 0xDAC5_0003)]
+    };
+    let max_steps = if quick { 12 } else { 32 };
+    let exists_class = BddStats::OP_CLASSES
+        .iter()
+        .position(|n| *n == "exists")
+        .expect("exists op class");
+    let and_exists_class = BddStats::OP_CLASSES
+        .iter()
+        .position(|n| *n == "and_exists")
+        .expect("and_exists op class");
+    let class_rate = |s: &BddStats, class: usize| {
+        rate(s.cache_class_hits[class], s.cache_class_misses[class])
+    };
+
+    let mut cases = Vec::new();
+    for &(latches, inputs, seed) in specs {
+        let name = format!("img_{latches}");
+        let circuit = generators::random_fsm(&name, latches, inputs, seed);
+
+        let (mono_fsm, mono_set, mono_steps, mono_secs) =
+            image_sweep(&circuit, SweepKind::MonoUnfused, max_steps);
+        let (fused_fsm, fused_set, fused_steps, fused_secs) =
+            image_sweep(&circuit, SweepKind::Fused, max_steps);
+        let (mut part_fsm, part_set, part_steps, part_secs) =
+            image_sweep(&circuit, SweepKind::Part, max_steps);
+        let clusters = part_fsm.num_clusters();
+
+        let mut semantics_identical = mono_steps == fused_steps && mono_steps == part_steps;
+        let mut mev = SigEvaluator::for_bdd(mono_fsm.bdd());
+        let msig = mev.signature(mono_fsm.bdd(), mono_set);
+        let mbits = mono_fsm.bdd().sat_count(mono_set).to_bits();
+        let msize = mono_fsm.bdd().size(mono_set);
+        for (fsm, set) in [(&fused_fsm, fused_set), (&part_fsm, part_set)] {
+            let mut ev = SigEvaluator::for_bdd(fsm.bdd());
+            semantics_identical &= ev.signature(fsm.bdd(), set) == msig;
+            semantics_identical &= fsm.bdd().sat_count(set).to_bits() == mbits;
+            semantics_identical &= fsm.bdd().size(set) == msize;
+        }
+
+        let mstats = mono_fsm.bdd().stats();
+        let fstats = fused_fsm.bdd().stats();
+        let pstats = part_fsm.bdd().stats();
+        cases.push(ImageCase {
+            name,
+            latches,
+            steps: mono_steps,
+            clusters,
+            mono_secs,
+            fused_secs,
+            part_secs,
+            mono_peak_live: mstats.peak_live_nodes,
+            fused_peak_live: fstats.peak_live_nodes,
+            part_peak_live: pstats.peak_live_nodes,
+            mono_peak_bytes: mstats.peak_bytes,
+            fused_peak_bytes: fstats.peak_bytes,
+            part_peak_bytes: pstats.peak_bytes,
+            mono_exists_hit_rate: class_rate(&mstats, exists_class),
+            fused_and_exists_hit_rate: class_rate(&fstats, and_exists_class),
+            part_and_exists_hit_rate: class_rate(&pstats, and_exists_class),
+            semantics_identical,
+        });
+    }
+    cases
+}
+
 /// Pulls `"key": <number>` out of `section` of a hand-rolled JSON file.
 /// Good enough for the files this binary writes; returns `None` on any
 /// surprise.
@@ -1027,5 +1225,117 @@ fn main() {
     match std::fs::write(&out7, &json7) {
         Ok(()) => println!("wrote {}", out7.display()),
         Err(e) => eprintln!("could not write {}: {e}", out7.display()),
+    }
+
+    // ------------------------------------------------------------------
+    // Image storm → BENCH_8. Monolithic-unfused vs fused and_exists vs
+    // partitioned image computation over identical reachability sweeps;
+    // the peak-memory delta (the `and(T, S)` intermediate that the fused
+    // and partitioned sweeps never build) is the headline number.
+    // ------------------------------------------------------------------
+    let icases = image_storm(quick);
+    let mut speedups: Vec<f64> = icases.iter().map(|c| c.speedup()).collect();
+    let median_speedup = median(&mut speedups);
+    let mut reductions: Vec<f64> = icases.iter().map(|c| c.peak_reduction()).collect();
+    let peak_reduction = median(&mut reductions);
+    let image_semantics = icases.iter().all(|c| c.semantics_identical);
+    let image_total_secs: f64 = icases
+        .iter()
+        .map(|c| c.mono_secs + c.fused_secs + c.part_secs)
+        .sum();
+
+    println!("\nimage storm (mono-unfused vs fused and_exists vs partitioned, fresh managers):");
+    let mut icase_json = String::new();
+    for (i, c) in icases.iter().enumerate() {
+        println!(
+            "  {:<8} ({} latches, {} clusters, {} steps) peak {:>7} -> {:>6}/{:>6} live \
+             nodes ({:.2}x), {:.4}s -> {:.4}s/{:.4}s ({:.2}x), semantics {}",
+            c.name,
+            c.latches,
+            c.clusters,
+            c.steps,
+            c.mono_peak_live,
+            c.fused_peak_live,
+            c.part_peak_live,
+            c.peak_reduction(),
+            c.mono_secs,
+            c.fused_secs,
+            c.part_secs,
+            c.speedup(),
+            if c.semantics_identical { "ok" } else { "CHANGED" },
+        );
+        println!(
+            "           cache: exists {:.1}% (unfused) vs and_exists {:.1}% (fused) / \
+             {:.1}% (partitioned)",
+            c.mono_exists_hit_rate * 100.0,
+            c.fused_and_exists_hit_rate * 100.0,
+            c.part_and_exists_hit_rate * 100.0,
+        );
+        if i > 0 {
+            icase_json.push_str(",\n");
+        }
+        icase_json.push_str(&format!(
+            "      \"{}\": {{\"latches\": {}, \"clusters\": {}, \"steps\": {}, \
+             \"mono_secs\": {:.6}, \"fused_secs\": {:.6}, \"part_secs\": {:.6}, \
+             \"speedup\": {:.4}, \"mono_peak_live_nodes\": {}, \"fused_peak_live_nodes\": {}, \
+             \"part_peak_live_nodes\": {}, \"peak_reduction\": {:.4}, \
+             \"mono_peak_bytes\": {}, \"fused_peak_bytes\": {}, \"part_peak_bytes\": {}, \
+             \"mono_exists_hit_rate\": {:.4}, \"fused_and_exists_hit_rate\": {:.4}, \
+             \"part_and_exists_hit_rate\": {:.4}, \"semantics_identical\": {}}}",
+            c.name,
+            c.latches,
+            c.clusters,
+            c.steps,
+            c.mono_secs,
+            c.fused_secs,
+            c.part_secs,
+            c.speedup(),
+            c.mono_peak_live,
+            c.fused_peak_live,
+            c.part_peak_live,
+            c.peak_reduction(),
+            c.mono_peak_bytes,
+            c.fused_peak_bytes,
+            c.part_peak_bytes,
+            c.mono_exists_hit_rate,
+            c.fused_and_exists_hit_rate,
+            c.part_and_exists_hit_rate,
+            c.semantics_identical,
+        ));
+    }
+    println!(
+        "  median speedup {:.2}x, median peak-live reduction {:.2}x over {} cases, \
+         semantics identical: {}",
+        median_speedup,
+        peak_reduction,
+        icases.len(),
+        image_semantics,
+    );
+
+    let json8 = format!(
+        "{{\n  \"bench\": \"image_storm\",\n  \"mode\": \"{}\",\n  \
+         \"image_storm\": {{\n    \"cases\": {{\n{}\n    }},\n    \
+         \"num_cases\": {},\n    \"median_speedup\": {:.4},\n    \
+         \"peak_reduction\": {:.4},\n    \"total_secs\": {:.6},\n    \
+         \"semantics_identical\": {}\n  }}\n}}\n",
+        if quick { "quick" } else { "full" },
+        icase_json,
+        icases.len(),
+        median_speedup,
+        peak_reduction,
+        image_total_secs,
+        image_semantics,
+    );
+    let name8 = if quick {
+        "BENCH_8.quick.json"
+    } else {
+        "BENCH_8.json"
+    };
+    let out8 = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name8);
+    match std::fs::write(&out8, &json8) {
+        Ok(()) => println!("wrote {}", out8.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out8.display()),
     }
 }

@@ -28,6 +28,7 @@ fn main() {
             limits: args.limits(),
             reorder: args.reorder_settings(),
             chain: args.chain,
+            image: args.image,
             ..Default::default()
         }
     } else {
@@ -36,6 +37,7 @@ fn main() {
             limits: args.limits(),
             reorder: args.reorder_settings(),
             chain: args.chain,
+            image: args.image,
             ..Default::default()
         }
     };

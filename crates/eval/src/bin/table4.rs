@@ -25,6 +25,7 @@ fn main() {
         limits: args.limits(),
         reorder: args.reorder_settings(),
         chain: args.chain,
+        image: args.image,
         ..Default::default()
     };
     eprintln!("running FSM-equivalence experiment...");

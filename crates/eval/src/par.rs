@@ -306,6 +306,10 @@ pub struct EvalArgs {
     /// traversal and measurement (default off). Rendered tables are
     /// byte-identical either way; only peak memory changes.
     pub chain: bool,
+    /// `--image {mono,part,range}`: image computation method for the
+    /// traversal (default `range`, the historical runner). Rendered
+    /// tables are byte-identical across methods.
+    pub image: bddmin_fsm::ImageMethod,
 }
 
 impl EvalArgs {
@@ -359,6 +363,9 @@ pub fn parse_eval_args() -> EvalArgs {
             .unwrap_or(bddmin_bdd::ReorderMethod::None),
         reorder_growth: value_of("--reorder-growth").and_then(|v| v.parse().ok()),
         chain: value_of("--chain").is_some_and(|v| matches!(v.as_str(), "on" | "1" | "true")),
+        image: value_of("--image")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(bddmin_fsm::ImageMethod::Range),
     }
 }
 

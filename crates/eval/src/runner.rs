@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 use bddmin_bdd::{Bdd, Budget, ReorderMethod, ReorderSettings};
 use bddmin_core::{lower_bound, Heuristic, Isf};
-use bddmin_fsm::{generators, product_circuit, SymbolicFsm};
+use bddmin_fsm::{generators, product_circuit, ImageMethod, SymbolicFsm};
 
 /// Why a call was excluded from the statistics (paper §4.1.2 filters).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -163,6 +163,12 @@ pub struct ExperimentConfig {
     /// (CBDD) mode. Reported sizes are plain-equivalent, so rendered
     /// tables are byte-identical to plain mode; only peak memory drops.
     pub chain: bool,
+    /// Image computation method for the traversal (`--image`). The default
+    /// [`ImageMethod::Range`] is the historical runner: image by range over
+    /// the constrained next-state vector. All methods produce identical
+    /// state sets — and the instance stream is recorded before the image
+    /// step — so rendered tables are byte-identical across methods.
+    pub image: ImageMethod,
 }
 
 impl Default for ExperimentConfig {
@@ -178,6 +184,7 @@ impl Default for ExperimentConfig {
                 ..ReorderSettings::default()
             },
             chain: false,
+            image: ImageMethod::Range,
         }
     }
 }
@@ -459,7 +466,14 @@ pub fn run_benchmark(
             bdd.clear_caches();
             constrained.push(bdd.constrain(delta, minimized));
         }
-        let image = fsm.image_of_constrained(&constrained);
+        // The class-2 constrains above are recorded unconditionally so the
+        // instance stream (and thus every rendered table) is identical
+        // across image methods; only the image computation itself differs.
+        let image = match config.image {
+            ImageMethod::Range => fsm.image_of_constrained(&constrained),
+            ImageMethod::Mono => fsm.image(minimized),
+            ImageMethod::Part => fsm.image_partitioned(minimized),
+        };
         let new_reached = fsm.bdd_mut().or(reached, image);
         frontier = {
             let bdd = fsm.bdd_mut();

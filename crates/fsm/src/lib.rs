@@ -54,6 +54,8 @@ pub use circuit::{
 pub use odc::{simplify_report, NetAnalysis, NetSimplification};
 pub use product::{is_from_machine_a, product_circuit, with_flipped_latch};
 pub use range::range_of_vector;
-pub use reach::{verify_fsm_equivalence, MinimizeHook, ReachStats, Reachability};
-pub use symbolic::{symbolic_matches_simulation, SymbolicFsm};
+pub use reach::{
+    verify_fsm_equivalence, verify_fsm_equivalence_with, MinimizeHook, ReachStats, Reachability,
+};
+pub use symbolic::{symbolic_matches_simulation, ImageMethod, SymbolicFsm};
 pub use tr_min::TrMinimization;

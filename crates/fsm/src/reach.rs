@@ -13,7 +13,7 @@
 use bddmin_bdd::{Bdd, Edge};
 use bddmin_core::Isf;
 
-use crate::symbolic::SymbolicFsm;
+use crate::symbolic::{ImageMethod, SymbolicFsm};
 
 /// Callback invoked on every frontier-minimization opportunity.
 ///
@@ -50,16 +50,26 @@ pub struct ReachStats {
 pub struct Reachability<'a> {
     hook: Option<Box<MinimizeHook<'a>>>,
     max_iterations: Option<usize>,
+    image_method: Option<ImageMethod>,
 }
 
 impl<'a> Reachability<'a> {
     /// A traversal using plain `constrain` for frontier minimization (the
-    /// SIS default).
+    /// SIS default) and the monolithic-relation image.
     pub fn new() -> Reachability<'a> {
         Reachability {
             hook: None,
             max_iterations: None,
+            image_method: None,
         }
+    }
+
+    /// Selects the image computation method (default: monolithic relation
+    /// through the fused `and_exists`).
+    #[must_use]
+    pub fn image_method(mut self, method: ImageMethod) -> Reachability<'a> {
+        self.image_method = Some(method);
+        self
     }
 
     /// Installs a custom minimization hook.
@@ -111,7 +121,8 @@ impl<'a> Reachability<'a> {
             let msize = fsm.bdd().size(minimized);
             peak = peak.max(msize);
             total += msize;
-            let image = fsm.image(minimized);
+            let method = self.image_method.unwrap_or(ImageMethod::Mono);
+            let image = fsm.image_with(method, minimized);
             let new_reached = fsm.bdd_mut().or(reached, image);
             frontier = {
                 let bdd = fsm.bdd_mut();
@@ -155,6 +166,18 @@ pub fn verify_fsm_equivalence(
     b: &crate::circuit::Circuit,
     hook: Option<&mut MinimizeHook<'_>>,
 ) -> Result<usize, usize> {
+    verify_fsm_equivalence_with(a, b, hook, ImageMethod::Mono)
+}
+
+/// [`verify_fsm_equivalence`] with an explicit image computation method
+/// (the CLI's `--image {mono,part,range}` flag). All methods visit the same
+/// state sets, so the verdict and depth are method-invariant.
+pub fn verify_fsm_equivalence_with(
+    a: &crate::circuit::Circuit,
+    b: &crate::circuit::Circuit,
+    hook: Option<&mut MinimizeHook<'_>>,
+    method: ImageMethod,
+) -> Result<usize, usize> {
     let prod = crate::product::product_circuit(a, b);
     let mut fsm = SymbolicFsm::new(&prod);
     let miter = {
@@ -186,7 +209,7 @@ pub fn verify_fsm_equivalence(
             Some(h) => h(fsm.bdd_mut(), isf),
             None => fsm.bdd_mut().constrain(isf.f, isf.c),
         };
-        let image = fsm.image(minimized);
+        let image = fsm.image_with(method, minimized);
         let new_reached = fsm.bdd_mut().or(reached, image);
         frontier = {
             let bdd = fsm.bdd_mut();
@@ -278,6 +301,42 @@ mod tests {
         let a = generators::counter("c", 3);
         let bad = with_flipped_latch(&a, 2);
         assert!(verify_fsm_equivalence(&a, &bad, None).is_err());
+    }
+
+    #[test]
+    fn traversal_is_image_method_invariant() {
+        let c = generators::lfsr("l", 5, 0b10010);
+        let mut reference = None;
+        for method in ImageMethod::ALL {
+            let mut fsm = SymbolicFsm::new(&c);
+            let stats = Reachability::new().image_method(method).run(&mut fsm);
+            // Fresh managers over the same circuit: identical layout, so
+            // the reached edges must be literally equal.
+            match reference.take() {
+                None => reference = Some(stats.clone()),
+                Some(r) => {
+                    assert_eq!(r, stats, "method {method} changed the traversal");
+                    reference = Some(r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equivalence_verdict_is_image_method_invariant() {
+        let a = generators::counter("c", 3);
+        let b = generators::counter("c2", 3);
+        let bad = with_flipped_latch(&a, 1);
+        let want = verify_fsm_equivalence(&a, &b, None);
+        assert!(want.is_ok());
+        for method in ImageMethod::ALL {
+            assert_eq!(
+                verify_fsm_equivalence_with(&a, &b, None, method),
+                want,
+                "method {method}"
+            );
+            assert!(verify_fsm_equivalence_with(&a, &bad, None, method).is_err());
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! Layout:
 //!
 //! * [`gen`] — instance representation and the sweep generator,
-//! * [`oracle`] — the ten oracles plus the mutation harness that
+//! * [`oracle`] — the eleven oracles plus the mutation harness that
 //!   proves they fire,
 //! * [`shrink`] — greedy, deterministic failure minimization,
 //! * [`corpus`] — reproducer serialization and strict parsing,

@@ -1,4 +1,4 @@
-//! The ten theorem oracles.
+//! The eleven theorem oracles.
 //!
 //! Each oracle is an independent judge of one correctness contract from
 //! the paper (or from the kernel's own documentation), checked against a
@@ -16,6 +16,7 @@
 //! | `sig-invariance`| accelerated level passes ≡ unfiltered reference bit for bit | refutation-only filtering |
 //! | `reorder-invariance`| sift/swap sequences preserve semantics: 64-lane signatures and `sat_count` unchanged | dynamic-reordering contract |
 //! | `chain-invariance` | chain-reduced managers agree with plain managers pointwise, on counts, and on every heuristic's cover | CBDD representation transparency |
+//! | `image-equivalence` | monolithic, partitioned, and range-method images agree edge for edge on random circuits | image-computation method transparency |
 //!
 //! The [`Mutant`] enum injects one deliberate bug per oracle (used by CI
 //! and the `mutants` integration suite to prove each oracle actually
@@ -70,11 +71,17 @@ pub enum Oracle {
     /// function, same virtual size) — node compression is invisible to
     /// semantics.
     ChainInvariance,
+    /// The three image computation methods — monolithic relation through
+    /// the fused `and_exists`, partitioned relation with early
+    /// quantification, and constrain+range — produce literally the same
+    /// state-set edges at every BFS step of a random circuit, in plain
+    /// and chain-reduced managers alike.
+    ImageEquivalence,
 }
 
 impl Oracle {
-    /// All ten oracles, in checking order.
-    pub const ALL: [Oracle; 10] = [
+    /// All eleven oracles, in checking order.
+    pub const ALL: [Oracle; 11] = [
         Oracle::Cover,
         Oracle::CubeOptimal,
         Oracle::OsmLevel,
@@ -85,6 +92,7 @@ impl Oracle {
         Oracle::SigInvariance,
         Oracle::ReorderInvariance,
         Oracle::ChainInvariance,
+        Oracle::ImageEquivalence,
     ];
 
     /// Stable name used on the command line and in corpus files.
@@ -100,6 +108,7 @@ impl Oracle {
             Oracle::SigInvariance => "sig-invariance",
             Oracle::ReorderInvariance => "reorder-invariance",
             Oracle::ChainInvariance => "chain-invariance",
+            Oracle::ImageEquivalence => "image-equivalence",
         }
     }
 
@@ -122,6 +131,10 @@ impl Oracle {
             Oracle::ChainInvariance => {
                 "chain-reduced representation transparency (CBDD compression never changes \
                  semantics)"
+            }
+            Oracle::ImageEquivalence => {
+                "image-computation method transparency (Touati et al. [9]: relational, \
+                 partitioned, and range methods compute the same image)"
             }
         }
     }
@@ -208,11 +221,16 @@ pub enum Mutant {
     /// fusion/normalization bug that corrupts the compressed encoding —
     /// breaks `chain-invariance`.
     BreakChain,
+    /// Widen the fused `and_exists` ⊤ short-circuit to fire
+    /// unconditionally (dropping `e`-branches at quantified levels), so
+    /// relational and partitioned images silently under-approximate —
+    /// breaks `image-equivalence`.
+    BreakAndExists,
 }
 
 impl Mutant {
-    /// The ten injectable bugs (everything except [`Mutant::None`]).
-    pub const BREAKING: [Mutant; 10] = [
+    /// The eleven injectable bugs (everything except [`Mutant::None`]).
+    pub const BREAKING: [Mutant; 11] = [
         Mutant::BreakCover,
         Mutant::BreakCubeOptimal,
         Mutant::BreakOsmLevel,
@@ -223,6 +241,7 @@ impl Mutant {
         Mutant::BreakSigFilter,
         Mutant::BreakReorder,
         Mutant::BreakChain,
+        Mutant::BreakAndExists,
     ];
 
     /// Stable command-line name.
@@ -239,6 +258,7 @@ impl Mutant {
             Mutant::BreakSigFilter => "break-sig-filter",
             Mutant::BreakReorder => "break-reorder",
             Mutant::BreakChain => "break-chain",
+            Mutant::BreakAndExists => "break-and-exists",
         }
     }
 
@@ -256,6 +276,7 @@ impl Mutant {
             Mutant::BreakSigFilter => Some(Oracle::SigInvariance),
             Mutant::BreakReorder => Some(Oracle::ReorderInvariance),
             Mutant::BreakChain => Some(Oracle::ChainInvariance),
+            Mutant::BreakAndExists => Some(Oracle::ImageEquivalence),
         }
     }
 }
@@ -383,6 +404,7 @@ pub fn check(oracle: Oracle, inst: &Instance, mutant: Mutant) -> Verdict {
         Oracle::SigInvariance => check_sig_invariance(inst, mutant),
         Oracle::ReorderInvariance => check_reorder_invariance(inst, mutant),
         Oracle::ChainInvariance => check_chain_invariance(inst, mutant),
+        Oracle::ImageEquivalence => check_image_equivalence(inst, mutant),
     }
 }
 
@@ -867,6 +889,62 @@ fn check_chain_invariance(inst: &Instance, mutant: Mutant) -> Verdict {
     Verdict::Pass
 }
 
+fn check_image_equivalence(inst: &Instance, mutant: Mutant) -> Verdict {
+    use bddmin_fsm::{generators, SymbolicFsm};
+    // Derive a random circuit deterministically from the instance so the
+    // verdict is pure in `(oracle, inst, mutant)`: the leaves fold into
+    // the generator seed, the var count picks the machine shape.
+    let seed = inst
+        .leaves
+        .iter()
+        .enumerate()
+        .fold(0x243f_6a88_85a3_08d3u64, |acc, (i, leaf)| {
+            let bits = match leaf {
+                None => 2u64,
+                Some(false) => 0,
+                Some(true) => 1,
+            };
+            acc.rotate_left(7) ^ (bits.wrapping_add(i as u64 + 1))
+        });
+    let latches = 2 + inst.num_vars() % 3; // 2..=4
+    let inputs = 1 + inst.specified() % 2; // 1..=2
+    let circuit = generators::random_fsm("img", latches, inputs, seed);
+    let mut fsm = if inst.chaos.chain_build {
+        SymbolicFsm::new_chained(&circuit)
+    } else {
+        SymbolicFsm::new(&circuit)
+    };
+    if mutant == Mutant::BreakAndExists {
+        fsm.bdd_mut().debug_break_and_exists();
+    }
+    let mut set = fsm.initial_states();
+    for step in 0..4 {
+        if inst.chaos.flush_between {
+            fsm.bdd_mut().clear_caches();
+        }
+        if inst.chaos.gc_between {
+            fsm.collect_garbage(&[set]);
+        }
+        let mono = fsm.image(set);
+        let part = fsm.image_partitioned(set);
+        let range = fsm.image_by_range(set);
+        if mono != part {
+            return Verdict::Fail(format!(
+                "monolithic and partitioned images diverged at BFS step {step} on \
+                 random_fsm(seed={seed:#x}, latches={latches}, inputs={inputs})"
+            ));
+        }
+        if mono != range {
+            return Verdict::Fail(format!(
+                "relational and range-method images diverged at BFS step {step} on \
+                 random_fsm(seed={seed:#x}, latches={latches}, inputs={inputs})"
+            ));
+        }
+        set = fsm.bdd_mut().or(set, mono);
+    }
+    Verdict::Pass
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1040,6 +1118,37 @@ mod tests {
         // And the chain oracle is green across the paper instances.
         for inst in paper_instances() {
             assert!(!check(Oracle::ChainInvariance, &inst, Mutant::None).is_fail());
+        }
+    }
+
+    #[test]
+    fn break_and_exists_mutant_fires_on_a_paper_instance() {
+        // The mutant drops e-branches inside the fused kernel, so the
+        // relational image under-approximates while the range method
+        // (which never calls and_exists) stays correct.
+        let fired = paper_instances()
+            .iter()
+            .any(|inst| check(Oracle::ImageEquivalence, inst, Mutant::BreakAndExists).is_fail());
+        assert!(
+            fired,
+            "an unconditional and_exists short-circuit must diverge on some paper instance"
+        );
+        for inst in paper_instances() {
+            assert!(!check(Oracle::ImageEquivalence, &inst, Mutant::None).is_fail());
+        }
+    }
+
+    #[test]
+    fn image_equivalence_holds_in_chained_managers_too() {
+        for mut inst in paper_instances() {
+            inst.chaos = ChaosPlan {
+                chain_build: true,
+                flush_between: true,
+                gc_between: true,
+                ..ChaosPlan::NONE
+            };
+            let v = check(Oracle::ImageEquivalence, &inst, Mutant::None);
+            assert!(!v.is_fail(), "chained image equivalence failed: {v:?}");
         }
     }
 

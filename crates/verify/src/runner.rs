@@ -172,7 +172,7 @@ pub struct FuzzReport {
     /// Surface plays (BLIF/expr/args) in structured mode.
     pub surface_checks: u64,
     /// Tallies indexed like [`Oracle::ALL`].
-    pub oracle_stats: [OracleStats; 10],
+    pub oracle_stats: [OracleStats; 11],
     /// Shrunk failures, in discovery order.
     pub failures: Vec<Failure>,
     /// Shrunk surface failures, in discovery order.
@@ -720,12 +720,12 @@ mod tests {
         };
         let report = run_fuzz(&config).unwrap();
         assert_eq!(report.instances, 20);
-        assert_eq!(report.checks, 200);
+        assert_eq!(report.checks, 220);
         assert!(report.failures.is_empty());
         assert!(!report.budget_exhausted);
         let passes: u64 = report.oracle_stats.iter().map(|s| s.passes).sum();
         let skips: u64 = report.oracle_stats.iter().map(|s| s.skips).sum();
-        assert_eq!(passes + skips, 200);
+        assert_eq!(passes + skips, 220);
     }
 
     #[test]
@@ -785,6 +785,7 @@ mod tests {
             "\"sig-invariance\"",
             "\"reorder-invariance\"",
             "\"chain-invariance\"",
+            "\"image-equivalence\"",
         ] {
             assert!(json.contains(key), "missing {key} in report:\n{json}");
         }

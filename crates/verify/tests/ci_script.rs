@@ -37,6 +37,7 @@ fn unknown_stage_names_are_rejected_with_the_inventory() {
         "degradation",
         "reorder",
         "chain",
+        "image",
         "serve",
         "perf",
         "fuzz-deep",
@@ -82,6 +83,7 @@ fn list_stages_prints_the_full_inventory_and_exits_zero() {
         "degradation",
         "reorder",
         "chain",
+        "image",
         "serve",
         "perf",
     ];

@@ -18,6 +18,9 @@
 #   chain        chain-invariance oracle fuzz + break-chain mutant gate
 #                + chain_storm quick run (BENCH_7 schema) + chain-on/off
 #                stdout determinism diff
+#   image        image-equivalence oracle fuzz + break-and-exists mutant
+#                gate + image_storm quick run (BENCH_8 schema) + mono-vs-
+#                partitioned stdout determinism diff
 #   serve        service-layer gate: the 50-job demo stream through 1 and
 #                4 shards must be byte-identical, malformed and
 #                non-injective jobs must come back as structured error
@@ -28,7 +31,7 @@
 #
 # Opt-in stages (valid for --stage, excluded from the default run):
 #   fuzz-deep    sustained structured fuzz: 60 s budget, bandit over all
-#                seven generator arms, all ten oracles, instance floors
+#                seven generator arms, all eleven oracles, instance floors
 #                (>= 1000 instances, >= 16/s); shrunk reproducers land in
 #                fuzz-scratch/deep with a loud diff against tests/corpus
 #
@@ -51,7 +54,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # ---------------------------------------------------------------- staging
-ALL_STAGES=(build test lint invariance determinism fuzz-smoke degradation reorder chain serve perf)
+ALL_STAGES=(build test lint invariance determinism fuzz-smoke degradation reorder chain image serve perf)
 # Valid for --stage but never part of the default sweep.
 EXTRA_STAGES=(fuzz-deep)
 SELECTED=()
@@ -72,7 +75,7 @@ while [[ $# -gt 0 ]]; do
             exit 0
             ;;
         -h|--help)
-            sed -n '2,47p' "$0" | sed 's/^# \{0,1\}//'
+            sed -n '2,50p' "$0" | sed 's/^# \{0,1\}//'
             exit 0
             ;;
         *)
@@ -186,19 +189,19 @@ stage_fuzz_smoke() {
     # The release binary exists when the build stage ran; build it
     # quietly otherwise (e.g. `--stage fuzz-smoke` alone).
     cargo build --release -q -p bddmin-verify
-    echo "    differential fuzz, seeds 1..4, 30 s budget, all ten oracles"
+    echo "    differential fuzz, seeds 1..4, 30 s budget, all eleven oracles"
     ./target/release/verify --seed 1..4 --budget-ms 30000 --no-write
     echo "    mutation gates: every oracle must catch + shrink its injected bug"
     for mutant in break-cover break-cube-optimal break-osm-level \
                   break-lower-bound break-agreement break-invariance \
                   break-degradation break-sig-filter break-reorder \
-                  break-chain; do
+                  break-chain break-and-exists; do
         echo "    -- $mutant"
         ./target/release/verify --seed 1..3 --iters 2000 --budget-ms 20000 \
             --mutant "$mutant" --max-failures 1 --no-write --expect-failure \
             >/dev/null
     done
-    echo "    all ten oracles fired and shrank their mutants"
+    echo "    all eleven oracles fired and shrank their mutants"
     echo "    structured fuzz: bandit over all seven arms, every input surface"
     ./target/release/verify --structured --corpus-seed tests/corpus \
         --seed 1..2 --budget-ms 10000 --no-write
@@ -210,7 +213,7 @@ stage_fuzz_deep() {
     local scratch="fuzz-scratch/deep"
     rm -rf "$scratch"
     mkdir -p "$scratch"
-    echo "    sustained structured fuzz: 60 s budget, all ten oracles,"
+    echo "    sustained structured fuzz: 60 s budget, all eleven oracles,"
     echo "    floors: >= 1000 instances and >= 16 instances/s"
     if ! ./target/release/verify --structured --corpus-seed tests/corpus \
         --seed 17..20 --budget-ms 60000 --corpus-dir "$scratch" \
@@ -303,6 +306,39 @@ stage_chain() {
     ./target/release/table3 --quick --only tlc --no-times --chain on \
         >"$tmpdir/on.txt"
     diff -u "$tmpdir/off.txt" "$tmpdir/on.txt"
+    rm -rf "$tmpdir"
+}
+
+stage_image() {
+    cargo build --release -q -p bddmin-verify -p bddmin-eval
+    echo "    image-equivalence oracle fuzz gate, seeds 17..20, 20 s budget"
+    ./target/release/verify --seed 17..20 --budget-ms 20000 \
+        --oracle image-equivalence --no-write
+    echo "    break-and-exists mutant gate: the oracle must catch + shrink it"
+    ./target/release/verify --seed 1..3 --iters 2000 --budget-ms 20000 \
+        --mutant break-and-exists --max-failures 1 --no-write --expect-failure \
+        >/dev/null
+    echo "    image_storm quick run + BENCH_8 schema check"
+    cargo run --release -q -p bddmin-eval --bin perf_smoke -- --quick >/dev/null
+    for key in '"image_storm"' '"median_speedup"' '"peak_reduction"' \
+               '"semantics_identical"'; do
+        grep -q "$key" BENCH_8.quick.json || {
+            echo "missing $key in BENCH_8.quick.json" >&2
+            exit 1
+        }
+    done
+    grep -q '"semantics_identical": true' BENCH_8.quick.json || {
+        echo "image_storm diverged across image methods" >&2
+        exit 1
+    }
+    echo "    image determinism: --image part stdout is byte-identical to mono"
+    local tmpdir
+    tmpdir="$(mktemp -d)"
+    ./target/release/table3 --quick --only tlc --no-times --image mono \
+        >"$tmpdir/mono.txt"
+    ./target/release/table3 --quick --only tlc --no-times --image part \
+        >"$tmpdir/part.txt"
+    diff -u "$tmpdir/mono.txt" "$tmpdir/part.txt"
     rm -rf "$tmpdir"
 }
 
